@@ -1,0 +1,59 @@
+"""Helpers shared by the benchmark modules (imported by file name,
+so it must be unique across the repo's test roots)."""
+
+from __future__ import annotations
+
+import pytest
+
+#: Queries measured per (technique, dataset, query-set) combination.
+BATCH = 40
+#: Batch cap for the index-free Dijkstra baseline (it is the slow one).
+DIJKSTRA_BATCH = 8
+
+
+def run_query_batch(benchmark, fn, pairs, batch=BATCH, label=""):
+    """Benchmark ``fn`` over up to ``batch`` pairs in one round.
+
+    Pure-Python queries are microseconds to milliseconds each; one
+    batch per workload keeps the full suite — every table and figure —
+    to minutes. Per-query time lands in ``extra_info.us_per_query``.
+    """
+    work = list(pairs)[:batch]
+    if not work:
+        pytest.skip(f"workload empty{': ' + label if label else ''}")
+
+    def batch_fn():
+        for s, t in work:
+            fn(s, t)
+
+    benchmark.pedantic(batch_fn, rounds=1, iterations=1, warmup_rounds=0)
+    total_s = benchmark.stats.stats.mean
+    benchmark.extra_info["queries"] = len(work)
+    benchmark.extra_info["us_per_query"] = total_s / len(work) * 1e6
+
+
+def checked(benchmark, fn):
+    """Run a shape-check callable under the benchmark fixture.
+
+    The figure benches pair raw measurements with *shape assertions*
+    (who wins, where the crossover sits). Wrapping the check in
+    ``benchmark.pedantic`` keeps those assertions alive under
+    ``--benchmark-only``, which otherwise skips non-benchmark tests.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def qset(reg, name: str, set_name: str):
+    """Fetch one Q-set of a dataset by name (Q1..Q10)."""
+    for qs in reg.q_sets(name):
+        if qs.name == set_name:
+            return qs
+    raise KeyError(set_name)
+
+
+def rset(reg, name: str, set_name: str):
+    """Fetch one R-set of a dataset by name (R1..R10)."""
+    for rs in reg.r_sets(name):
+        if rs.name == set_name:
+            return rs
+    raise KeyError(set_name)

@@ -1,0 +1,75 @@
+"""Ablation — CH vertex-ordering heuristics (not a paper figure).
+
+§3.2 warns that "an inferior ordering can lead to O(n²) shortcuts".
+This bench quantifies the warning on our networks: the [11]-style
+edge-difference heuristic against degree ordering, raw edge
+difference, and a random order, on build cost, shortcut count and
+query time.
+"""
+
+import pytest
+
+from repro.core.ch import ContractionHierarchy, OrderingConfig, build_ch
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, qset
+
+STRATEGIES = ("edge_difference", "edge_difference_only", "degree", "random")
+DATASET = "NH"
+
+
+@pytest.fixture(scope="module")
+def built(reg):
+    graph = reg.graph(DATASET)
+    return {
+        strategy: build_ch(graph, OrderingConfig(strategy=strategy, seed=11))
+        for strategy in STRATEGIES
+    }
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ordering_build(reg, strategy, benchmark):
+    graph = reg.graph(DATASET)
+    index = benchmark.pedantic(
+        lambda: build_ch(graph, OrderingConfig(strategy=strategy, seed=11)),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["shortcuts"] = index.n_shortcuts
+    benchmark.extra_info["up_edges"] = index.n_up_edges
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ordering_query(reg, strategy, built, benchmark):
+    graph = reg.graph(DATASET)
+    ch = ContractionHierarchy(graph, built[strategy])
+    pairs = qset(reg, DATASET, "Q10").pairs[:30]
+
+    def batch():
+        for s, t in pairs:
+            ch.distance(s, t)
+
+    benchmark.pedantic(batch, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["shortcuts"] = built[strategy].n_shortcuts
+
+
+def test_shape_edge_difference_minimises_shortcuts(reg, built, benchmark):
+    def _check():
+        """The combined heuristic produces the leanest hierarchy and the
+        random order the fattest — the §3.2 warning made concrete."""
+        shortcuts = {s: built[s].n_shortcuts for s in STRATEGIES}
+        assert shortcuts["edge_difference"] <= shortcuts["degree"]
+        assert shortcuts["edge_difference"] < shortcuts["random"]
+
+    checked(benchmark, _check)
+
+def test_shape_random_order_slows_queries(reg, built, benchmark):
+    def _check():
+        graph = reg.graph(DATASET)
+        pairs = qset(reg, DATASET, "Q10").pairs
+        good = ContractionHierarchy(graph, built["edge_difference"])
+        bad = ContractionHierarchy(graph, built["random"])
+        good_t = time_queries(good.distance, pairs, max_pairs=30)
+        bad_t = time_queries(bad.distance, pairs, max_pairs=30)
+        assert good_t.micros_per_query < bad_t.micros_per_query
+
+    checked(benchmark, _check)

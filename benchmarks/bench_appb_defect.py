@@ -1,0 +1,59 @@
+"""Appendix B — the TNR preprocessing defect.
+
+Benchmarks both preprocessing variants on the Figure 12 counter-example
+and on a real dataset, and asserts the paper's two claims: the original
+(Bast et al.) access-node computation yields wrong answers, and the
+corrected one is exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.defect import counterexample, demonstrate, stress
+from repro.core.ch import ContractionHierarchy
+from repro.core.tnr import build_tnr
+
+
+def test_appb_counterexample(benchmark):
+    report = benchmark.pedantic(demonstrate, rounds=1, iterations=1, warmup_rounds=0)
+    assert report.flawed_is_wrong
+    assert report.corrected_is_right
+    benchmark.extra_info.update(
+        {
+            "true": report.true_distance,
+            "flawed": report.flawed_distance,
+            "corrected": report.corrected_distance,
+        }
+    )
+
+
+@pytest.mark.parametrize("flawed", [False, True], ids=["corrected", "flawed"])
+def test_appb_preprocessing_cost(benchmark, flawed):
+    """The corrected method's overhead (the paper argues it is the
+    price of correctness) measured on the counter-example graph."""
+    graph, grid_g, _, _ = counterexample()
+    ch = ContractionHierarchy.build(graph)
+    index = benchmark.pedantic(
+        lambda: build_tnr(graph, ch, grid_g, flawed=flawed),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["transit_nodes"] = index.n_transit_nodes
+
+
+def test_appb_stress_on_dataset(reg, benchmark):
+    name = "DE"
+    graph = reg.graph(name)
+    rng = np.random.default_rng(7)
+    pairs = [(int(rng.integers(graph.n)), int(rng.integers(graph.n)))
+             for _ in range(150)]
+
+    def run():
+        return stress(graph, reg.spec(name).tnr_grid, pairs, reg.ch(name))
+
+    wrong, answerable = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["wrong"] = wrong
+    benchmark.extra_info["answerable"] = answerable
+    # The flawed preprocessing must be demonstrably broken beyond the
+    # crafted counter-example (it "leads to incorrect answers", §1).
+    assert answerable > 0
+    assert wrong > 0

@@ -1,0 +1,82 @@
+"""Figure 10 — efficiency of shortest path queries vs n (Q1/Q4/Q7/Q10).
+
+Same structure as Figure 8 but for full path queries; the §4.6 shape
+claims (CH pays for unpacking; TNR never beats CH on paths) are
+asserted at the end.
+"""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, DIJKSTRA_BATCH, qset, run_query_batch
+
+SETS = ("Q1", "Q4", "Q7", "Q10")
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig10_dijkstra(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.bidijkstra(name).path, qset(reg, name, set_name).pairs,
+        batch=DIJKSTRA_BATCH,
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig10_ch(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.ch(name).path, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig10_tnr(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.tnr(name).path, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in DATASET_NAMES if n in ("DE", "NH", "ME", "CO")]
+)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig10_silc(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.silc(name).path, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize("name", ("ME", "CO"))
+def test_fig10_shape_silc_beats_ch_on_paths(reg, name, benchmark):
+    def _check():
+        """§4.6: SILC outperforms CH for shortest-path queries where its
+        index fits."""
+        pairs = qset(reg, name, "Q10").pairs
+        silc_t = time_queries(reg.silc(name).path, pairs, max_pairs=30)
+        ch_t = time_queries(reg.ch(name).path, pairs, max_pairs=30)
+        assert silc_t.micros_per_query < ch_t.micros_per_query
+
+    checked(benchmark, _check)
+
+@pytest.mark.parametrize("name", ("CO", "US"))
+def test_fig10_shape_ch_paths_cost_more_than_distances(reg, name, benchmark):
+    def _check():
+        """§4.6: unpacking makes CH path queries slower than its distance
+        queries on far pairs."""
+        pairs = qset(reg, name, "Q10").pairs
+        ch = reg.ch(name)
+        dist_t = time_queries(ch.distance, pairs, max_pairs=30)
+        path_t = time_queries(ch.path, pairs, max_pairs=30)
+        assert path_t.micros_per_query > dist_t.micros_per_query
+
+    checked(benchmark, _check)
+
+def test_fig10_shape_tnr_no_better_than_ch_on_paths(reg, benchmark):
+    def _check():
+        """§4.6: 'TNR performs no better than CH in all cases' for paths —
+        the O(k) distance queries per path dominate on the far sets."""
+        name = DATASET_NAMES[-1]
+        pairs = qset(reg, name, "Q10").pairs
+        tnr_t = time_queries(reg.tnr(name).path, pairs, max_pairs=15)
+        ch_t = time_queries(reg.ch(name).path, pairs, max_pairs=15)
+        assert tnr_t.micros_per_query > ch_t.micros_per_query
+
+    checked(benchmark, _check)

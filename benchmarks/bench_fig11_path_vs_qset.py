@@ -1,0 +1,55 @@
+"""Figure 11 — efficiency of shortest path queries vs query sets.
+
+SILC / CH / TNR across Q1..Q10 on the four representative datasets.
+"""
+
+import pytest
+
+from repro.datasets import QUERY_SET_FIGURE_DATASETS
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, qset, run_query_batch
+
+SETS = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10")
+SILC_DATASETS = tuple(
+    n for n in QUERY_SET_FIGURE_DATASETS if n in ("DE", "NH", "ME", "CO")
+)
+
+
+@pytest.mark.parametrize("name", QUERY_SET_FIGURE_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig11_ch(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.ch(name).path, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize("name", QUERY_SET_FIGURE_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig11_tnr(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.tnr(name).path, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize("name", SILC_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig11_silc(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.silc(name).path, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize("name", QUERY_SET_FIGURE_DATASETS)
+def test_fig11_shape_tnr_path_gap_grows_when_table_applies(reg, name, benchmark):
+    def _check():
+        """§4.6: once TNR answers from the table, its O(k)-distance-query
+        path walk makes it slower than CH, and the gap grows with k."""
+        tnr = reg.tnr(name)
+        ch = reg.ch(name)
+        table_sets = [
+            qs for qs in reg.q_sets(name)
+            if qs.pairs and all(tnr.index.answerable(s, t) for s, t in qs.pairs[:10])
+        ]
+        if not table_sets:
+            pytest.skip("no fully answerable query set at this scale")
+        far = table_sets[-1]
+        tnr_t = time_queries(tnr.path, far.pairs, max_pairs=15)
+        ch_t = time_queries(ch.path, far.pairs, max_pairs=15)
+        assert tnr_t.micros_per_query > ch_t.micros_per_query
+
+    checked(benchmark, _check)

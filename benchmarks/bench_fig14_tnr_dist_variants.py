@@ -1,0 +1,71 @@
+"""Figure 14 — TNR distance queries across grid/fallback variants.
+
+{base grid, hybrid} x {CH fallback, bidirectional-Dijkstra fallback}
+on Q1..Q10, reproducing Appendix E.1's conclusions: the CH fallback
+wins decisively on the near sets, and the hybrid only matters in the
+band between the two grids' answerability.
+"""
+
+import pytest
+
+from repro.harness.figures import TNR_VARIANT_DATASETS
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, DIJKSTRA_BATCH, qset, run_query_batch
+
+SETS = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10")
+
+VARIANTS = ("g_dij", "g_ch", "hybrid_dij", "hybrid_ch")
+
+
+def variant(reg, name, key):
+    if key == "g_dij":
+        return reg.tnr(name, fallback="dijkstra")
+    if key == "g_ch":
+        return reg.tnr(name, fallback="ch")
+    if key == "hybrid_dij":
+        return reg.hybrid_tnr(name, fallback="dijkstra")
+    return reg.hybrid_tnr(name, fallback="ch")
+
+
+@pytest.mark.parametrize("name", TNR_VARIANT_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+@pytest.mark.parametrize("key", VARIANTS)
+def test_fig14_variant(reg, name, set_name, key, benchmark):
+    tech = variant(reg, name, key)
+    batch = DIJKSTRA_BATCH if "dij" in key else None
+    run_query_batch(
+        benchmark, tech.distance, qset(reg, name, set_name).pairs,
+        **({"batch": batch} if batch else {}),
+    )
+
+
+@pytest.mark.parametrize("name", TNR_VARIANT_DATASETS[-1:])
+def test_fig14_shape_ch_fallback_wins_near(reg, name, benchmark):
+    def _check():
+        """Appendix E.1: 'TNR performs significantly better when it is
+        incorporated with CH instead of the bidirectional Dijkstra'."""
+        pairs = qset(reg, name, "Q2").pairs
+        with_ch = time_queries(variant(reg, name, "g_ch").distance, pairs, max_pairs=10)
+        with_dij = time_queries(variant(reg, name, "g_dij").distance, pairs, max_pairs=10)
+        assert with_ch.micros_per_query < with_dij.micros_per_query
+
+    checked(benchmark, _check)
+
+@pytest.mark.parametrize("name", TNR_VARIANT_DATASETS)
+def test_fig14_shape_hybrid_widens_answerable_band(reg, name, benchmark):
+    def _check():
+        """The hybrid answers strictly more pairs from tables than the
+        base grid alone (the Q5/Q6 effect)."""
+        coarse = reg.tnr(name)
+        hybrid = reg.hybrid_tnr(name)
+        coarse_table = hybrid_table = 0
+        for set_name in SETS:
+            for s, t in qset(reg, name, set_name).pairs[:20]:
+                if coarse.index.answerable(s, t):
+                    coarse_table += 1
+                if hybrid.fine_grid.vertex_cell_distance(s, t) > 4:
+                    hybrid_table += 1
+        assert hybrid_table > coarse_table
+
+    checked(benchmark, _check)

@@ -1,0 +1,38 @@
+"""Figure 15 — TNR shortest-path queries across grid/fallback variants.
+
+Same matrix as Figure 14 but for path queries ("the results are
+qualitatively similar", Appendix E.1).
+"""
+
+import pytest
+
+from repro.harness.figures import TNR_VARIANT_DATASETS
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, DIJKSTRA_BATCH, qset, run_query_batch
+from bench_fig14_tnr_dist_variants import VARIANTS, variant
+
+SETS = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10")
+
+
+@pytest.mark.parametrize("name", TNR_VARIANT_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+@pytest.mark.parametrize("key", VARIANTS)
+def test_fig15_variant(reg, name, set_name, key, benchmark):
+    tech = variant(reg, name, key)
+    batch = DIJKSTRA_BATCH if "dij" in key else 15
+    run_query_batch(
+        benchmark, tech.path, qset(reg, name, set_name).pairs, batch=batch
+    )
+
+
+@pytest.mark.parametrize("name", TNR_VARIANT_DATASETS[-1:])
+def test_fig15_shape_matches_fig14_ordering(reg, name, benchmark):
+    def _check():
+        """CH fallback beats Dijkstra fallback for path queries too."""
+        pairs = qset(reg, name, "Q2").pairs
+        with_ch = time_queries(variant(reg, name, "g_ch").path, pairs, max_pairs=8)
+        with_dij = time_queries(variant(reg, name, "g_dij").path, pairs, max_pairs=8)
+        assert with_ch.micros_per_query < with_dij.micros_per_query
+
+    checked(benchmark, _check)

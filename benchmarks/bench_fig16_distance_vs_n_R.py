@@ -1,0 +1,67 @@
+"""Figure 16 — distance queries vs n on the R-sets (Appendix E.2).
+
+The R workloads bucket by *network* distance instead of L∞; the paper
+reports "qualitatively similar" results to Figure 8, asserted here.
+"""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, DIJKSTRA_BATCH, rset, run_query_batch
+
+SETS = ("R1", "R4", "R7", "R10")
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig16_dijkstra(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.bidijkstra(name).distance, rset(reg, name, set_name).pairs,
+        batch=DIJKSTRA_BATCH, label=f"{name}/{set_name}",
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig16_ch(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.ch(name).distance, rset(reg, name, set_name).pairs,
+        label=f"{name}/{set_name}",
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig16_tnr(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.tnr(name).distance, rset(reg, name, set_name).pairs,
+        label=f"{name}/{set_name}",
+    )
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in DATASET_NAMES if n in ("DE", "NH", "ME", "CO")]
+)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig16_silc(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.silc(name).distance, rset(reg, name, set_name).pairs,
+        label=f"{name}/{set_name}",
+    )
+
+
+def test_fig16_shape_qualitatively_matches_fig8(reg, benchmark):
+    def _check():
+        """Appendix E.2: the R-set results confirm the Q-set findings —
+        the baseline loses by orders of magnitude on the far bucket."""
+        name = DATASET_NAMES[-1]
+        far = rset(reg, name, "R10")
+        if not far.pairs:
+            pytest.skip("R10 empty at this scale")
+        dij = time_queries(reg.bidijkstra(name).distance, far.pairs, max_pairs=5)
+        ch = time_queries(reg.ch(name).distance, far.pairs, max_pairs=30)
+        assert dij.micros_per_query > 5 * ch.micros_per_query
+
+    checked(benchmark, _check)

@@ -1,0 +1,63 @@
+"""Figure 17 — shortest path queries vs n on the R-sets (Appendix E.2)."""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, DIJKSTRA_BATCH, rset, run_query_batch
+
+SETS = ("R1", "R4", "R7", "R10")
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig17_dijkstra(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.bidijkstra(name).path, rset(reg, name, set_name).pairs,
+        batch=DIJKSTRA_BATCH, label=f"{name}/{set_name}",
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig17_ch(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.ch(name).path, rset(reg, name, set_name).pairs,
+        label=f"{name}/{set_name}",
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig17_tnr(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.tnr(name).path, rset(reg, name, set_name).pairs,
+        batch=15, label=f"{name}/{set_name}",
+    )
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in DATASET_NAMES if n in ("DE", "NH", "ME", "CO")]
+)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig17_silc(reg, name, set_name, benchmark):
+    run_query_batch(
+        benchmark, reg.silc(name).path, rset(reg, name, set_name).pairs,
+        label=f"{name}/{set_name}",
+    )
+
+
+def test_fig17_shape_silc_beats_ch_on_far_paths(reg, benchmark):
+    def _check():
+        """Appendix E.2 confirms §4.6 on the R workloads as well."""
+        name = "CO"
+        far = rset(reg, name, "R10")
+        pairs = far.pairs or rset(reg, name, "R9").pairs
+        if not pairs:
+            pytest.skip("far R-sets empty at this scale")
+        silc_t = time_queries(reg.silc(name).path, pairs, max_pairs=25)
+        ch_t = time_queries(reg.ch(name).path, pairs, max_pairs=25)
+        assert silc_t.micros_per_query < ch_t.micros_per_query
+
+    checked(benchmark, _check)

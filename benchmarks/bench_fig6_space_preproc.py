@@ -1,0 +1,112 @@
+"""Figure 6 — space overhead and preprocessing time vs n.
+
+Fresh builds are benchmarked on the four smallest datasets (where all
+four indexes fit, mirroring the paper's SILC/PCPD gating). For the full
+ladder, the recorded build stats and measured index sizes are asserted
+to follow the paper's shape: CH smallest and cheapest everywhere;
+SILC/PCPD orders of magnitude above CH where they exist at all.
+"""
+
+import pytest
+
+from _bench_helpers import checked
+
+from repro.analysis.memory import deep_sizeof
+from repro.core.ch import build_ch
+from repro.core.silc import build_silc
+from repro.core.pcpd import build_pcpd
+from repro.core.tnr import build_tnr
+from repro.datasets import DATASET_NAMES, SPATIAL_METHOD_DATASETS
+
+BUILD_DATASETS = SPATIAL_METHOD_DATASETS
+
+
+@pytest.mark.parametrize("name", BUILD_DATASETS)
+def test_fig6b_build_ch(reg, name, benchmark):
+    graph = reg.graph(name)
+    index = benchmark.pedantic(
+        lambda: build_ch(graph), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["index_bytes"] = deep_sizeof(index)
+    benchmark.extra_info["n"] = graph.n
+
+
+@pytest.mark.parametrize("name", BUILD_DATASETS)
+def test_fig6b_build_tnr(reg, name, benchmark):
+    graph = reg.graph(name)
+    ch = reg.ch(name)
+    grid = reg.spec(name).tnr_grid
+    index = benchmark.pedantic(
+        lambda: build_tnr(graph, ch, grid), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["index_bytes"] = deep_sizeof(index)
+    benchmark.extra_info["transit_nodes"] = index.n_transit_nodes
+    benchmark.extra_info["n"] = graph.n
+
+
+@pytest.mark.parametrize("name", BUILD_DATASETS)
+def test_fig6b_build_silc(reg, name, benchmark):
+    graph = reg.graph(name)
+    index = benchmark.pedantic(
+        lambda: build_silc(graph), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["index_bytes"] = deep_sizeof(index)
+    benchmark.extra_info["n"] = graph.n
+
+
+@pytest.mark.parametrize("name", BUILD_DATASETS[:3])
+def test_fig6b_build_pcpd(reg, name, benchmark):
+    graph = reg.graph(name)
+    index = benchmark.pedantic(
+        lambda: build_pcpd(graph), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["index_bytes"] = deep_sizeof(index)
+    benchmark.extra_info["n"] = graph.n
+
+
+def test_fig6a_space_shape_full_ladder(reg, benchmark):
+    """Index sizes across the whole ladder follow the paper's ordering."""
+
+    def collect():
+        sizes = {}
+        for name in DATASET_NAMES:
+            sizes[("CH", name)] = deep_sizeof(reg.ch(name).index)
+            sizes[("TNR", name)] = deep_sizeof(reg.tnr(name).index)
+            if reg.spec(name).allows_spatial_methods:
+                sizes[("SILC", name)] = deep_sizeof(reg.silc(name).index)
+                sizes[("PCPD", name)] = deep_sizeof(reg.pcpd(name).index)
+        return sizes
+
+    sizes = benchmark.pedantic(collect, rounds=1, iterations=1, warmup_rounds=0)
+    for name in DATASET_NAMES:
+        # Below ~1000 vertices both indexes are a few hundred KB and
+        # CPython object overhead, not algorithmic content, decides the
+        # ordering; the paper's CH < TNR gap is asserted from NH up.
+        if reg.graph(name).n >= 1000:
+            assert sizes[("CH", name)] < sizes[("TNR", name)]
+        if ("SILC", name) in sizes:
+            # The paper's headline: spatial-coherence indexes dwarf CH.
+            assert sizes[("SILC", name)] > 3 * sizes[("CH", name)]
+            assert sizes[("PCPD", name)] > 3 * sizes[("CH", name)]
+    # CH space grows roughly linearly: the big/small ratio stays within
+    # a small factor of the n ratio.
+    n_small = reg.graph(DATASET_NAMES[0]).n
+    n_big = reg.graph(DATASET_NAMES[-1]).n
+    ratio = sizes[("CH", DATASET_NAMES[-1])] / sizes[("CH", DATASET_NAMES[0])]
+    assert ratio < 4 * (n_big / n_small)
+    benchmark.extra_info["sizes"] = {f"{t}/{d}": b for (t, d), b in sizes.items()}
+
+
+def test_fig6b_preprocessing_shape_full_ladder(reg, benchmark):
+    def _check():
+        """Recorded build times follow the paper's ordering on each dataset."""
+        for name in DATASET_NAMES:
+            ch_s = reg.ch(name).index.stats.seconds
+            tnr_s = reg.tnr(name).index.stats.seconds
+            assert ch_s < tnr_s, name
+            if reg.spec(name).allows_spatial_methods:
+                silc_s = reg.silc(name).index.stats.seconds
+                pcpd_s = reg.pcpd(name).index.stats.seconds
+                assert ch_s < silc_s < pcpd_s, name
+
+    checked(benchmark, _check)

@@ -1,0 +1,48 @@
+"""Figure 7 — SILC vs PCPD on shortest path queries (Q1..Q10).
+
+One benchmark per (dataset, query set, technique) on the four smallest
+datasets. The paper's finding — SILC consistently outperforms PCPD —
+is asserted as an aggregate at the end.
+"""
+
+import pytest
+
+from repro.datasets import SPATIAL_METHOD_DATASETS
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, qset as _qset_helper, run_query_batch
+
+SETS = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10")
+
+
+@pytest.mark.parametrize("name", SPATIAL_METHOD_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig7_silc_path(reg, name, set_name, benchmark):
+    qs = _qset_helper(reg, name, set_name)
+    run_query_batch(benchmark, reg.silc(name).path, qs.pairs, label=f"{name}/{set_name}")
+
+
+@pytest.mark.parametrize("name", SPATIAL_METHOD_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig7_pcpd_path(reg, name, set_name, benchmark):
+    qs = _qset_helper(reg, name, set_name)
+    run_query_batch(benchmark, reg.pcpd(name).path, qs.pairs, label=f"{name}/{set_name}")
+
+
+@pytest.mark.parametrize("name", SPATIAL_METHOD_DATASETS)
+def test_fig7_shape_silc_dominates(reg, name, benchmark):
+    def _check():
+        """§4.4: 'Regardless of the query set and dataset, SILC
+        consistently outperforms PCPD' — checked per dataset over the
+        aggregate of all ten sets."""
+        silc = reg.silc(name)
+        pcpd = reg.pcpd(name)
+        silc_total = pcpd_total = 0.0
+        for qs in reg.q_sets(name):
+            if not qs.pairs:
+                continue
+            silc_total += time_queries(silc.path, qs.pairs, max_pairs=30).micros_per_query
+            pcpd_total += time_queries(pcpd.path, qs.pairs, max_pairs=30).micros_per_query
+        assert silc_total < pcpd_total
+
+    checked(benchmark, _check)

@@ -1,0 +1,73 @@
+"""Figure 8 — efficiency of distance queries vs n (Q1, Q4, Q7, Q10).
+
+One benchmark per (technique, dataset, query set) over the whole
+dataset ladder; SILC appears only where its index fits (the paper's
+memory rule). Shape assertions reproduce the figure's qualitative
+claims.
+"""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, DIJKSTRA_BATCH, qset as _qset_helper, run_query_batch
+
+SETS = ("Q1", "Q4", "Q7", "Q10")
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig8_dijkstra(reg, name, set_name, benchmark):
+    qs = _qset_helper(reg, name, set_name)
+    run_query_batch(
+        benchmark, reg.bidijkstra(name).distance, qs.pairs, batch=DIJKSTRA_BATCH
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig8_ch(reg, name, set_name, benchmark):
+    qs = _qset_helper(reg, name, set_name)
+    run_query_batch(benchmark, reg.ch(name).distance, qs.pairs)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig8_tnr(reg, name, set_name, benchmark):
+    qs = _qset_helper(reg, name, set_name)
+    run_query_batch(benchmark, reg.tnr(name).distance, qs.pairs)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in DATASET_NAMES if n in ("DE", "NH", "ME", "CO")]
+)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig8_silc(reg, name, set_name, benchmark):
+    qs = _qset_helper(reg, name, set_name)
+    run_query_batch(benchmark, reg.silc(name).distance, qs.pairs)
+
+
+@pytest.mark.parametrize("name", ("CO", "US"))
+def test_fig8_shape_baseline_dominated(reg, name, benchmark):
+    def _check():
+        """The baseline is far slower than every index on far queries."""
+        far = _qset_helper(reg, name, "Q10")
+        dij = time_queries(reg.bidijkstra(name).distance, far.pairs, max_pairs=6)
+        ch = time_queries(reg.ch(name).distance, far.pairs, max_pairs=30)
+        tnr = time_queries(reg.tnr(name).distance, far.pairs, max_pairs=30)
+        assert dij.micros_per_query > 5 * ch.micros_per_query
+        assert dij.micros_per_query > 5 * tnr.micros_per_query
+
+    checked(benchmark, _check)
+
+def test_fig8_shape_tnr_beats_ch_far_on_largest(reg, benchmark):
+    def _check():
+        """§4.5: TNR outperforms CH on the far query sets."""
+        name = DATASET_NAMES[-1]
+        far = _qset_helper(reg, name, "Q10")
+        ch = time_queries(reg.ch(name).distance, far.pairs, max_pairs=40)
+        tnr = time_queries(reg.tnr(name).distance, far.pairs, max_pairs=40)
+        assert tnr.micros_per_query < ch.micros_per_query
+
+    checked(benchmark, _check)

@@ -1,0 +1,74 @@
+"""Figure 9 — efficiency of distance queries vs query sets.
+
+SILC / CH / TNR across Q1..Q10 on the paper's four representative
+datasets (DE, CO, E-US, US analogues). Shape assertions capture §4.5:
+SILC's cost grows with L∞ distance; CH's stays flat-ish; TNR matches
+CH while it falls back and beats it once the table applies.
+"""
+
+import pytest
+
+from repro.datasets import QUERY_SET_FIGURE_DATASETS
+from repro.harness.timing import time_queries
+
+from _bench_helpers import checked, qset, run_query_batch
+
+SETS = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10")
+SILC_DATASETS = tuple(
+    n for n in QUERY_SET_FIGURE_DATASETS if n in ("DE", "NH", "ME", "CO")
+)
+
+
+@pytest.mark.parametrize("name", QUERY_SET_FIGURE_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig9_ch(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.ch(name).distance, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize("name", QUERY_SET_FIGURE_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig9_tnr(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.tnr(name).distance, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize("name", SILC_DATASETS)
+@pytest.mark.parametrize("set_name", SETS)
+def test_fig9_silc(reg, name, set_name, benchmark):
+    run_query_batch(benchmark, reg.silc(name).distance, qset(reg, name, set_name).pairs)
+
+
+@pytest.mark.parametrize("name", SILC_DATASETS)
+def test_fig9_shape_silc_grows_with_linf(reg, name, benchmark):
+    def _check():
+        """§4.5: SILC's distance-query time rises with the L∞ bucket."""
+        silc = reg.silc(name)
+        near = time_queries(silc.distance, qset(reg, name, "Q2").pairs, max_pairs=30)
+        far = time_queries(silc.distance, qset(reg, name, "Q10").pairs, max_pairs=30)
+        assert far.micros_per_query > 2 * near.micros_per_query
+
+    checked(benchmark, _check)
+
+@pytest.mark.parametrize("name", QUERY_SET_FIGURE_DATASETS)
+def test_fig9_shape_tnr_tracks_ch_on_near_sets(reg, name, benchmark):
+    def _check():
+        """§4.5: TNR and CH perform identically where TNR falls back."""
+        ch = reg.ch(name)
+        tnr = reg.tnr(name)
+        pairs = qset(reg, name, "Q1").pairs
+        ch_t = time_queries(ch.distance, pairs, max_pairs=30)
+        tnr_t = time_queries(tnr.distance, pairs, max_pairs=30)
+        # Identical work modulo dispatch overhead; the margin absorbs
+        # scheduler jitter on a single 30-query batch.
+        assert tnr_t.micros_per_query < 3 * ch_t.micros_per_query + 40
+
+    checked(benchmark, _check)
+
+def test_fig9_shape_tnr_wins_far_on_largest(reg, benchmark):
+    def _check():
+        name = QUERY_SET_FIGURE_DATASETS[-1]
+        pairs = qset(reg, name, "Q10").pairs
+        ch_t = time_queries(reg.ch(name).distance, pairs, max_pairs=40)
+        tnr_t = time_queries(reg.tnr(name).distance, pairs, max_pairs=40)
+        assert tnr_t.micros_per_query < ch_t.micros_per_query
+
+    checked(benchmark, _check)

@@ -1,0 +1,47 @@
+"""Table 1 — dataset characteristics.
+
+Regenerates the dataset ladder and benchmarks network synthesis itself
+(the stand-in for downloading the DIMACS files). The characteristics
+land in ``extra_info`` so the benchmark JSON carries the table.
+"""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, PAPER_TABLE1, dataset_spec
+from repro.graph.generators import RoadNetworkSpec, generate_road_network
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1_characteristics(reg, name, benchmark):
+    graph = reg.graph(name)
+
+    def characteristics():
+        return (graph.n, graph.m, graph.max_degree())
+
+    n, m, max_deg = benchmark(characteristics)
+    spec = dataset_spec(name, reg.tier)
+    benchmark.extra_info.update(
+        {
+            "dataset": name,
+            "region": PAPER_TABLE1[name][0],
+            "paper_n": spec.paper_n,
+            "paper_m": spec.paper_m,
+            "our_n": n,
+            "our_m": m,
+        }
+    )
+    # Table 1 shape: the ladder ascends and stays road-like.
+    assert 1.0 <= m / n <= 1.7
+    assert max_deg <= 12
+
+
+@pytest.mark.parametrize("n", [600, 2400])
+def test_generation_speed(benchmark, n):
+    """Synthesis cost of the dataset substitute (not in the paper)."""
+
+    def build():
+        graph, _ = generate_road_network(RoadNetworkSpec(n=n, seed=1))
+        return graph
+
+    graph = benchmark.pedantic(build, rounds=1, iterations=1, warmup_rounds=0)
+    assert graph.n <= n

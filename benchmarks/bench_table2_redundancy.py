@@ -1,0 +1,40 @@
+"""Table 2 — upper bound of delta in road networks (Appendix C).
+
+For every dataset, computes min length(P')/length(P) over sampled
+query pairs and asserts the paper's finding: the bound sits at or
+barely above 1, which is why PCPD's O(n) space bound hides an enormous
+constant.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.redundancy import pcpd_space_constant, redundancy_upper_bound
+from repro.datasets import DATASET_NAMES
+
+#: Pairs sampled per query set for the ratio (the paper used all
+#: 100,000; scaled down alongside everything else).
+PAIRS_PER_SET = 6
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table2_delta_bound(reg, name, benchmark):
+    graph = reg.graph(name)
+    pairs = []
+    for qs in reg.q_sets(name):
+        pairs.extend(qs.pairs[:PAIRS_PER_SET])
+
+    def compute():
+        return redundancy_upper_bound(graph, pairs)
+
+    bound, contributing = benchmark.pedantic(
+        compute, rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["min_ratio"] = None if math.isinf(bound) else bound
+    benchmark.extra_info["contributing_pairs"] = contributing
+    if contributing:
+        # Table 2: every dataset's bound is close to 1 — far below the
+        # delta that would make PCPD's space constant reasonable.
+        assert bound < 2.0
+        assert pcpd_space_constant(bound) > 30.0

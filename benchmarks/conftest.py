@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+All benches pull graphs/indexes/workloads from one session-scoped
+:class:`Registry`, so preprocessing happens once (and is disk-cached
+across runs under ``.cache/repro``). Environment knobs:
+
+- ``REPRO_TIER`` — dataset tier (default ``small``);
+- ``REPRO_PAIRS`` — pairs per query set (default 100; benches measure
+  at most ``_bench_helpers.BATCH`` of them per combination);
+- ``REPRO_CACHE`` — cache directory or ``off``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.registry import Registry
+
+
+@pytest.fixture(scope="session")
+def reg() -> Registry:
+    return Registry(verbose=True)

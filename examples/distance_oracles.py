@@ -1,0 +1,105 @@
+"""Distance oracles in practice: exactness, approximation, shipping.
+
+Three production patterns on top of the reproduction library:
+
+1. **approximate-first**: answer with the single-lookup ε-approximate
+   oracle (Appendix A / [24]) and fall back to an exact technique only
+   when the approximation cannot decide the caller's question;
+2. **kNN with pruning**: the §2 nearest-POI workload via certified
+   geometric lower bounds, counting how many exact distance queries
+   the bounds saved;
+3. **index shipping**: build once, persist with a fingerprint header,
+   reload and verify.
+
+Run:
+
+    python examples/distance_oracles.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro import persistence
+from repro.extensions.approx_oracle import ApproxDistanceOracle
+from repro.queries.knn import KNNFinder, knn_brute_force
+
+
+def pattern_approximate_first(graph, ch, rng) -> None:
+    print("1) approximate-first dispatch")
+    oracle = ApproxDistanceOracle.build(graph, epsilon=0.2)
+    error = oracle.guaranteed_relative_error
+    print(f"   oracle: {oracle.index.stats.n_pairs:,} pairs, "
+          f"guaranteed relative error <= {error:.0%}")
+
+    # The caller's question: "is A closer than B to the depot?"
+    depot = rng.randrange(graph.n)
+    decided_fast = decided_slow = 0
+    for _ in range(300):
+        a, b = rng.randrange(graph.n), rng.randrange(graph.n)
+        da, db = oracle.distance(depot, a), oracle.distance(depot, b)
+        # The approximation decides iff the intervals don't overlap.
+        if da * (1 + error) < db * (1 - error) or db * (1 + error) < da * (1 - error):
+            decided_fast += 1
+            approx_answer = da < db
+            assert approx_answer == (ch.distance(depot, a) < ch.distance(depot, b))
+        else:
+            decided_slow += 1  # fall back to the exact index
+    print(f"   {decided_fast}/300 comparisons settled by the oracle alone, "
+          f"{decided_slow} needed the exact index\n")
+
+
+def pattern_knn(graph, ch, rng) -> None:
+    print("2) nearest-POI with certified pruning")
+    pois = rng.sample(range(graph.n), 60)
+    finder = KNNFinder(graph, ch, pois)
+    for _ in range(50):
+        q = rng.randrange(graph.n)
+        top3 = finder.query(q, k=3)
+        assert top3 == knn_brute_force(ch, q, pois, k=3)
+    total = 50 * len(pois)
+    used = finder.stats.distance_queries
+    print(f"   {used}/{total} exact distance queries issued "
+          f"({1 - used / total:.0%} pruned by the geometric bound)\n")
+
+
+def pattern_shipping(graph, ch) -> None:
+    print("3) build once, ship the index")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "network.chx"
+        started = time.perf_counter()
+        persistence.save_index(path, ch.index, graph)
+        saved = time.perf_counter() - started
+        started = time.perf_counter()
+        loaded = persistence.load_index(path, graph, expected_kind="CHIndex")
+        restored = repro.ContractionHierarchy(graph, loaded)
+        load_s = time.perf_counter() - started
+        assert restored.distance(0, graph.n - 1) == ch.distance(0, graph.n - 1)
+        print(f"   saved in {saved * 1e3:.0f}ms, reloaded+verified in "
+              f"{load_s * 1e3:.0f}ms ({path.stat().st_size / 1e6:.1f}MB on disk)")
+
+        # A different graph is refused loudly, not answered wrongly.
+        other = repro.load_dataset("NH", tier="small")
+        try:
+            persistence.load_index(path, other)
+        except persistence.PersistenceError as exc:
+            print(f"   wrong-graph load refused: {type(exc).__name__}\n")
+
+
+def main() -> None:
+    rng = random.Random(1201)
+    print("Loading the DE dataset and building CH...")
+    graph = repro.load_dataset("DE", tier="small")
+    ch = repro.ContractionHierarchy.build(graph)
+    print(f"   {graph.n:,} vertices\n")
+    pattern_approximate_first(graph, ch, rng)
+    pattern_knn(graph, ch, rng)
+    pattern_shipping(graph, ch)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Pre-build every index and workload the benchmark suite needs.
+
+Resumable: everything lands in the disk cache, so re-running after an
+interruption continues where it stopped. Usage:
+
+    python scripts/warm_cache.py [tier]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.datasets import DATASET_NAMES
+from repro.harness.figures import GRID_SWEEP_DATASETS, TNR_VARIANT_DATASETS
+from repro.harness.registry import Registry
+
+
+def main() -> int:
+    tier = sys.argv[1] if len(sys.argv) > 1 else None
+    reg = Registry(**({"tier": tier} if tier else {}))
+    started = time.time()
+
+    for name in DATASET_NAMES:
+        print(f"--- {name} ({reg.tier}) {time.time() - started:.0f}s elapsed", flush=True)
+        reg.graph(name)
+        reg.q_sets(name)
+        reg.r_sets(name)
+        reg.ch(name)
+        reg.tnr(name)
+        if reg.spec(name).allows_spatial_methods:
+            reg.silc(name)
+            reg.pcpd(name)
+
+    for name in GRID_SWEEP_DATASETS:
+        print(f"--- grids {name} {time.time() - started:.0f}s elapsed", flush=True)
+        reg.tnr(name, grid=2 * reg.spec(name).tnr_grid)
+        reg.hybrid_tnr(name)
+    for name in TNR_VARIANT_DATASETS:
+        reg.hybrid_tnr(name)
+
+    print(f"cache warm in {time.time() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists only so
+``pip install -e .`` works in offline environments without the ``wheel``
+package (PEP 660 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

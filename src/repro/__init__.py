@@ -1,0 +1,71 @@
+"""Reproduction of *Shortest Path and Distance Queries on Road
+Networks: An Experimental Evaluation* (Wu et al., PVLDB 5(5), 2012).
+
+The package implements, from scratch, the five techniques the paper
+evaluates — bidirectional Dijkstra, Contraction Hierarchies, Transit
+Node Routing (with the corrected access-node preprocessing of
+Appendix B), SILC and PCPD — plus the road-network substrate, the
+workload generators of §4.2/E.2, the analyses of Appendices B and C,
+and a harness that regenerates every table and figure.
+
+Quickstart
+----------
+>>> import repro
+>>> g = repro.load_dataset("DE", tier="tiny")
+>>> ch = repro.ContractionHierarchy.build(g)
+>>> ch.distance(0, g.n - 1) > 0
+True
+
+See ``examples/quickstart.py`` for a guided tour and ``repro-harness
+--list`` for the experiment runners.
+"""
+
+from repro.core.bidirectional import BidirectionalDijkstra, UnidirectionalDijkstra
+from repro.core.ch import ContractionHierarchy, OrderingConfig, build_ch
+from repro.core.pcpd import PCPD, build_pcpd
+from repro.core.silc import SILC, build_silc
+from repro.core.tnr import HybridTNR, TransitNodeRouting, build_tnr
+from repro.datasets import (
+    DATASET_NAMES,
+    PAPER_TABLE1,
+    dataset_spec,
+    load_dataset,
+)
+from repro.graph.generators import (
+    RoadNetworkSpec,
+    generate_road_network,
+    grid_graph,
+    paper_example_graph,
+)
+from repro.graph.graph import Edge, Graph
+from repro.queries.workloads import distance_query_sets, linf_query_sets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BidirectionalDijkstra",
+    "ContractionHierarchy",
+    "DATASET_NAMES",
+    "Edge",
+    "Graph",
+    "HybridTNR",
+    "OrderingConfig",
+    "PAPER_TABLE1",
+    "PCPD",
+    "RoadNetworkSpec",
+    "SILC",
+    "TransitNodeRouting",
+    "UnidirectionalDijkstra",
+    "__version__",
+    "build_ch",
+    "build_pcpd",
+    "build_silc",
+    "build_tnr",
+    "dataset_spec",
+    "distance_query_sets",
+    "generate_road_network",
+    "grid_graph",
+    "linf_query_sets",
+    "load_dataset",
+    "paper_example_graph",
+]

@@ -1,0 +1,14 @@
+"""Analyses from the paper's appendices.
+
+- :mod:`~repro.analysis.redundancy` — δ-redundancy of road networks
+  (Appendix C / Table 2);
+- :mod:`~repro.analysis.defect` — the TNR preprocessing defect and its
+  fix (Appendix B / Figure 12);
+- :mod:`~repro.analysis.memory` — index size accounting used by the
+  Figure 6(a)/13(a) space benches and the 24 GB-style residency rule.
+"""
+
+from repro.analysis.memory import deep_sizeof
+from repro.analysis.redundancy import core_disjoint_ratio, redundancy_upper_bound
+
+__all__ = ["core_disjoint_ratio", "deep_sizeof", "redundancy_upper_bound"]

@@ -1,0 +1,155 @@
+"""The TNR preprocessing defect and its correction (Appendix B).
+
+Bast et al.'s access-node computation pairs each cell vertex with the
+outer-shell vertices of the *same* boundary side. Figure 12(b)'s
+counter-example defeats it: a vertex ``v5`` between the shells whose
+only neighbours are a cell vertex ``v1`` and a far vertex ``v6`` is an
+essential access node (it is the only way out towards ``v6``), yet it
+lies on no shortest path from the cell to its own side's ``Sup`` — so
+the flawed method omits it and the query ``dist(v1, v6)`` comes back
+wrong.
+
+:func:`counterexample` builds a concrete embedding of Figure 12(b);
+:func:`demonstrate` runs both preprocessing variants on it and reports
+the answers; :func:`stress` counts wrong answers of the flawed variant
+on any dataset. The corrected variant is exact by construction (see
+:mod:`repro.core.tnr.access_nodes`), which reproduces the paper's
+conclusion: "we resort to the simple solution ... our experiments show
+that the pre-computation overhead ... is negligible compared with the
+reduction in the cost of access node computation" — and, above all,
+correct answers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.ch import ContractionHierarchy
+from repro.core.dijkstra import dijkstra_distance
+from repro.core.tnr.index import build_tnr
+from repro.core.tnr.query import TransitNodeRouting
+from repro.graph.graph import Graph
+
+#: Grid resolution used by the counter-example embedding.
+COUNTEREXAMPLE_GRID = 16
+
+
+def counterexample() -> tuple[Graph, int, int, int]:
+    """A concrete Figure 12(b) embedding.
+
+    Returns ``(graph, grid_g, v1, v6)``. The graph lives on a
+    ``[0, 16]²`` map with unit grid cells:
+
+    - ``v1`` sits in cell (8, 8) = C0;
+    - a chain of ordinary road vertices runs straight up from ``v1``,
+      crossing the inner shell's top side and the outer shell's top
+      side (so the flawed method has honest top-side access nodes);
+    - ``v5`` sits in cell (8, 11) — between the shells — reached from
+      ``v1`` by one long edge that crosses the inner shell's *top*;
+    - ``v6`` sits in cell (13, 11) — beyond the outer shell — and its
+      only edge arrives from ``v5``, crossing the outer shell's
+      *right* side.
+
+    ``v5``'s inner crossing is on the top, its outward continuation
+    leaves on the right: no shortest path links it to the top's
+    ``Sup``, so Bast et al.'s method never marks it.
+    """
+    scale = 1.0  # one unit per grid cell on a 16x16 map
+    coords = [
+        (8.5, 8.5),    # 0: v1 (cell 8,8)
+        (8.5, 9.5),    # 1: chain a1 (cell 8,9)
+        (8.5, 10.5),   # 2: a2 (8,10) — inner side
+        (8.5, 11.5),   # 3: a3 (8,11) — outside inner shell
+        (8.5, 12.5),   # 4: a4 (8,12) — outer side
+        (8.5, 13.5),   # 5: a5 (8,13) — beyond outer shell
+        (8.5, 14.5),   # 6: a6 (8,14)
+        (8.2, 11.5),   # 7: v5 (cell 8,11), between the shells
+        (13.5, 11.5),  # 8: v6 (cell 13,11), beyond the outer shell
+        (0.5, 0.5),    # 9: far corner anchor keeping the bbox 16x16
+        (15.5, 15.5),  # 10: opposite corner anchor
+    ]
+    xs = [c[0] * scale for c in coords]
+    ys = [c[1] * scale for c in coords]
+    g = Graph(xs, ys)
+    chain = [0, 1, 2, 3, 4, 5, 6]
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b, 1.0)
+    g.add_edge(0, 7, 40.0)   # v1 - v5: crosses the inner shell (top)
+    g.add_edge(7, 8, 40.0)   # v5 - v6: crosses the outer shell (right)
+    # Anchors hang off the chain ends, far from C0's shells.
+    g.add_edge(9, 0, 200.0)
+    g.add_edge(10, 6, 200.0)
+    return g.freeze(), COUNTEREXAMPLE_GRID, 0, 8
+
+
+@dataclass(frozen=True)
+class DefectReport:
+    """Outcome of :func:`demonstrate`."""
+
+    true_distance: float
+    flawed_distance: float
+    corrected_distance: float
+    flawed_access_nodes: tuple[int, ...]
+    corrected_access_nodes: tuple[int, ...]
+
+    @property
+    def flawed_is_wrong(self) -> bool:
+        return not math.isclose(self.flawed_distance, self.true_distance)
+
+    @property
+    def corrected_is_right(self) -> bool:
+        return math.isclose(self.corrected_distance, self.true_distance)
+
+
+def demonstrate() -> DefectReport:
+    """Run both preprocessing variants on the counter-example."""
+    graph, grid_g, s, t = counterexample()
+    ch = ContractionHierarchy.build(graph)
+    flawed = build_tnr(graph, ch, grid_g, flawed=True)
+    corrected = build_tnr(graph, ch, grid_g, flawed=False)
+    cell = flawed.grid.cell_of_vertex[s]
+    return DefectReport(
+        true_distance=dijkstra_distance(graph, s, t),
+        flawed_distance=TransitNodeRouting(graph, flawed, ch).distance(s, t),
+        corrected_distance=TransitNodeRouting(graph, corrected, ch).distance(s, t),
+        flawed_access_nodes=tuple(
+            flawed.transit_nodes[i] for i in flawed.vertex_access[s]
+        ),
+        corrected_access_nodes=tuple(
+            corrected.transit_nodes[i] for i in corrected.vertex_access[s]
+        ),
+    )
+
+
+def stress(
+    graph: Graph,
+    grid_g: int,
+    pairs: list[tuple[int, int]],
+    ch: ContractionHierarchy | None = None,
+) -> tuple[int, int]:
+    """Count wrong flawed-TNR answers over ``pairs`` on any dataset.
+
+    Returns ``(wrong, answerable)`` — the corrected variant is asserted
+    exact on the same pairs, so a non-zero ``wrong`` isolates the
+    defect rather than an environment problem.
+    """
+    ch = ch or ContractionHierarchy.build(graph)
+    flawed = TransitNodeRouting(graph, build_tnr(graph, ch, grid_g, flawed=True), ch)
+    corrected = TransitNodeRouting(
+        graph, build_tnr(graph, ch, grid_g, flawed=False), ch
+    )
+    wrong = 0
+    answerable = 0
+    for s, t in pairs:
+        if not flawed.index.answerable(s, t):
+            continue
+        answerable += 1
+        truth = dijkstra_distance(graph, s, t)
+        if not math.isclose(corrected.distance(s, t), truth):
+            raise AssertionError(
+                f"corrected TNR wrong on ({s}, {t}): this is a bug, not the defect"
+            )
+        if not math.isclose(flawed.distance(s, t), truth):
+            wrong += 1
+    return wrong, answerable

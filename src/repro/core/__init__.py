@@ -1,0 +1,31 @@
+"""The five evaluated techniques plus shared traversal primitives.
+
+- :mod:`repro.core.dijkstra` — Dijkstra's algorithm (the classic
+  solution, §1) in one-to-one / one-to-many / SSSP / first-hop forms;
+- :mod:`repro.core.bidirectional` — the bidirectional baseline (§3.1);
+- :mod:`repro.core.ch` — Contraction Hierarchies (§3.2);
+- :mod:`repro.core.tnr` — Transit Node Routing (§3.3, Appendices B, E.1);
+- :mod:`repro.core.silc` — SILC (§3.4);
+- :mod:`repro.core.pcpd` — PCPD (§3.5, Appendix D).
+
+All query implementations are exact; tests cross-check every one of
+them against plain Dijkstra.
+"""
+
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.core.dijkstra import (
+    dijkstra_distance,
+    dijkstra_path,
+    dijkstra_sssp,
+    dijkstra_to_targets,
+    first_hop_table,
+)
+
+__all__ = [
+    "BidirectionalDijkstra",
+    "dijkstra_distance",
+    "dijkstra_path",
+    "dijkstra_sssp",
+    "dijkstra_to_targets",
+    "first_hop_table",
+]

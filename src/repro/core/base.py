@@ -1,0 +1,33 @@
+"""The common interface every evaluated technique implements.
+
+The paper compares five techniques on exactly two operations (§2):
+
+- ``distance(s, t)`` — the length of the shortest path;
+- ``path(s, t)`` — the edge sequence itself (returned as the vertex
+  sequence, from which the edges are immediate).
+
+Each implementation is an object over a frozen :class:`Graph`; index
+construction happens in the constructor (or a ``build`` classmethod) so
+that the harness can time preprocessing and measure index size
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class QueryTechnique(Protocol):
+    """Structural type of a shortest-path/distance query technique."""
+
+    #: Short name used in reports ("Dijkstra", "CH", "TNR", "SILC", "PCPD").
+    name: str
+
+    def distance(self, source: int, target: int) -> float:
+        """Length of the shortest path; ``math.inf`` if disconnected."""
+        ...
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        """``(distance, vertex sequence)``; ``(inf, None)`` if disconnected."""
+        ...

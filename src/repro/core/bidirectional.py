@@ -1,0 +1,140 @@
+"""Bidirectional Dijkstra [19] — the paper's baseline (§3.1).
+
+Two Dijkstra instances run "simultaneously" (alternating, smaller
+frontier first), one from the source over ascending distance to ``s``,
+one from the target. Each maintains its shortest-path tree. When the
+frontiers' lower bounds cross the best connection found so far, the
+shortest path must already have been discovered: it either passes the
+meeting vertex or crosses a single edge between the two settled sets,
+exactly the §3.1 argument.
+
+The implementation keeps a running ``best`` over both cases (every edge
+relaxation between a settled vertex and an opposite-side-labelled
+vertex is a candidate), so the returned result is exact even though the
+traversals stop early.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+class BidirectionalDijkstra:
+    """Index-free baseline; ``distance``/``path`` per §3.1.
+
+    >>> from repro.graph.generators import paper_example_graph
+    >>> algo = BidirectionalDijkstra(paper_example_graph())
+    >>> algo.distance(2, 6)  # v3 to v7 in the paper's numbering (§3.2)
+    6.0
+    """
+
+    name = "Dijkstra"
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        #: Vertices settled by the last query (both directions) — the
+        #: paper's "search space" notion, exposed for analysis.
+        self.last_settled = 0
+
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Distance query."""
+        best, _, _, _ = self._search(source, target)
+        return best
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        """Shortest path query; reconstructs from the two spanning trees."""
+        best, meet, fparent, bparent = self._search(source, target)
+        if best is INF or meet is None:
+            return INF, None
+        forward: list[int] = [meet]
+        node = meet
+        while node != source:
+            node = fparent[node]
+            forward.append(node)
+        forward.reverse()
+        node = meet
+        while node != target:
+            node = bparent[node]
+            forward.append(node)
+        return best, forward
+
+    # ------------------------------------------------------------------
+    def _search(
+        self, source: int, target: int
+    ) -> tuple[float, int | None, dict[int, int], dict[int, int]]:
+        """Run the bidirectional search.
+
+        Returns ``(distance, meeting_vertex, forward_parents,
+        backward_parents)``. The meeting vertex is a vertex on some
+        shortest path that carries final labels on both sides, so the
+        path splits into tree walks in both parent maps.
+        """
+        if source == target:
+            self.last_settled = 0
+            return 0.0, source, {source: source}, {target: target}
+
+        g = self.graph
+        dist = ({source: 0.0}, {target: 0.0})
+        parent = ({source: source}, {target: target})
+        settled: tuple[set[int], set[int]] = (set(), set())
+        heaps: tuple[list, list] = ([(0.0, source)], [(0.0, target)])
+
+        best = INF
+        meet: int | None = None
+
+        while heaps[0] and heaps[1]:
+            # §3.1: stop once no undiscovered connection can beat `best`.
+            if heaps[0][0][0] + heaps[1][0][0] >= best:
+                break
+            side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+            d, u = heappop(heaps[side])
+            if u in settled[side]:
+                continue
+            settled[side].add(u)
+            other = 1 - side
+            ddict, odict = dist[side], dist[other]
+            for v, w in g.neighbors(u):
+                nd = d + w
+                if nd < ddict.get(v, INF):
+                    ddict[v] = nd
+                    parent[side][v] = u
+                    heappush(heaps[side], (nd, v))
+                dv = odict.get(v)
+                if dv is not None and nd + dv < best:
+                    best = nd + dv
+                    meet = v
+
+        self.last_settled = len(settled[0]) + len(settled[1])
+        if best is INF:
+            return INF, None, parent[0], parent[1]
+        return best, meet, parent[0], parent[1]
+
+
+class UnidirectionalDijkstra:
+    """Plain Dijkstra wrapped in the technique interface.
+
+    Not one of the paper's five measured techniques (§3 uses the
+    bidirectional variant as the baseline), but the natural reference
+    point for the ablation benches.
+    """
+
+    name = "UniDijkstra"
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def distance(self, source: int, target: int) -> float:
+        from repro.core.dijkstra import dijkstra_distance
+
+        return dijkstra_distance(self.graph, source, target)
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        from repro.core.dijkstra import dijkstra_path
+
+        return dijkstra_path(self.graph, source, target)

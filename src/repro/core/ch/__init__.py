@@ -1,0 +1,24 @@
+"""Contraction Hierarchies (Geisberger et al. [11], paper §3.2).
+
+The preprocessing step imposes a total order on the vertices, contracts
+them in that order, and records the shortcuts needed to preserve all
+pairwise distances among not-yet-contracted vertices. Queries run a
+bidirectional Dijkstra that only ever climbs to higher-ranked vertices.
+
+Public entry points:
+
+- :func:`build_ch` / :class:`ContractionHierarchy` — preprocessing + the
+  query object (``distance``/``path``);
+- :func:`many_to_many` — the bucket-based many-to-many table algorithm
+  used by TNR preprocessing (paper §4.1);
+- :mod:`~repro.core.ch.ordering` — the vertex-ordering heuristics
+  ("existing work on CH has suggested several heuristic approaches",
+  §3.2), exposed for the ordering ablation bench.
+"""
+
+from repro.core.ch.contraction import build_ch
+from repro.core.ch.many_to_many import many_to_many
+from repro.core.ch.ordering import OrderingConfig
+from repro.core.ch.query import ContractionHierarchy
+
+__all__ = ["ContractionHierarchy", "OrderingConfig", "build_ch", "many_to_many"]

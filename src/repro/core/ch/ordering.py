@@ -1,0 +1,119 @@
+"""Vertex-ordering heuristics for Contraction Hierarchies.
+
+The paper (§3.2) notes that CH's efficiency hinges on the total order:
+"an inferior ordering can lead to O(n²) shortcuts", and refers to the
+heuristics of Geisberger et al. [11]. We implement the standard lazy
+priority scheme:
+
+- each uncontracted vertex carries a priority combining its *edge
+  difference* (shortcuts a contraction would create minus edges it
+  removes), its count of already-contracted neighbours (spreads the
+  contraction evenly over the map), and the hop width of its shortcuts;
+- vertices sit in an addressable heap; when one is popped its priority
+  is recomputed ("lazy update") and it is re-queued if it is no longer
+  minimal;
+- after a contraction only the ex-neighbours' priorities are refreshed.
+
+Alternative strategies (``random``, ``degree``, ``edge_difference`` with
+no tie terms, or a caller-supplied fixed order) exist for the ordering
+ablation bench, which reproduces the paper's O(n²)-shortcut warning
+empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Recognised strategy names, mirrored in the ablation bench.
+STRATEGIES = ("edge_difference", "edge_difference_only", "degree", "random", "fixed")
+
+
+@dataclass(frozen=True)
+class OrderingConfig:
+    """How the contraction order is derived.
+
+    Parameters
+    ----------
+    strategy:
+        One of :data:`STRATEGIES`. The default ``edge_difference`` is
+        the [11]-style combined heuristic.
+    edge_difference_weight, deleted_neighbours_weight, hops_weight:
+        Coefficients of the combined priority (only used by the
+        ``edge_difference`` strategy).
+    seed:
+        RNG seed for the ``random`` strategy.
+    fixed_order:
+        Contraction order for the ``fixed`` strategy —
+        ``fixed_order[i]`` is the vertex contracted ``i``-th. The
+        paper's Figure 1 walkthrough uses a fixed order v1 < ... < v8.
+    """
+
+    strategy: str = "edge_difference"
+    edge_difference_weight: float = 4.0
+    deleted_neighbours_weight: float = 1.0
+    hops_weight: float = 1.0
+    seed: int = 0
+    fixed_order: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown ordering strategy {self.strategy!r}; pick from {STRATEGIES}"
+            )
+        if self.strategy == "fixed" and self.fixed_order is None:
+            raise ValueError("fixed strategy requires fixed_order")
+
+    def is_lazy(self) -> bool:
+        """Whether priorities change as contraction proceeds."""
+        return self.strategy in ("edge_difference", "edge_difference_only", "degree")
+
+    def initial_priority(
+        self,
+        vertex: int,
+        n: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Static priority for the non-adaptive strategies."""
+        if self.strategy == "random":
+            return float(rng.random())
+        if self.strategy == "fixed":
+            order = self.fixed_order
+            assert order is not None
+            try:
+                return float(order.index(vertex))
+            except ValueError:
+                raise ValueError(f"fixed_order is missing vertex {vertex}") from None
+        raise AssertionError("lazy strategies compute priorities dynamically")
+
+    def combine(
+        self,
+        shortcuts: int,
+        removed_edges: int,
+        deleted_neighbours: int,
+        shortcut_hops: int,
+    ) -> float:
+        """Dynamic priority for the lazy strategies (lower = sooner)."""
+        if self.strategy == "degree":
+            return float(removed_edges)
+        edge_difference = shortcuts - removed_edges
+        if self.strategy == "edge_difference_only":
+            return float(edge_difference)
+        return (
+            self.edge_difference_weight * edge_difference
+            + self.deleted_neighbours_weight * deleted_neighbours
+            + self.hops_weight * shortcut_hops
+        )
+
+
+def validate_fixed_order(order: Sequence[int], n: int) -> tuple[int, ...]:
+    """Check that ``order`` is a permutation of ``range(n)``."""
+    order = tuple(order)
+    if sorted(order) != list(range(n)):
+        raise ValueError(f"fixed order must be a permutation of range({n})")
+    return order
+
+
+PriorityFn = Callable[[int], float]

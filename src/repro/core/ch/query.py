@@ -1,0 +1,260 @@
+"""CH queries: bidirectional upward search and shortcut unpacking (§3.2).
+
+A distance query runs two Dijkstra instances that only relax edges
+leading to *higher-ranked* vertices (the modification described in
+§3.2). The searches do not stop at the first meeting vertex — "there
+exist a few conditions that a traversal should fulfill before it can
+terminate" — each direction keeps running until its frontier's lower
+bound reaches the best connection found so far.
+
+A shortest-path query additionally records parent pointers, yielding a
+path in the *augmented* graph that may contain shortcuts; the shortcut
+tags are then expanded recursively ("CH removes c from the path, and
+replaces it with two edges") until only original edges remain. The
+paper measures exactly this extra unpacking cost in §4.6.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from heapq import heappop, heappush
+
+from repro.core.ch.contraction import ORIGINAL_EDGE, CHIndex, build_ch
+from repro.core.ch.ordering import OrderingConfig
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+class ContractionHierarchy:
+    """The CH query object; implements the common technique interface.
+
+    >>> from repro.graph.generators import paper_example_graph
+    >>> ch = ContractionHierarchy.build(
+    ...     paper_example_graph(),
+    ...     OrderingConfig(strategy="fixed", fixed_order=tuple(range(8))))
+    >>> ch.distance(2, 6)   # v3 -> v7, the §3.2 walkthrough
+    6.0
+    >>> [v + 1 for v in ch.path(2, 6)[1]]   # unpacked to original edges
+    [3, 1, 8, 6, 5, 7]
+    """
+
+    name = "CH"
+
+    def __init__(self, graph: Graph, index: CHIndex, use_stalling: bool = True) -> None:
+        if graph.n != index.n:
+            raise ValueError("index was built for a different graph")
+        self.graph = graph
+        self.index = index
+        self.use_stalling = use_stalling
+        self.last_settled = 0
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        config: OrderingConfig | None = None,
+        witness_settle_limit: int = 40,
+        use_stalling: bool = True,
+    ) -> "ContractionHierarchy":
+        """Preprocess ``graph`` and return the query object."""
+        index = build_ch(graph, config, witness_settle_limit)
+        return cls(graph, index, use_stalling)
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        return self.index.stats.seconds
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Distance query over the augmented upward graph."""
+        best, _, _, _ = self._search(source, target)
+        return best
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        """Shortest path query: upward search, then shortcut expansion."""
+        best, meet, fparent, bparent = self._search(source, target)
+        if best is INF or meet is None:
+            return INF, None
+        augmented: list[int] = [meet]
+        node = meet
+        while node != source:
+            node = fparent[node]
+            augmented.append(node)
+        augmented.reverse()
+        node = meet
+        while node != target:
+            node = bparent[node]
+            augmented.append(node)
+        return best, self.unpack_path(augmented)
+
+    def augmented_path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        """Like :meth:`path` but *without* unpacking shortcuts.
+
+        Exposed so the harness can measure the unpacking overhead the
+        paper discusses in §4.6 as a separate ablation.
+        """
+        best, meet, fparent, bparent = self._search(source, target)
+        if best is INF or meet is None:
+            return INF, None
+        augmented = [meet]
+        node = meet
+        while node != source:
+            node = fparent[node]
+            augmented.append(node)
+        augmented.reverse()
+        node = meet
+        while node != target:
+            node = bparent[node]
+            augmented.append(node)
+        return best, augmented
+
+    # ------------------------------------------------------------------
+    # Unpacking
+    # ------------------------------------------------------------------
+    def unpack_path(self, augmented: list[int]) -> list[int]:
+        """Expand every shortcut in an augmented path to original edges."""
+        if len(augmented) < 2:
+            return list(augmented)
+        result = [augmented[0]]
+        for u, v in zip(augmented, augmented[1:]):
+            result.extend(self.unpack_edge(u, v)[1:])
+        return result
+
+    def unpack_edge(self, u: int, v: int) -> list[int]:
+        """Expand one CH edge to the original-edge path it represents.
+
+        Iterative (explicit stack): augmented paths on big networks can
+        expand to thousands of edges, which would overflow Python's
+        recursion limit.
+        """
+        middle = self.index.middle
+        out = [u]
+        stack = [(u, v)]
+        while stack:
+            a, b = stack.pop()
+            via = middle.get((a, b) if a < b else (b, a))
+            if via is None:
+                raise KeyError(f"({a}, {b}) is not an edge of the hierarchy")
+            if via == ORIGINAL_EDGE:
+                out.append(b)
+            else:
+                # Expand left half first: push right, then left.
+                stack.append((via, b))
+                stack.append((a, via))
+        return out
+
+    # ------------------------------------------------------------------
+    # Search internals
+    # ------------------------------------------------------------------
+    def _search(
+        self, source: int, target: int
+    ) -> tuple[float, int | None, dict[int, int], dict[int, int]]:
+        """Bidirectional upward Dijkstra with stall-on-demand."""
+        if source == target:
+            self.last_settled = 0
+            return 0.0, source, {source: source}, {target: target}
+        up = self.index.up
+        stalling = self.use_stalling
+
+        dist = ({source: 0.0}, {target: 0.0})
+        parent = ({source: source}, {target: target})
+        settled: tuple[set[int], set[int]] = (set(), set())
+        heaps: tuple[list, list] = ([(0.0, source)], [(0.0, target)])
+        best = INF
+        meet: int | None = None
+
+        while heaps[0] or heaps[1]:
+            # Pick the direction with the smaller frontier key; a
+            # direction whose key already exceeds `best` is finished.
+            key0 = heaps[0][0][0] if heaps[0] else INF
+            key1 = heaps[1][0][0] if heaps[1] else INF
+            if min(key0, key1) >= best:
+                break
+            side = 0 if key0 <= key1 else 1
+            d, u = heappop(heaps[side])
+            my_dist, other_dist = dist[side], dist[1 - side]
+            if u in settled[side]:
+                continue
+            settled[side].add(u)
+
+            du_other = other_dist.get(u)
+            if du_other is not None and d + du_other < best:
+                best = d + du_other
+                meet = u
+
+            edges = up[u]
+            if stalling:
+                stalled = False
+                for v, w, _ in edges:
+                    dv = my_dist.get(v)
+                    if dv is not None and dv + w < d:
+                        stalled = True
+                        break
+                if stalled:
+                    continue
+            for v, w, _ in edges:
+                nd = d + w
+                if nd < my_dist.get(v, INF):
+                    my_dist[v] = nd
+                    parent[side][v] = u
+                    heappush(heaps[side], (nd, v))
+
+        self.last_settled = len(settled[0]) + len(settled[1])
+        if best is INF:
+            return INF, None, parent[0], parent[1]
+        return best, meet, parent[0], parent[1]
+
+    # ------------------------------------------------------------------
+    def upward_search(self, source: int, stall: bool = True) -> dict[int, float]:
+        """Full upward search space of ``source``: ``{vertex: dist}``.
+
+        The primitive under the bucket-based many-to-many algorithm
+        (:mod:`repro.core.ch.many_to_many`). With ``stall`` (default), a
+        settled vertex whose label is beaten by a higher neighbour's
+        label plus the connecting edge is *stalled*: it is neither
+        relaxed nor reported. A stalled vertex cannot be the top of the
+        optimal up-down path (its label is not the true distance), so
+        many-to-many results stay exact while search spaces shrink
+        substantially.
+        """
+        up = self.index.up
+        dist: dict[int, float] = {source: 0.0}
+        settled: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        dist_get = dist.get
+        while heap:
+            d, u = heappop(heap)
+            if u in settled or d > dist[u]:
+                continue
+            edges = up[u]
+            if stall:
+                stalled = False
+                for v, w, _ in edges:
+                    dv = dist_get(v)
+                    if dv is not None and dv + w < d:
+                        stalled = True
+                        break
+                if stalled:
+                    continue
+            settled[u] = d
+            for v, w, _ in edges:
+                nd = d + w
+                if nd < dist_get(v, INF):
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        return settled
+
+
+def timed_build(
+    graph: Graph,
+    config: OrderingConfig | None = None,
+    witness_settle_limit: int = 40,
+) -> tuple[ContractionHierarchy, float]:
+    """Build a CH and return it with the wall-clock build time."""
+    start = time.perf_counter()
+    ch = ContractionHierarchy.build(graph, config, witness_settle_limit)
+    return ch, time.perf_counter() - start

@@ -1,0 +1,245 @@
+"""Dijkstra's algorithm [9] and its one-to-many / first-hop variants.
+
+This is the classic solution the paper measures everything against
+(§1), and also the workhorse inside the preprocessing of TNR, SILC and
+PCPD. The hot loops use :mod:`heapq` with lazy deletion — measurably
+faster in CPython than an addressable heap, and every technique shares
+these same routines ("common subroutines for similar tasks", §4.1).
+
+Tie-breaking
+------------
+SILC and PCPD need *the* shortest path between two vertices to be a
+well-defined function (their indexes store one first hop / one common
+edge per pair). All routines here therefore break equal-distance ties
+deterministically: a relaxation replaces the current parent only if it
+strictly improves the distance, or matches it with a smaller
+predecessor id. Any consistent rule keeps the "first hop lies on a
+shortest path" invariant those indexes rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Iterable, Sequence
+
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+def dijkstra_sssp(g: Graph, source: int) -> tuple[list[float], list[int]]:
+    """Full single-source shortest paths.
+
+    Returns ``(dist, parent)`` where ``parent[source] == source`` and
+    ``parent[v] == -1`` for unreachable ``v``.
+    """
+    n = g.n
+    dist = [INF] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    parent[source] = source
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heappush(heap, (nd, v))
+            elif nd == dist[v] and u < parent[v]:
+                parent[v] = u
+    return dist, parent
+
+
+def dijkstra_distance(g: Graph, source: int, target: int) -> float:
+    """Distance query with early termination at the target.
+
+    Returns ``math.inf`` when ``target`` is unreachable.
+    """
+    if source == target:
+        return 0.0
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d
+        settled.add(u)
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return INF
+
+
+def dijkstra_path(g: Graph, source: int, target: int) -> tuple[float, list[int] | None]:
+    """Shortest path query; returns ``(distance, vertex_path)``.
+
+    The path includes both endpoints; ``(inf, None)`` if unreachable.
+    """
+    if source == target:
+        return 0.0, [source]
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {source: source}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d, _walk_parents(parent, source, target)
+        settled.add(u)
+        for v, w in neighbors(u):
+            nd = d + w
+            old = dist.get(v, INF)
+            if nd < old:
+                dist[v] = nd
+                parent[v] = u
+                heappush(heap, (nd, v))
+            elif nd == old and v not in settled and u < parent[v]:
+                parent[v] = u
+    return INF, None
+
+
+def dijkstra_to_targets(
+    g: Graph, source: int, targets: Iterable[int]
+) -> dict[int, float]:
+    """One-to-many distances, terminating once every target settles.
+
+    Unreachable targets map to ``math.inf``. This is the building block
+    of TNR's access-node computation (each vertex in a cell needs its
+    distances to the outer-shell vertex set, §3.3 Remarks).
+    """
+    remaining = set(targets)
+    result: dict[int, float] = {}
+    if source in remaining:
+        remaining.discard(source)
+        result[source] = 0.0
+    if not remaining:
+        return result
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap and remaining:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u in remaining:
+            remaining.discard(u)
+            result[u] = d
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    for t in remaining:
+        result[t] = INF
+    return result
+
+
+def first_hop_table(g: Graph, source: int) -> list[int]:
+    """First hop of the (tie-broken) shortest path from ``source``.
+
+    ``hop[v]`` is the neighbour of ``source`` that starts the shortest
+    path to ``v``; ``hop[source] == source``; ``-1`` for unreachable
+    vertices. This is exactly the per-vertex partition SILC compresses
+    (§3.4): the equivalence class of ``v`` is ``hop[v]``.
+
+    The first hop is propagated during relaxation rather than recovered
+    by parent-chasing afterwards, which keeps the whole table one
+    Dijkstra pass.
+    """
+    n = g.n
+    dist = [INF] * n
+    parent = [-1] * n
+    hop = [-1] * n
+    dist[source] = 0.0
+    parent[source] = source
+    hop[source] = source
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        first = u if u == source else hop[u]
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                hop[v] = v if u == source else first
+                heappush(heap, (nd, v))
+            elif nd == dist[v] and u < parent[v]:
+                # Equal-distance tie: adopt the smaller predecessor (and
+                # its first hop) without re-queuing — v's distance label
+                # is unchanged, so its own relaxations stay valid.
+                parent[v] = u
+                hop[v] = v if u == source else first
+    return hop
+
+
+def settled_count(g: Graph, source: int, target: int) -> int:
+    """Number of vertices Dijkstra settles before reaching ``target``.
+
+    The paper's §1 argument for why Dijkstra is slow ("has to visit all
+    vertices closer to s than t"); used by tests and the analysis docs
+    rather than by any query path.
+    """
+    if source == target:
+        return 0
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return len(settled)
+        settled.add(u)
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return len(settled)
+
+
+def _walk_parents(parent: dict[int, int], source: int, target: int) -> list[int]:
+    """Reconstruct the source→target path from a parent map."""
+    path = [target]
+    node = target
+    while node != source:
+        node = parent[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def tree_path(parent: Sequence[int], source: int, target: int) -> list[int] | None:
+    """Path through a full SSSP ``parent`` array; ``None`` if unreachable."""
+    if parent[target] == -1:
+        return None
+    path = [target]
+    node = target
+    while node != source:
+        node = parent[node]
+        path.append(node)
+    path.reverse()
+    return path

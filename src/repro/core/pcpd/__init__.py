@@ -1,0 +1,18 @@
+"""PCPD — Path-Coherent Pairs Decomposition (Sankaranarayanan et al. [25]).
+
+PCPD pre-computes a set of *path-coherent pairs* — triplets
+``(X, Y, ψ)`` of two disjoint square regions and a link ``ψ`` lying on
+the shortest path from any vertex in ``X`` to any vertex in ``Y``
+(§3.5). Queries decompose the path recursively through the links, one
+O(log n) lookup per path vertex.
+
+The construction follows Appendix D: start from a pair of squares
+covering all vertices, test whether all pairwise shortest paths share a
+common link (maintaining a running intersection with early abort), and
+split both squares into quadrants (16 sub-pairs) when they do not.
+"""
+
+from repro.core.pcpd.index import PCPDIndex, build_pcpd
+from repro.core.pcpd.query import PCPD
+
+__all__ = ["PCPD", "PCPDIndex", "build_pcpd"]

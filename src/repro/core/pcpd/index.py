@@ -1,0 +1,94 @@
+"""The PCPD index: the pair-decomposition tree plus lookup descent."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.pcpd.pairs import APSPTables, PCPNode, build_pair_tree, quadrant_of
+from repro.graph.coords import BoundingBox
+from repro.graph.graph import Graph
+
+
+@dataclass
+class PCPDBuildStats:
+    """Preprocessing diagnostics."""
+
+    seconds_apsp: float = 0.0
+    seconds_pairs: float = 0.0
+    n_pairs: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.seconds_apsp + self.seconds_pairs
+
+
+@dataclass
+class PCPDIndex:
+    """The decomposition tree and the geometry needed to descend it.
+
+    Lookup recomputes quadrant boxes on the fly from ``hull`` — the
+    same closed-open arithmetic as construction — so the tree stores
+    no geometry, only links and children (the paper's O(log |Spcp|)
+    lookup is the descent depth).
+    """
+
+    graph: Graph
+    root: PCPNode
+    hull: BoundingBox
+    stats: PCPDBuildStats = field(default_factory=PCPDBuildStats)
+
+    def lookup(self, source: int, target: int) -> tuple[int, int]:
+        """The link ψ of the unique pair covering ``(source, target)``.
+
+        Returns a directed edge ``(u, v)``: every canonical path from
+        ``source``'s square to ``target``'s square traverses u then v.
+        Raises :class:`KeyError` for uncovered pairs (same vertex, or a
+        disconnected pair pruned at build time).
+        """
+        if source == target:
+            raise KeyError("the trivial pair (v, v) carries no link")
+        g = self.graph
+        sx, sy = g.xs[source], g.ys[source]
+        tx, ty = g.xs[target], g.ys[target]
+        node = self.root
+        box_x, box_y = self.hull, self.hull
+        while not node.is_leaf:
+            if node.children is None:
+                raise KeyError(f"pair ({source}, {target}) not covered")
+            qi = quadrant_of(box_x, sx, sy)
+            qj = quadrant_of(box_y, tx, ty)
+            child = node.children.get((qi, qj))
+            if child is None:
+                raise KeyError(f"pair ({source}, {target}) not covered")
+            node = child
+            box_x = box_x.quadrants()[qi]
+            box_y = box_y.quadrants()[qj]
+        assert node.psi is not None
+        return node.psi
+
+    @property
+    def n_pairs(self) -> int:
+        return self.stats.n_pairs
+
+
+def build_pcpd(graph: Graph, workers: int | None = None) -> PCPDIndex:
+    """Run PCPD preprocessing: all-pairs trees, then the decomposition.
+
+    ``workers`` parallelises the APSP phase (the decomposition itself
+    is sequential); identical output for any worker count.
+    """
+    if not graph.frozen:
+        raise ValueError("freeze() the graph before building an index")
+    stats = PCPDBuildStats()
+
+    start = time.perf_counter()
+    tables = APSPTables.compute(graph, workers=workers)
+    stats.seconds_apsp = time.perf_counter() - start
+
+    start = time.perf_counter()
+    root, hull = build_pair_tree(graph, tables)
+    stats.seconds_pairs = time.perf_counter() - start
+    stats.n_pairs = root.count_pairs()
+
+    return PCPDIndex(graph=graph, root=root, hull=hull, stats=stats)

@@ -1,0 +1,261 @@
+"""Path-coherent pair construction (Appendix D).
+
+    "First, we construct a pair of square regions (X, Y), such that
+    both X and Y cover all vertices in V. After that, we compute the
+    shortest path from any vertex in X to any vertex in Y. If all
+    shortest paths share a common vertex or edge, we construct a
+    path-coherent pair (X, Y, ψ) ... Otherwise, we divide X (resp. Y)
+    into four quadrants ... and we replace (X, Y) with 16 pairs. ...
+    we implement the test as a nested loop over the vertices in Xi and
+    Yj, and we maintain the set of vertices and edges shared by the
+    shortest paths that we have examined. Once the set becomes empty,
+    we declare that Xi and Yj cannot form a path-coherent pair."
+
+Design choices (recorded in DESIGN.md):
+
+- **ψ is always a directed edge.** The paper allows ψ ∈ V ∪ E; storing
+  an edge guarantees query-time progress — each lookup consumes one
+  edge of the answer, so the recursion provably terminates even when
+  ψ would coincide with the query's own source or target (a vertex-ψ
+  there would recurse forever). Any two distinct vertices' canonical
+  shortest path has at least one edge, so the edge-intersection test
+  terminates at singleton squares at the latest.
+- **Canonical paths.** "The" shortest path between two vertices is the
+  one in the source's deterministically tie-broken Dijkstra tree
+  (:func:`repro.core.dijkstra.dijkstra_sssp`), with paths always
+  extracted from the tree of the pair's X-side vertex. Prefixes of
+  canonical paths are canonical, which the query's recursive
+  decomposition relies on.
+
+The all-pairs trees (parent and distance matrices) are materialised
+once up front — this is the Θ(n²) preprocessing wall that keeps PCPD
+(like SILC) off the larger datasets in §4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.dijkstra import dijkstra_sssp
+from repro.graph.coords import BoundingBox, square_hull
+from repro.graph.graph import Graph
+from repro.parallel import map_with_context
+
+def _sssp_row(graph: Graph, source: int):
+    """One APSP row (top level for the worker pool)."""
+    return dijkstra_sssp(graph, source)
+
+
+#: Hard cap on quadrant recursion depth. Distinct vertices on the
+#: generators' integer lattice separate after at most ~21 splits; the
+#: cap only guards against degenerate inputs (duplicate coordinates).
+MAX_DEPTH = 48
+
+
+@dataclass
+class APSPTables:
+    """All-pairs canonical shortest-path trees.
+
+    ``parent[s][v]`` is v's predecessor in s's canonical tree
+    (``parent[s][s] == s``; -1 when unreachable); ``dist[s][v]`` the
+    distance (int64; our weights are integral travel times).
+    """
+
+    parent: np.ndarray
+    dist: np.ndarray
+
+    @staticmethod
+    def compute(graph: Graph, workers: int | None = None) -> "APSPTables":
+        n = graph.n
+        parent = np.empty((n, n), dtype=np.int32)
+        dist = np.empty((n, n), dtype=np.float64)
+        rows = map_with_context(
+            _sssp_row, graph, list(range(n)), workers=workers, chunksize=32
+        )
+        for s, (d, p) in enumerate(rows):
+            dist[s] = d
+            parent[s] = p
+        return APSPTables(parent=parent, dist=dist)
+
+    def path_edges(self, source: int, target: int) -> Iterator[tuple[int, int]]:
+        """Directed edges of the canonical path source → target."""
+        edges: list[tuple[int, int]] = []
+        row = self.parent[source]
+        node = target
+        while node != source:
+            prev = int(row[node])
+            if prev < 0:
+                return iter(())  # unreachable
+            edges.append((prev, node))
+            node = prev
+        return reversed(edges)
+
+
+class PCPNode:
+    """A node of the pair-decomposition tree.
+
+    Either a *leaf* carrying the link ``psi`` (a directed edge
+    ``(u, v)``: every canonical X→Y path traverses u then v), or an
+    internal node with up to 16 children keyed by the (X-quadrant,
+    Y-quadrant) index pair.
+    """
+
+    __slots__ = ("psi", "children")
+
+    def __init__(self) -> None:
+        self.psi: tuple[int, int] | None = None
+        self.children: dict[tuple[int, int], "PCPNode"] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.psi is not None
+
+    def count_pairs(self) -> int:
+        """Number of path-coherent pairs (leaves) under this node."""
+        if self.is_leaf:
+            return 1
+        if self.children is None:
+            return 0
+        return sum(child.count_pairs() for child in self.children.values())
+
+
+def _common_link(
+    tables: APSPTables, xs: list[int], ys: list[int]
+) -> tuple[int, int] | None:
+    """Directed edge shared by all canonical X→Y paths, or ``None``.
+
+    The Appendix D test — a running intersection over the pairwise
+    paths with early abort — exploiting the tree structure: for a fixed
+    source ``a``, the canonical paths to all of Y are branches of one
+    shortest-path tree, so their edge-set intersection is simply the
+    common *prefix*, the path from ``a`` down to the deepest vertex
+    shared by every branch. That prefix is found by walking each target
+    up to the first previously-marked vertex, with no per-pair set
+    materialisation. Pairs ``(a, a)`` (possible while the squares still
+    overlap) have empty paths and force a split immediately.
+    """
+    shared: set[tuple[int, int]] | None = None
+    for a in xs:
+        parent = tables.parent[a].tolist()
+        # Chain from a to the first target; pos[v] = index of v on it.
+        b0 = ys[0]
+        if a == b0:
+            return None
+        chain = [b0]
+        node = b0
+        while node != a:
+            node = parent[node]
+            if node < 0:
+                return None  # unreachable pair
+            chain.append(node)
+        chain.reverse()  # chain[0] == a
+        pos = {v: i for i, v in enumerate(chain)}
+        meet = len(chain) - 1  # prefix currently extends to b0
+        uphit: dict[int, int] = {}  # off-chain vertex -> its chain hit
+        for b in ys[1:]:
+            if a == b:
+                return None
+            node = b
+            trail: list[int] = []
+            while True:
+                hit = pos.get(node)
+                if hit is None:
+                    hit = uphit.get(node)
+                if hit is not None:
+                    for t in trail:
+                        uphit[t] = hit
+                    if hit < meet:
+                        meet = hit
+                    break
+                trail.append(node)
+                node = parent[node]
+                if node < 0:
+                    return None  # unreachable pair
+            if meet == 0:
+                return None  # paths diverge immediately at a
+        if meet == 0:
+            return None
+        prefix = {(chain[i], chain[i + 1]) for i in range(meet)}
+        shared = prefix if shared is None else (shared & prefix)
+        if not shared:
+            return None
+    if not shared:
+        return None
+    # Deterministic representative: the lexicographically smallest link.
+    return min(shared)
+
+
+def quadrant_split(
+    box: BoundingBox, vertices: list[int], graph: Graph
+) -> list[tuple[BoundingBox, list[int]]]:
+    """Partition ``vertices`` among the four quadrants of ``box``.
+
+    Points on a shared boundary go to the higher quadrant (the same
+    closed-open rule the lookup descent uses, so construction and query
+    always agree on which quadrant holds a vertex).
+    """
+    cx = (box.xmin + box.xmax) / 2.0
+    cy = (box.ymin + box.ymax) / 2.0
+    quads = box.quadrants()
+    buckets: list[list[int]] = [[], [], [], []]
+    for v in vertices:
+        qx = 1 if graph.xs[v] >= cx else 0
+        qy = 1 if graph.ys[v] >= cy else 0
+        buckets[2 * qy + qx].append(v)
+    return [(quads[i], buckets[i]) for i in range(4)]
+
+
+def quadrant_of(box: BoundingBox, x: float, y: float) -> int:
+    """Quadrant index of a point under the closed-open split rule."""
+    cx = (box.xmin + box.xmax) / 2.0
+    cy = (box.ymin + box.ymax) / 2.0
+    return (2 if y >= cy else 0) + (1 if x >= cx else 0)
+
+
+def build_pair_tree(graph: Graph, tables: APSPTables) -> tuple[PCPNode, BoundingBox]:
+    """Run the recursive 16-way decomposition from the covering square.
+
+    Returns the tree root and the root square (both X and Y start as
+    the square hull of the network, per Appendix D).
+    """
+    hull = square_hull(graph.bounding_box())
+    all_vertices = list(range(graph.n))
+    root = PCPNode()
+
+    stack: list[tuple[PCPNode, BoundingBox, list[int], BoundingBox, list[int], int]] = [
+        (root, hull, all_vertices, hull, all_vertices, 0)
+    ]
+    while stack:
+        node, box_x, xs, box_y, ys, depth = stack.pop()
+        link = _common_link(tables, xs, ys)
+        if link is not None:
+            node.psi = link
+            continue
+        if len(xs) == 1 and len(ys) == 1:
+            # Distinct singletons with no link are an unreachable pair
+            # (disconnected input); leave the node uncovered so lookups
+            # report "not covered" instead of splitting forever.
+            continue
+        if depth >= MAX_DEPTH:
+            raise RuntimeError(
+                "pair decomposition exceeded maximum depth; the graph "
+                "has duplicate vertex coordinates"
+            )
+        node.children = {}
+        x_parts = quadrant_split(box_x, xs, graph)
+        y_parts = quadrant_split(box_y, ys, graph)
+        for qi, (bx, vx) in enumerate(x_parts):
+            if not vx:
+                continue
+            for qj, (by, vy) in enumerate(y_parts):
+                if not vy:
+                    continue
+                if len(vx) == 1 and len(vy) == 1 and vx[0] == vy[0]:
+                    continue  # the trivial (a, a) pair needs no link
+                child = PCPNode()
+                node.children[(qi, qj)] = child
+                stack.append((child, bx, vx, by, vy, depth + 1))
+    return root, hull

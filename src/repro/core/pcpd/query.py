@@ -1,0 +1,89 @@
+"""PCPD queries: recursive decomposition through pair links (§3.5).
+
+    "First, we retrieve the unique path-coherent pair (X1, Y1, ψ1) in
+    Spcp that covers s and t. ... we can decompose the shortest path
+    between s and t into two components ... By applying the above
+    procedure recursively, we can compute the shortest path from s to
+    t with O(k) lookups in Spcp."
+
+Since our links are directed edges, each lookup contributes exactly one
+edge of the answer: ``path(s, t) = path(s, u) + (u → v) + path(v, t)``,
+with empty sub-problems when ``s == u`` or ``v == t``. Distances sum
+the same walk (§3.5: PCPD answers a distance query by computing the
+path first), which is why PCPD's distance queries inherit the same
+distance-proportional cost as SILC's.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.pcpd.index import PCPDIndex
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+class PCPD:
+    """The PCPD query object; implements the common technique interface."""
+
+    name = "PCPD"
+
+    def __init__(self, graph: Graph, index: PCPDIndex) -> None:
+        if graph is not index.graph:
+            raise ValueError("index was built for a different graph")
+        self.graph = graph
+        self.index = index
+
+    @classmethod
+    def build(cls, graph: Graph) -> "PCPD":
+        from repro.core.pcpd.index import build_pcpd
+
+        return cls(graph, build_pcpd(graph))
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        return self.index.stats.seconds
+
+    # ------------------------------------------------------------------
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        """Shortest path via recursive link decomposition; O(k) lookups.
+
+        Iterative with an explicit work stack — recursion depth equals
+        the path length in the worst case, which would overflow
+        CPython's recursion limit on long paths.
+        """
+        if source == target:
+            return 0.0, [source]
+        graph = self.graph
+        lookup = self.index.lookup
+        path = [source]
+        total = 0.0
+        # Work items in left-to-right output order (top of stack =
+        # leftmost open piece): either an unresolved path segment or a
+        # resolved link edge awaiting emission.
+        SEG, EDGE = 0, 1
+        stack: list[tuple[int, int, int]] = [(SEG, source, target)]
+        while stack:
+            kind, a, b = stack.pop()
+            if kind == EDGE:
+                total += graph.edge_weight(a, b)
+                path.append(b)
+                continue
+            if a == b:
+                continue
+            try:
+                u, v = lookup(a, b)
+            except KeyError:
+                return INF, None
+            # Emit order: path(a, u), edge(u, v), path(v, b).
+            stack.append((SEG, v, b))
+            stack.append((EDGE, u, v))
+            if a != u:
+                stack.append((SEG, a, u))
+        return total, path
+
+    def distance(self, source: int, target: int) -> float:
+        """Distance by computing the path and returning its length."""
+        total, path = self.path(source, target)
+        return total if path is not None else INF

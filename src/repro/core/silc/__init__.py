@@ -1,0 +1,14 @@
+"""SILC — Spatially Induced Linkage Cognizance (Samet et al. [21, 23]).
+
+SILC pre-computes, for every vertex ``v``, the partition of the other
+vertices into equivalence classes by the first hop of their shortest
+path from ``v`` (§3.4), and compresses each partition into a region
+quadtree whose cells become intervals on a Z-order curve (Appendix D).
+A shortest-path query then walks first hops — one O(log n) interval
+search per edge of the answer.
+"""
+
+from repro.core.silc.index import SILCIndex, build_silc
+from repro.core.silc.query import SILC
+
+__all__ = ["SILC", "SILCIndex", "build_silc"]

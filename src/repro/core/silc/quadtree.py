@@ -1,0 +1,102 @@
+"""Region-quadtree compression of a first-hop partition (Appendix D).
+
+    "We first impose a 2×2 grid on the road network, and we inspect the
+    vertices contained in each grid cell C. If there exist two vertices
+    in C that are from two different equivalence classes, C is further
+    divided into four quadrants. ... After that, each cell is
+    transformed into an interval on a two-dimensional Z-curve."
+
+The implementation works directly on the vertex list sorted by Morton
+code (shared across all sources): a quadtree cell is a contiguous slice
+of that list, and splitting a cell is three binary searches. A cell
+whose slice carries one colour is emitted as a half-open Morton
+interval; empty cells vanish — exactly the concise representation the
+paper describes, built in O(output · log n).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.graph.morton import MORTON_BITS
+
+#: Colour marking a cell that cannot be split further yet stays mixed
+#: (only possible when distinct vertices share one Morton code, e.g.
+#: duplicate coordinates in imported data). Queries then consult the
+#: exceptions table instead.
+MIXED_LEAF = -9
+
+
+def compress_partition(
+    codes_sorted: Sequence[int],
+    colors: Sequence[int],
+    skip: int,
+) -> tuple[list[tuple[int, int, int]], dict[int, int]]:
+    """Compress one source's colouring into Z-curve intervals.
+
+    Parameters
+    ----------
+    codes_sorted:
+        Morton codes of all vertices, ascending (the global sort order).
+    colors:
+        ``colors[i]`` is the equivalence class (first-hop vertex id) of
+        the ``i``-th vertex in that order.
+    skip:
+        Position of the source vertex, which belongs to no class
+        (the partition covers ``V \\ {v}``) and is ignored.
+
+    Returns
+    -------
+    intervals:
+        ``(start, end, color)`` triples with half-open Morton ranges,
+        sorted by ``start``, pairwise disjoint, jointly covering every
+        non-source vertex. ``color`` may be :data:`MIXED_LEAF`.
+    exceptions:
+        ``position -> color`` for vertices inside MIXED_LEAF cells.
+    """
+    intervals: list[tuple[int, int, int]] = []
+    exceptions: dict[int, int] = {}
+    span = 1 << (2 * MORTON_BITS)
+
+    # Explicit stack of (lo, hi, base, size): vertices in slice
+    # [lo, hi) all have codes in [base, base + size). Children are
+    # pushed in reverse so intervals come out sorted by start.
+    stack: list[tuple[int, int, int, int]] = [(0, len(codes_sorted), 0, span)]
+    while stack:
+        lo, hi, base, size = stack.pop()
+        first_color = None
+        uniform = True
+        for i in range(lo, hi):
+            if i == skip:
+                continue
+            c = colors[i]
+            if first_color is None:
+                first_color = c
+            elif c != first_color:
+                uniform = False
+                break
+        if first_color is None:
+            continue  # empty cell (or source only)
+        if uniform:
+            intervals.append((base, base + size, first_color))
+            continue
+        if size == 1:
+            # Irreducible: several vertices share this Morton code.
+            intervals.append((base, base + 1, MIXED_LEAF))
+            for i in range(lo, hi):
+                if i != skip:
+                    exceptions[i] = colors[i]
+            continue
+        quarter = size >> 2
+        boundaries = [lo]
+        for k in (1, 2, 3):
+            boundaries.append(
+                bisect_left(codes_sorted, base + k * quarter, boundaries[-1], hi)
+            )
+        boundaries.append(hi)
+        for k in (3, 2, 1, 0):
+            c_lo, c_hi = boundaries[k], boundaries[k + 1]
+            if c_lo < c_hi:
+                stack.append((c_lo, c_hi, base + k * quarter, quarter))
+    return intervals, exceptions

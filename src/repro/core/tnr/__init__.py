@@ -1,0 +1,35 @@
+"""Transit Node Routing (Bast et al. [5], paper §3.3).
+
+TNR imposes a grid on the road network and pre-computes, for every grid
+cell, a set of *access nodes* covering all shortest paths that leave the
+cell's neighbourhood, plus the pairwise distances among all access
+nodes. Far-apart queries then reduce to a few table lookups
+(Equation 1); near queries fall back to CH or bidirectional Dijkstra.
+
+This package contains:
+
+- :mod:`~repro.core.tnr.grid` — the grid with the paper's 5×5 inner and
+  9×9 outer shells;
+- :mod:`~repro.core.tnr.access_nodes` — the *corrected* access-node
+  computation (§3.3 Remarks) **and** Bast et al.'s flawed original
+  (Appendix B), kept for the defect demonstration;
+- :mod:`~repro.core.tnr.index` / :mod:`~repro.core.tnr.query` — the
+  index and the distance / shortest-path query algorithms;
+- :mod:`~repro.core.tnr.hybrid` — the two-level hybrid grid of
+  Appendix E.1.
+"""
+
+from repro.core.tnr.access_nodes import compute_access_nodes
+from repro.core.tnr.grid import TNRGrid
+from repro.core.tnr.hybrid import HybridTNR
+from repro.core.tnr.index import TNRIndex, build_tnr
+from repro.core.tnr.query import TransitNodeRouting
+
+__all__ = [
+    "HybridTNR",
+    "TNRGrid",
+    "TNRIndex",
+    "TransitNodeRouting",
+    "build_tnr",
+    "compute_access_nodes",
+]

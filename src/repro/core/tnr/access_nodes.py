@@ -1,0 +1,285 @@
+"""Access-node computation: a provably exact variant and Bast et al.'s.
+
+The paper's §3.3 Remarks describe the authors' corrected method: compute
+the shortest path from each cell vertex to every endpoint of an edge
+crossing the outer shell, and take an endpoint of each path's
+inner-shell crossing edge as an access node.
+
+Examining *one* shortest path per pair is enough only when shortest
+paths are essentially unique. Our networks use integer travel-time
+weights, where equal-length ties are pervasive, and at reproduction
+scale the grid cells are coarse enough that single edges can jump
+several cells — both of which break the one-path-per-pair construction
+(an untested tie path can leave the cell uncovered). We therefore
+strengthen the construction while keeping the paper's access-node
+*concept* intact:
+
+    ``A(C)`` = the inside endpoints of every **first-crossing edge** of
+    the shortest-path **DAG** of each cell vertex ``v`` — the edges
+    ``(p, u)`` with ``dist(v,p) + w(p,u) == dist(v,u)``, where ``p``
+    still has an all-inside shortest path from ``v`` (cell distance ≤
+    2, i.e. within the inner 5×5 block) and ``u`` lies outside it.
+
+Every vertex of ``A(C)`` is an endpoint of an edge intersecting the
+inner shell, as the paper requires, and *every* shortest path from
+``v ∈ C`` to any vertex beyond the block is covered at its first
+crossing. Exactness of Equation 1 follows for any pair of cells at
+Chebyshev distance ≥ 5: take any shortest path P from s to t; its first
+Cs-crossing inside endpoint ``a_s`` and its last Ct-entry inside
+endpoint ``a_t`` are both on P with ``a_s`` no later than ``a_t`` (the
+5×5 blocks are disjoint), so
+``dist(s,a_s) + dist(a_s,a_t) + dist(a_t,t) = dist(s,t)``. This holds
+even in the degenerate case where one long edge crosses both inner
+shells — precisely the case where taking *outside* endpoints (or
+examining a single path per pair) can return an overestimate.
+
+:func:`flawed_cell_access` implements Bast et al.'s faster method,
+which only admits a vertex ``v ∈ Sin`` as an access node if ``v``
+minimises ``dist(vi, v) + dist(v, vk)`` for some pair of a cell vertex
+``vi`` and an outer-shell vertex ``vk``. Appendix B's counter-example
+(a vertex whose only outward link bypasses ``Sup``) shows this set can
+be incomplete, producing wrong query answers; we keep the flawed
+variant so :mod:`repro.analysis.defect` can demonstrate the bug and the
+fix side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from repro.core.dijkstra import dijkstra_to_targets
+from repro.core.tnr.grid import INNER_RADIUS, OUTER_RADIUS, TNRGrid
+from repro.graph.graph import Graph
+from repro.parallel import map_with_context
+
+INF = math.inf
+
+
+@dataclass
+class CellAccess:
+    """Access information of one grid cell.
+
+    ``access_nodes`` is sorted; ``vertex_distances[v][i]`` is
+    ``dist(v, access_nodes[i])`` for every vertex ``v`` of the cell.
+    """
+
+    cell: int
+    access_nodes: list[int]
+    vertex_distances: dict[int, list[float]]
+
+
+def _block_dijkstra(
+    graph: Graph, source: int, block: set[int]
+) -> tuple[dict[int, float], list[int]]:
+    """Dijkstra from ``source`` until every ``block`` vertex settles.
+
+    Returns the label map and the settle order. Labels of vertices in
+    the settle order are exact; labels of fringe vertices are upper
+    bounds — except that a fringe vertex adjacent to a settled vertex
+    via a shortest-path DAG edge already carries its exact distance
+    (the relaxation across that edge set it), which is precisely the
+    property the access-node DAG test needs.
+    """
+    dist: dict[int, float] = {source: 0.0}
+    order: list[int] = []
+    remaining = len(block)  # the source itself decrements at its pop
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = graph.neighbors
+    dist_get = dist.get
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue  # stale entry
+        order.append(u)
+        if u in block:
+            remaining -= 1
+            if remaining <= 0:
+                # Settling u relaxed its edges already below? No — do
+                # the relaxations, then stop: fringe labels across u's
+                # edges must be in place for the DAG test.
+                for v, w in neighbors(u):
+                    nd = d + w
+                    if nd < dist_get(v, INF):
+                        dist[v] = nd
+                break
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist_get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    if not order or order[0] != source:
+        order.insert(0, source)
+    return dist, order
+
+
+def _inner_block(grid: TNRGrid, cell: int) -> set[int]:
+    """Vertices within the inner 5×5 block of ``cell``."""
+    cx, cy = grid.cell_xy(cell)
+    g = grid.g
+    block: set[int] = set()
+    for iy in range(max(0, cy - INNER_RADIUS), min(g, cy + INNER_RADIUS + 1)):
+        for ix in range(max(0, cx - INNER_RADIUS), min(g, cx + INNER_RADIUS + 1)):
+            block.update(grid.vertices_in(grid.cell_id(ix, iy)))
+    return block
+
+
+def correct_cell_access(graph: Graph, grid: TNRGrid, cell: int) -> CellAccess:
+    """Exact access nodes for one cell (module docstring for the why)."""
+    members = grid.vertices_in(cell)
+    block = _inner_block(grid, cell)
+
+    access: set[int] = set()
+    label_maps: dict[int, dict[int, float]] = {}
+    for v in members:
+        labels, order = _block_dijkstra(graph, v, block)
+        label_maps[v] = labels
+        # pure[p]: some shortest path v -> p stays entirely inside the
+        # block. Settle order guarantees predecessors appear first, and
+        # all block vertices are settled, so their labels are exact.
+        pure: set[int] = set()
+        for u in order:
+            if u not in block:
+                continue
+            if u == v:
+                pure.add(u)
+                continue
+            du = labels[u]
+            for q, w in graph.neighbors(u):
+                if q in pure and labels.get(q, INF) + w == du:
+                    pure.add(u)
+                    break
+        # First-crossing DAG edges: pure inside endpoint, outside head.
+        # A fringe label equal to dp + w is exact whenever (p, u) really
+        # is a DAG edge; spurious equalities only add a redundant
+        # access node, never break exactness.
+        for p in pure:
+            dp = labels[p]
+            for u, w in graph.neighbors(p):
+                if u not in block and labels.get(u, INF) == dp + w:
+                    access.add(p)
+                    break
+
+    access_nodes = sorted(access)
+    vertex_distances: dict[int, list[float]] = {}
+    for v in members:
+        labels = label_maps[v]
+        # Every access node is inside the block, hence settled by every
+        # member's search; .get guards the disconnected corner case.
+        vertex_distances[v] = [labels.get(a, INF) for a in access_nodes]
+    return CellAccess(cell, access_nodes, vertex_distances)
+
+
+_SIDES = ("top", "bottom", "left", "right")
+
+
+def _crossing_sides(
+    grid: TNRGrid, cell: int, outside_vertex: int, radius: int
+) -> list[str]:
+    """Which block sides an edge leaving the ``radius`` block exits by.
+
+    A diagonal jump past a corner exits through two sides at once; both
+    are reported (Bast et al. process the four boundaries separately).
+    """
+    cx, cy = grid.cell_xy(cell)
+    ox, oy = grid.cell_xy(grid.cell_of_vertex[outside_vertex])
+    sides = []
+    if oy > cy + radius:
+        sides.append("top")
+    if oy < cy - radius:
+        sides.append("bottom")
+    if ox < cx - radius:
+        sides.append("left")
+    if ox > cx + radius:
+        sides.append("right")
+    return sides
+
+
+def flawed_cell_access(graph: Graph, grid: TNRGrid, cell: int) -> CellAccess:
+    """Bast et al.'s faster — but incomplete — access-node computation.
+
+    Appendix B: the four boundaries of the shells are processed
+    separately. For one side, ``Sin`` holds the endpoints of edges
+    crossing that side of the inner shell and ``Sup`` those crossing
+    the same side of the outer shell; a vertex ``vj ∈ Sin`` is marked
+    as an access node only when it minimises
+    ``dist(vi, vj) + dist(vj, vk)`` for some cell vertex ``vi`` and
+    some ``vk ∈ Sup`` *of that side*.
+
+    The per-side pairing is exactly what Figure 12(b) breaks: a vertex
+    whose inner crossing is on one side but whose only outward
+    continuation leaves the outer shell on a *different* side is on no
+    shortest path to its own side's ``Sup``, so it is never marked —
+    and queries that must pass through it get overestimates.
+    """
+    members = grid.vertices_in(cell)
+    member_set = set(members)
+
+    # Boundary vertex sets per side: the *outside* endpoint of each
+    # crossing edge — the vertices sitting on the shell line itself.
+    # (The cell's own vertices never belong to Sin: making every cell
+    # vertex its own access node would defeat the optimisation Bast et
+    # al. were after.)
+    sin_by_side: dict[str, set[int]] = {s: set() for s in _SIDES}
+    sup_by_side: dict[str, set[int]] = {s: set() for s in _SIDES}
+    for _, v, _ in grid.crossing_edges(cell, INNER_RADIUS):
+        for side in _crossing_sides(grid, cell, v, INNER_RADIUS):
+            sin_by_side[side].add(v)
+    for _, v, _ in grid.crossing_edges(cell, OUTER_RADIUS):
+        for side in _crossing_sides(grid, cell, v, OUTER_RADIUS):
+            sup_by_side[side].add(v)
+
+    all_sin: set[int] = set().union(*sin_by_side.values())
+    all_sup: set[int] = set().union(*sup_by_side.values())
+    if not all_sin or not all_sup:
+        return CellAccess(cell, [], {v: [] for v in members})
+
+    dist_via: dict[int, dict[int, float]] = {}
+    for vj in sorted(all_sin):
+        dist_via[vj] = dijkstra_to_targets(graph, vj, member_set | all_sup)
+
+    access: set[int] = set()
+    for side in _SIDES:
+        s_in = sorted(sin_by_side[side])
+        s_up = sup_by_side[side]
+        if not s_in or not s_up:
+            continue
+        for vi in members:
+            for vk in s_up:
+                best_j, best_d = -1, INF
+                for vj in s_in:
+                    dj = dist_via[vj]
+                    d = dj.get(vi, INF) + dj.get(vk, INF)
+                    if d < best_d or (d == best_d and vj < best_j):
+                        best_j, best_d = vj, d
+                if best_j >= 0 and best_d < INF:
+                    access.add(best_j)
+
+    access_nodes = sorted(access)
+    vertex_distances = {
+        v: [dist_via[a].get(v, INF) for a in access_nodes] for v in members
+    }
+    return CellAccess(cell, access_nodes, vertex_distances)
+
+
+def _cell_job(context, cell: int) -> CellAccess:
+    """One cell's access computation (top level for the worker pool)."""
+    graph, grid, flawed = context
+    builder = flawed_cell_access if flawed else correct_cell_access
+    return builder(graph, grid, cell)
+
+
+def compute_access_nodes(
+    graph: Graph, grid: TNRGrid, flawed: bool = False, workers: int | None = None
+) -> dict[int, CellAccess]:
+    """Access information for every non-empty cell of the grid.
+
+    ``workers`` fans the per-cell computation over processes (see
+    :mod:`repro.parallel`); identical output for any worker count.
+    """
+    cells = list(grid.nonempty_cells())
+    results = map_with_context(
+        _cell_job, (graph, grid, flawed), cells, workers=workers
+    )
+    return dict(zip(cells, results))

@@ -1,0 +1,168 @@
+"""The TNR grid and its inner/outer shells (§3.3).
+
+A ``g × g`` grid is imposed on the network's (square-hulled) bounding
+box. For a cell ``C``, the paper defines:
+
+- the **inner shell**: the boundary of the 5×5 cell block centred at
+  ``C`` — cells at Chebyshev cell-distance exactly 2;
+- the **outer shell**: the boundary of the 9×9 block — distance 4.
+
+An edge *crosses* a shell when its endpoints lie on opposite sides of
+the corresponding block. We classify crossings by cell membership
+(endpoint distances ≤ k vs ≥ k+1), which is robust for edges that skip
+several cells and keeps every shell predicate integral.
+
+A target is "beyond the outer shell" of a source cell when its cell
+distance is ≥ 5; that is exactly the TNR answerability test for
+distance queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graph.coords import square_hull
+from repro.graph.graph import Graph
+
+#: Inner shell radius in cells (boundary of the 5x5 block).
+INNER_RADIUS = 2
+#: Outer shell radius in cells (boundary of the 9x9 block).
+OUTER_RADIUS = 4
+
+
+class TNRGrid:
+    """A ``g × g`` grid over a road network's square bounding hull.
+
+    Also memoises each vertex's cell and the per-cell vertex lists —
+    all downstream computations iterate "the vertices of cell C".
+    """
+
+    def __init__(self, graph: Graph, g: int) -> None:
+        if g < 2 * OUTER_RADIUS:
+            raise ValueError(
+                f"grid must be at least {2 * OUTER_RADIUS} cells per side "
+                f"for the 9x9 outer shell to be meaningful; got {g}"
+            )
+        self.graph = graph
+        self.g = g
+        hull = square_hull(graph.bounding_box())
+        self._x0 = hull.xmin
+        self._y0 = hull.ymin
+        side = hull.side or 1.0
+        self._cell_size = side / g
+        self.cell_of_vertex: list[int] = [
+            self.cell_id(*self.cell_coords(graph.xs[v], graph.ys[v]))
+            for v in range(graph.n)
+        ]
+        self._members: dict[int, list[int]] = {}
+        for v, c in enumerate(self.cell_of_vertex):
+            self._members.setdefault(c, []).append(v)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def cell_size(self) -> float:
+        return self._cell_size
+
+    def cell_coords(self, x: float, y: float) -> tuple[int, int]:
+        """``(ix, iy)`` cell of a point, clamped into the grid."""
+        ix = min(self.g - 1, max(0, int((x - self._x0) / self._cell_size)))
+        iy = min(self.g - 1, max(0, int((y - self._y0) / self._cell_size)))
+        return ix, iy
+
+    def cell_id(self, ix: int, iy: int) -> int:
+        """Dense id of cell ``(ix, iy)``."""
+        return iy * self.g + ix
+
+    def cell_xy(self, cell: int) -> tuple[int, int]:
+        """Inverse of :meth:`cell_id`."""
+        return cell % self.g, cell // self.g
+
+    def cell_distance(self, cell_a: int, cell_b: int) -> int:
+        """Chebyshev distance between two cells."""
+        ax, ay = self.cell_xy(cell_a)
+        bx, by = self.cell_xy(cell_b)
+        return max(abs(ax - bx), abs(ay - by))
+
+    def vertex_cell_distance(self, u: int, v: int) -> int:
+        """Chebyshev cell distance between two vertices' cells."""
+        return self.cell_distance(self.cell_of_vertex[u], self.cell_of_vertex[v])
+
+    # ------------------------------------------------------------------
+    # Membership / answerability
+    # ------------------------------------------------------------------
+    def nonempty_cells(self) -> Iterator[int]:
+        """Cells that contain at least one vertex, ascending id."""
+        return iter(sorted(self._members))
+
+    def vertices_in(self, cell: int) -> list[int]:
+        """Vertices whose coordinates fall into ``cell``."""
+        return self._members.get(cell, [])
+
+    def beyond_outer_shell(self, cell_a: int, cell_b: int) -> bool:
+        """Whether ``cell_b`` lies outside the 9×9 block of ``cell_a``.
+
+        This is the §3.3 condition under which a distance query from a
+        vertex in ``cell_a`` to one in ``cell_b`` is TNR-answerable.
+        """
+        return self.cell_distance(cell_a, cell_b) > OUTER_RADIUS
+
+    def answerable(self, u: int, v: int) -> bool:
+        """TNR answerability of the vertex pair (distance queries)."""
+        return self.beyond_outer_shell(
+            self.cell_of_vertex[u], self.cell_of_vertex[v]
+        )
+
+    def outer_shells_disjoint(self, cell_a: int, cell_b: int) -> bool:
+        """Whether the two 9×9 blocks share no cell (path-query regime).
+
+        §3.3: "TNR can derive the shortest path between s and t using
+        the pre-computed distances, as long as the outer shells of Cs
+        and Ct do not intersect."
+        """
+        return self.cell_distance(cell_a, cell_b) > 2 * OUTER_RADIUS
+
+    # ------------------------------------------------------------------
+    # Shell-crossing edges
+    # ------------------------------------------------------------------
+    def crossing_edges(
+        self, center: int, radius: int
+    ) -> Iterator[tuple[int, int, float]]:
+        """Edges crossing the shell of ``center`` at ``radius`` cells.
+
+        Yields ``(inside_endpoint, outside_endpoint, weight)`` where the
+        inside endpoint's cell distance to ``center`` is ≤ ``radius``
+        and the outside endpoint's is > ``radius``. Scans only vertices
+        within ``radius + 1`` cells, not the whole graph.
+        """
+        cx, cy = self.cell_xy(center)
+        g = self.g
+        cell_of = self.cell_of_vertex
+        for iy in range(max(0, cy - radius), min(g, cy + radius + 1)):
+            for ix in range(max(0, cx - radius), min(g, cx + radius + 1)):
+                for u in self._members.get(self.cell_id(ix, iy), ()):
+                    for v, w in self.graph.neighbors(u):
+                        if self.cell_distance(center, cell_of[v]) > radius:
+                            yield u, v, w
+
+    def shell_endpoint_sets(self, center: int, radius: int) -> tuple[set[int], set[int]]:
+        """Inside/outside endpoints of edges crossing a shell.
+
+        The paper's ``Vout`` (for the outer shell) is the union of the
+        two sets: "the endpoints of those edges".
+        """
+        inside: set[int] = set()
+        outside: set[int] = set()
+        for u, v, _ in self.crossing_edges(center, radius):
+            inside.add(u)
+            outside.add(v)
+        return inside, outside
+
+
+def max_cell_distance(grid: TNRGrid, pairs: Iterable[tuple[int, int]]) -> int:
+    """Largest cell distance among the given vertex pairs (diagnostics)."""
+    return max(
+        (grid.vertex_cell_distance(u, v) for u, v in pairs),
+        default=0,
+    )

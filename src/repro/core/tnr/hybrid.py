@@ -1,0 +1,254 @@
+"""The hybrid two-level TNR grid of Appendix E.1.
+
+The hybrid combines a coarse ``g × g`` grid (``D128`` in the paper)
+with a fine ``2g × 2g`` grid (``D256``):
+
+- access nodes are computed on *both* grids;
+- the coarse grid stores its full pairwise access-node table;
+- the fine grid stores pairwise distances only between access nodes of
+  cells whose outer shells overlap — exactly the band where the coarse
+  grid cannot answer but the fine grid can. Far pairs are redundant
+  ("the distance ... can be derived using the access nodes on D128").
+
+A distance query uses the fine grid in the near-but-answerable band
+(fine cell distance 5..2·OUTER+2), the coarse table beyond it, and the
+fallback technique inside the fine outer shell. The net effect, which
+Figure 13/14 report, is space *between* the two single grids and a few
+query sets (Q5/Q6 analogues) answered without the fallback.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import QueryTechnique
+from repro.core.ch.many_to_many import many_to_many_sparse
+from repro.core.ch.query import ContractionHierarchy
+from repro.core.tnr.access_nodes import compute_access_nodes
+from repro.core.tnr.grid import OUTER_RADIUS, TNRGrid
+from repro.core.tnr.index import TNRIndex, build_tnr
+from repro.core.tnr.query import TNRQueryStats, greedy_path
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+#: Fine-grid pairs are stored up to this cell distance. Beyond
+#: 2*OUTER_RADIUS + 2 the coarse grid is provably answerable
+#: (fine distance >= 11 forces coarse distance >= 5), so nothing
+#: more is ever needed.
+FINE_KEEP_RADIUS = 2 * OUTER_RADIUS + 2
+
+
+class FinePairTable:
+    """Compact sparse store for the fine grid's near access-node pairs.
+
+    Keys are ``i * size + j`` in one sorted int64 array with a parallel
+    float32 value array — 12 bytes per pair, which is what keeps the
+    hybrid's space *between* the two single grids (Appendix E.1's
+    Figure 13); a Python dict would cost ~15x that and invert the
+    figure. Lookups are vectorised binary searches.
+    """
+
+    __slots__ = ("size", "keys", "vals")
+
+    def __init__(self, size: int, pairs: dict[tuple[int, int], float]) -> None:
+        self.size = size
+        flat = np.fromiter(
+            (i * size + j for i, j in pairs), dtype=np.int64, count=len(pairs)
+        )
+        order = np.argsort(flat)
+        self.keys = flat[order]
+        self.vals = np.fromiter(
+            pairs.values(), dtype=np.float32, count=len(pairs)
+        )[order]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def lookup_grid(self, ai: np.ndarray, aj: np.ndarray) -> np.ndarray:
+        """Distance matrix for all (ai x aj) pairs; inf where unstored."""
+        wanted = (ai.astype(np.int64)[:, None] * self.size + aj[None, :]).ravel()
+        pos = np.searchsorted(self.keys, wanted)
+        pos_clipped = np.minimum(pos, len(self.keys) - 1)
+        hit = (len(self.keys) > 0) & (self.keys[pos_clipped] == wanted)
+        out = np.where(hit, self.vals[pos_clipped], np.inf).astype(np.float64)
+        return out.reshape(len(ai), len(aj))
+
+
+@dataclass
+class HybridBuildStats:
+    """Preprocessing diagnostics of the hybrid index."""
+
+    seconds_coarse: float = 0.0
+    seconds_fine_access: float = 0.0
+    seconds_fine_table: float = 0.0
+    n_fine_transit_nodes: int = 0
+    n_fine_pairs: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.seconds_coarse + self.seconds_fine_access + self.seconds_fine_table
+
+
+class HybridTNR:
+    """Two-level TNR (Appendix E.1); same interface as plain TNR."""
+
+    name = "TNR-hybrid"
+
+    def __init__(
+        self,
+        graph: Graph,
+        coarse: TNRIndex,
+        fine_grid: TNRGrid,
+        fine_vertex_access: list[np.ndarray],
+        fine_vertex_access_dist: list[np.ndarray],
+        fine_pairs: FinePairTable,
+        fallback: QueryTechnique,
+        stats: HybridBuildStats,
+    ) -> None:
+        self.graph = graph
+        self.coarse = coarse
+        self.fine_grid = fine_grid
+        self.fine_vertex_access = fine_vertex_access
+        self.fine_vertex_access_dist = fine_vertex_access_dist
+        self.fine_pairs = fine_pairs
+        self.fallback = fallback
+        self.build_stats = stats
+        self.stats = TNRQueryStats()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        ch: ContractionHierarchy,
+        grid_g: int,
+        fallback: QueryTechnique,
+    ) -> "HybridTNR":
+        """Build the coarse (``grid_g``) + fine (``2*grid_g``) hybrid."""
+        stats = HybridBuildStats()
+
+        start = time.perf_counter()
+        coarse = build_tnr(graph, ch, grid_g)
+        stats.seconds_coarse = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fine_grid = TNRGrid(graph, 2 * grid_g)
+        cell_access = compute_access_nodes(graph, fine_grid)
+        stats.seconds_fine_access = time.perf_counter() - start
+
+        transit: set[int] = set()
+        for info in cell_access.values():
+            transit.update(info.access_nodes)
+        transit_nodes = sorted(transit)
+        t_index = {v: i for i, v in enumerate(transit_nodes)}
+        stats.n_fine_transit_nodes = len(transit_nodes)
+
+        # Cells each access node serves, reduced to a cell-coordinate
+        # bounding box for a cheap conservative "outer shells overlap"
+        # test (a superset of needed pairs is stored, never a subset).
+        boxes: dict[int, tuple[int, int, int, int]] = {}
+        for cell, info in cell_access.items():
+            cx, cy = fine_grid.cell_xy(cell)
+            for a in info.access_nodes:
+                box = boxes.get(a)
+                if box is None:
+                    boxes[a] = (cx, cy, cx, cy)
+                else:
+                    boxes[a] = (
+                        min(box[0], cx), min(box[1], cy),
+                        max(box[2], cx), max(box[3], cy),
+                    )
+
+        def wanted(i: int, j: int) -> bool:
+            bi = boxes[transit_nodes[i]]
+            bj = boxes[transit_nodes[j]]
+            gap_x = max(bi[0] - bj[2], bj[0] - bi[2], 0)
+            gap_y = max(bi[1] - bj[3], bj[1] - bi[3], 0)
+            return max(gap_x, gap_y) <= FINE_KEEP_RADIUS
+
+        start = time.perf_counter()
+        fine_pairs = FinePairTable(
+            len(transit_nodes), many_to_many_sparse(ch, transit_nodes, wanted)
+        )
+        stats.seconds_fine_table = time.perf_counter() - start
+        stats.n_fine_pairs = len(fine_pairs)
+
+        empty_idx = np.empty(0, dtype=np.int32)
+        empty_dist = np.empty(0, dtype=np.float64)
+        fine_vertex_access: list[np.ndarray] = [empty_idx] * graph.n
+        fine_vertex_access_dist: list[np.ndarray] = [empty_dist] * graph.n
+        for info in cell_access.values():
+            idx = np.array([t_index[a] for a in info.access_nodes], dtype=np.int32)
+            for v, dists in info.vertex_distances.items():
+                fine_vertex_access[v] = idx
+                fine_vertex_access_dist[v] = np.array(dists, dtype=np.float64)
+
+        return cls(
+            graph=graph,
+            coarse=coarse,
+            fine_grid=fine_grid,
+            fine_vertex_access=fine_vertex_access,
+            fine_vertex_access_dist=fine_vertex_access_dist,
+            fine_pairs=fine_pairs,
+            fallback=fallback,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Fine band → sparse fine table; far → coarse table; near → fallback."""
+        if source == target:
+            return 0.0
+        fine_d = self.fine_grid.vertex_cell_distance(source, target)
+        if fine_d <= OUTER_RADIUS:
+            self.stats.answered_by_fallback += 1
+            return self.fallback.distance(source, target)
+        self.stats.answered_by_table += 1
+        if fine_d <= FINE_KEEP_RADIUS:
+            return self._fine_distance(source, target)
+        # fine_d >= FINE_KEEP_RADIUS + 1 = 11 implies a coarse cell
+        # distance of at least 5, so the coarse table is answerable.
+        return self.coarse_distance(source, target)
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        """Shortest path by the shared §3.3 greedy walk."""
+        fine_grid = self.fine_grid
+        return greedy_path(
+            graph=self.graph,
+            distance=self.distance,
+            keep_walking=lambda u, t: fine_grid.vertex_cell_distance(u, t)
+            > OUTER_RADIUS,
+            fallback=self.fallback,
+            source=source,
+            target=target,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    def coarse_distance(self, source: int, target: int) -> float:
+        """Equation 1 on the coarse grid's dense table."""
+        coarse = self.coarse
+        ai = coarse.vertex_access[source]
+        aj = coarse.vertex_access[target]
+        if len(ai) == 0 or len(aj) == 0:
+            return INF
+        ds = coarse.vertex_access_dist[source]
+        dt = coarse.vertex_access_dist[target]
+        middle = coarse.table[np.ix_(ai, aj)].astype(np.float64)
+        return float((ds[:, None] + middle + dt[None, :]).min())
+
+    def _fine_distance(self, source: int, target: int) -> float:
+        """Equation 1 on the fine grid's sparse pair store."""
+        ai = self.fine_vertex_access[source]
+        aj = self.fine_vertex_access[target]
+        if len(ai) == 0 or len(aj) == 0:
+            return INF
+        ds = self.fine_vertex_access_dist[source]
+        dt = self.fine_vertex_access_dist[target]
+        middle = self.fine_pairs.lookup_grid(ai, aj)
+        return float((ds[:, None] + middle + dt[None, :]).min())

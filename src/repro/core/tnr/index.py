@@ -1,0 +1,139 @@
+"""The TNR index: per-vertex access-node distances + transit table.
+
+TNR pre-computes two bodies of distance information (§3.3):
+
+- ``I2``: for every vertex ``v``, the distances to the access nodes of
+  the cell containing ``v`` (O(n) space — the dominant cost on large
+  networks, §4.3);
+- ``I1``: the pairwise distances among all access nodes of all cells
+  (size independent of n once the per-cell access count saturates —
+  the dominant cost on small networks, §4.3).
+
+``I1`` is computed with the CH bucket-based many-to-many algorithm,
+mirroring §4.1's use of CH to accelerate TNR preprocessing.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ch.many_to_many import many_to_many
+from repro.core.ch.query import ContractionHierarchy
+from repro.core.tnr.access_nodes import CellAccess, compute_access_nodes
+from repro.core.tnr.grid import TNRGrid
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+@dataclass
+class TNRBuildStats:
+    """Preprocessing diagnostics."""
+
+    seconds_access_nodes: float = 0.0
+    seconds_table: float = 0.0
+    n_transit_nodes: int = 0
+    mean_access_per_cell: float = 0.0
+    flawed: bool = False
+
+    @property
+    def seconds(self) -> float:
+        return self.seconds_access_nodes + self.seconds_table
+
+
+@dataclass
+class TNRIndex:
+    """Everything a TNR query needs.
+
+    Attributes
+    ----------
+    grid:
+        The imposed grid (owns vertex → cell mapping).
+    transit_nodes:
+        Sorted global ids of all access nodes of all cells.
+    table:
+        ``table[i][j] = dist(transit_nodes[i], transit_nodes[j])`` —
+        the paper's ``I1``, float32 (exact for integer travel times up
+        to 2^24; see :func:`repro.core.ch.many_to_many.many_to_many`).
+    vertex_access / vertex_access_dist:
+        The paper's ``I2``: for every vertex, the *transit indexes* of
+        its cell's access nodes and the matching distances.
+    """
+
+    grid: TNRGrid
+    transit_nodes: list[int]
+    table: np.ndarray
+    vertex_access: list[np.ndarray]
+    vertex_access_dist: list[np.ndarray]
+    stats: TNRBuildStats = field(default_factory=TNRBuildStats)
+
+    @property
+    def n_transit_nodes(self) -> int:
+        return len(self.transit_nodes)
+
+    def answerable(self, source: int, target: int) -> bool:
+        """Whether Equation 1 applies to this vertex pair."""
+        return self.grid.answerable(source, target)
+
+
+def build_tnr(
+    graph: Graph,
+    ch: ContractionHierarchy,
+    grid_g: int,
+    flawed: bool = False,
+    workers: int | None = None,
+) -> TNRIndex:
+    """Build a TNR index over ``graph`` with a ``grid_g × grid_g`` grid.
+
+    ``ch`` is the contraction hierarchy used to accelerate the
+    all-access-node distance table (§4.1). ``flawed=True`` swaps in
+    Bast et al.'s incomplete access-node computation so Appendix B's
+    defect can be demonstrated; never use it for real queries.
+    """
+    grid = TNRGrid(graph, grid_g)
+    stats = TNRBuildStats(flawed=flawed)
+
+    start = time.perf_counter()
+    cell_access: dict[int, CellAccess] = compute_access_nodes(
+        graph, grid, flawed, workers=workers
+    )
+    stats.seconds_access_nodes = time.perf_counter() - start
+
+    transit: set[int] = set()
+    for info in cell_access.values():
+        transit.update(info.access_nodes)
+    transit_nodes = sorted(transit)
+    t_index = {v: i for i, v in enumerate(transit_nodes)}
+    stats.n_transit_nodes = len(transit_nodes)
+    nonempty = [info for info in cell_access.values() if info.access_nodes]
+    if nonempty:
+        stats.mean_access_per_cell = sum(
+            len(info.access_nodes) for info in nonempty
+        ) / len(nonempty)
+
+    start = time.perf_counter()
+    table = many_to_many(ch, transit_nodes, transit_nodes)
+    stats.seconds_table = time.perf_counter() - start
+
+    empty_idx = np.empty(0, dtype=np.int32)
+    empty_dist = np.empty(0, dtype=np.float64)
+    vertex_access: list[np.ndarray] = [empty_idx] * graph.n
+    vertex_access_dist: list[np.ndarray] = [empty_dist] * graph.n
+    for info in cell_access.values():
+        idx = np.array([t_index[a] for a in info.access_nodes], dtype=np.int32)
+        for v, dists in info.vertex_distances.items():
+            vertex_access[v] = idx
+            vertex_access_dist[v] = np.array(dists, dtype=np.float64)
+
+    return TNRIndex(
+        grid=grid,
+        transit_nodes=transit_nodes,
+        table=table,
+        vertex_access=vertex_access,
+        vertex_access_dist=vertex_access_dist,
+        stats=stats,
+    )

@@ -1,0 +1,167 @@
+"""TNR queries (§3.3): table lookups far out, fallback near in.
+
+A distance query between vertices whose cells lie beyond each other's
+outer shells is answered by Equation 1:
+
+    dist(s, t) = min over (a_s, a_t) of
+                 dist(s, a_s) + dist(a_s, a_t) + dist(a_t, t)
+
+— a handful of lookups in the pre-computed arrays. Anything closer
+falls back to the alternative technique (CH or bidirectional Dijkstra;
+the paper settles on CH after the Appendix E.1 comparison).
+
+A shortest-path query walks greedily from the source: at each step it
+picks the neighbour ``v`` minimising ``w(cur, v) + dist(v, t)`` — each
+step is O(neighbours) distance queries, giving the paper's O(k)
+distance-query cost (§4.6). Once the walk enters the target's outer
+shell the remaining (short, local) stretch is delegated to the
+fallback, which is the same "resort to an alternative method" rule the
+paper applies; the output path is identical either way because every
+step provably stays on a shortest path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import QueryTechnique
+from repro.core.tnr.index import TNRIndex
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+@dataclass
+class TNRQueryStats:
+    """How often the last queries used the table vs the fallback."""
+
+    answered_by_table: int = 0
+    answered_by_fallback: int = 0
+    walk_steps: int = 0
+
+    def reset(self) -> None:
+        self.answered_by_table = 0
+        self.answered_by_fallback = 0
+        self.walk_steps = 0
+
+
+def greedy_path(
+    graph: Graph,
+    distance,
+    keep_walking,
+    fallback: QueryTechnique,
+    source: int,
+    target: int,
+    stats: TNRQueryStats,
+) -> tuple[float, list[int] | None]:
+    """The §3.3 shortest-path walk, shared by plain and hybrid TNR.
+
+    ``distance(u, v)`` must be exact for every pair it is asked about
+    (it may internally fall back); ``keep_walking(u, target)`` decides
+    whether the table-driven walk continues from ``u`` or the rest of
+    the path is delegated to ``fallback``. Every accepted step ``v``
+    satisfies ``w(cur, v) + dist(v, t) == dist(cur, t)``, i.e. stays on
+    a shortest path, so the concatenated result is exact.
+    """
+    if source == target:
+        return 0.0, [source]
+    total = distance(source, target)
+    if math.isinf(total):
+        return INF, None
+
+    path = [source]
+    current = source
+    remaining = total
+    while current != target and keep_walking(current, target):
+        best_v, best_d = -1, INF
+        for v, w in graph.neighbors(current):
+            candidate = w + distance(v, target)
+            if candidate < best_d or (candidate == best_d and v < best_v):
+                best_v, best_d = v, candidate
+        if best_v < 0 or best_d > remaining + 1e-6:
+            # Defensive: a correct index never hits this (the neighbour
+            # on the shortest path always matches), but a *flawed*
+            # index (Appendix B) can — degrade gracefully.
+            break
+        stats.walk_steps += 1
+        path.append(best_v)
+        remaining -= graph.edge_weight(current, best_v)
+        current = best_v
+
+    if current != target:
+        _, tail = fallback.path(current, target)
+        if tail is None:
+            return INF, None
+        path.extend(tail[1:])
+    return total, path
+
+
+class TransitNodeRouting:
+    """The TNR query object; implements the common technique interface.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    index:
+        A built :class:`TNRIndex`.
+    fallback:
+        Any :class:`~repro.core.base.QueryTechnique` used for pairs the
+        table cannot answer — CH in the paper's recommended setup,
+        bidirectional Dijkstra in the Appendix E.1 ablation.
+    """
+
+    name = "TNR"
+
+    def __init__(self, graph: Graph, index: TNRIndex, fallback: QueryTechnique):
+        self.graph = graph
+        self.index = index
+        self.fallback = fallback
+        self.stats = TNRQueryStats()
+
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Distance query: Equation 1 when answerable, else fallback."""
+        if source == target:
+            return 0.0
+        if not self.index.answerable(source, target):
+            self.stats.answered_by_fallback += 1
+            return self.fallback.distance(source, target)
+        self.stats.answered_by_table += 1
+        return self._table_distance(source, target)
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        """Shortest path query by greedy neighbour walking (§3.3)."""
+        grid = self.index.grid
+        return greedy_path(
+            graph=self.graph,
+            distance=self.distance,
+            keep_walking=lambda u, t: grid.beyond_outer_shell(
+                grid.cell_of_vertex[u], grid.cell_of_vertex[t]
+            ),
+            fallback=self.fallback,
+            source=source,
+            target=target,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _table_distance(self, source: int, target: int) -> float:
+        """Equation 1 over the access nodes of both endpoint cells."""
+        index = self.index
+        ai = index.vertex_access[source]
+        aj = index.vertex_access[target]
+        if len(ai) == 0 or len(aj) == 0:
+            # No access nodes: nothing beyond the outer shell was
+            # reachable at build time, so the pair is disconnected.
+            return INF
+        ds = index.vertex_access_dist[source]
+        dt = index.vertex_access_dist[target]
+        # float64 throughout: the table stores exactly-representable
+        # integer travel times, so sums stay exact.
+        middle = index.table[np.ix_(ai, aj)].astype(np.float64)
+        totals = ds[:, None] + middle + dt[None, :]
+        return float(totals.min())

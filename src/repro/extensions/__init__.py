@@ -1,0 +1,41 @@
+"""Appendix A techniques, implemented as ablation baselines.
+
+The paper's Appendix A surveys the methods its main evaluation leaves
+out because prior work [26] showed them inferior to CH. Two of them are
+implemented here so the ablation benches can confirm that claim on our
+networks:
+
+- :mod:`~repro.extensions.alt` — ALT [12]: A* with landmark
+  lower bounds from the triangle inequality;
+- :mod:`~repro.extensions.arcflags` — Arc Flags [15]: grid-partitioned
+  edge flags pruning Dijkstra's relaxations;
+- :mod:`~repro.extensions.reach` — RE [13]: exact reach values pruning
+  Dijkstra with a certified geometric lower bound;
+- :mod:`~repro.extensions.hepv` — HEPV [16]: grid partition with
+  encoded boundary-to-boundary path views (and the space blow-up the
+  paper cites);
+- :mod:`~repro.extensions.approx_oracle` — the [24]-style ε-approximate
+  distance oracle (single-lookup PCPD revision).
+
+HiTi [17] is deliberately absent: the paper excludes it because it
+requires Euclidean edge weights, and our networks (like the paper's)
+carry travel times.
+"""
+
+from repro.extensions.alt import ALT, build_alt
+from repro.extensions.approx_oracle import ApproxDistanceOracle
+from repro.extensions.arcflags import ArcFlags, build_arcflags
+from repro.extensions.hepv import HEPV, build_hepv
+from repro.extensions.reach import Reach, build_reach
+
+__all__ = [
+    "ALT",
+    "ApproxDistanceOracle",
+    "ArcFlags",
+    "HEPV",
+    "Reach",
+    "build_alt",
+    "build_arcflags",
+    "build_hepv",
+    "build_reach",
+]

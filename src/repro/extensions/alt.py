@@ -1,0 +1,178 @@
+"""ALT — A* with landmarks and the triangle inequality (Appendix A).
+
+    "ALT preprocesses the road network by first selecting a small set
+    of vertices, called the landmarks. Then, it pre-computes the
+    distance from each vertex in V to each landmark. With the
+    pre-computed distances, we can efficiently derive a lowerbound of
+    dist(s, v) + dist(v, t) ... ALT incorporates such lowerbounds with
+    Dijkstra's algorithm to improve query efficiency." [12]
+
+For any landmark L the triangle inequality gives
+``dist(v, t) >= |dist(L, t) - dist(L, v)|``; the potential is the max
+over landmarks. Landmarks are chosen by *farthest selection* (each new
+landmark maximises the distance to the chosen set), the standard
+heuristic that puts them on the network's periphery.
+
+The paper excludes ALT from its main evaluation because prior work
+showed it "inferior to CH in terms of both space overhead and query
+performance" [26] — the ablation bench confirms exactly that here.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+from repro.core.dijkstra import dijkstra_sssp
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+@dataclass
+class ALTBuildStats:
+    seconds: float = 0.0
+    landmarks: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ALTIndex:
+    """Per-landmark distance columns: ``dist_to[k][v] = dist(L_k, v)``."""
+
+    landmarks: list[int]
+    dist_to: list[list[float]]
+    stats: ALTBuildStats = field(default_factory=ALTBuildStats)
+
+
+def select_landmarks(graph: Graph, k: int, seed_vertex: int = 0) -> list[int]:
+    """Farthest-selection landmarks (peripheral spread)."""
+    if k < 1:
+        raise ValueError("need at least one landmark")
+    first_dist, _ = dijkstra_sssp(graph, seed_vertex)
+    start = max(range(graph.n), key=lambda v: (first_dist[v], -v)
+                if not math.isinf(first_dist[v]) else (-1.0, -v))
+    landmarks = [start]
+    min_dist = dijkstra_sssp(graph, start)[0]
+    while len(landmarks) < min(k, graph.n):
+        nxt = max(
+            range(graph.n),
+            key=lambda v: (min_dist[v], -v) if not math.isinf(min_dist[v]) else (-1.0, -v),
+        )
+        if nxt in landmarks:
+            break
+        landmarks.append(nxt)
+        d, _ = dijkstra_sssp(graph, nxt)
+        min_dist = [min(a, b) for a, b in zip(min_dist, d)]
+    return landmarks
+
+
+def build_alt(graph: Graph, n_landmarks: int = 8) -> ALTIndex:
+    """Select landmarks and materialise their distance columns."""
+    if not graph.frozen:
+        raise ValueError("freeze() the graph before building an index")
+    start = time.perf_counter()
+    landmarks = select_landmarks(graph, n_landmarks)
+    dist_to = [dijkstra_sssp(graph, L)[0] for L in landmarks]
+    stats = ALTBuildStats(seconds=time.perf_counter() - start, landmarks=landmarks)
+    return ALTIndex(landmarks=landmarks, dist_to=dist_to, stats=stats)
+
+
+class ALT:
+    """A* over landmark potentials; exact for any landmark set.
+
+    The potential ``pi(v) = max_k |dist(L_k, t) - dist(L_k, v)|`` is a
+    *consistent* heuristic (each term satisfies the triangle
+    inequality), so the first settlement of ``t`` is optimal.
+    """
+
+    name = "ALT"
+
+    def __init__(self, graph: Graph, index: ALTIndex) -> None:
+        if index.dist_to and len(index.dist_to[0]) != graph.n:
+            raise ValueError("index was built for a different graph")
+        self.graph = graph
+        self.index = index
+        self.last_settled = 0
+
+    @classmethod
+    def build(cls, graph: Graph, n_landmarks: int = 8) -> "ALT":
+        return cls(graph, build_alt(graph, n_landmarks))
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        return self.index.stats.seconds
+
+    # ------------------------------------------------------------------
+    def potential(self, v: int, target: int) -> float:
+        """Lower bound on dist(v, target) from the landmark columns."""
+        best = 0.0
+        for column in self.index.dist_to:
+            dv, dt = column[v], column[target]
+            if math.isinf(dv) or math.isinf(dt):
+                continue
+            bound = dt - dv
+            if bound < 0:
+                bound = -bound
+            if bound > best:
+                best = bound
+        return best
+
+    def distance(self, source: int, target: int) -> float:
+        d, _ = self._astar(source, target, want_path=False)
+        return d
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        return self._astar(source, target, want_path=True)
+
+    # ------------------------------------------------------------------
+    def _astar(
+        self, source: int, target: int, want_path: bool
+    ) -> tuple[float, list[int] | None]:
+        if source == target:
+            return 0.0, [source]
+        graph = self.graph
+        columns = self.index.dist_to
+        t_cols = [c[target] for c in columns]
+
+        def pot(v: int) -> float:
+            best = 0.0
+            for c, dt in zip(columns, t_cols):
+                dv = c[v]
+                if math.isinf(dv) or math.isinf(dt):
+                    continue
+                b = dt - dv
+                if b < 0:
+                    b = -b
+                if b > best:
+                    best = b
+            return best
+
+        dist: dict[int, float] = {source: 0.0}
+        parent: dict[int, int] = {source: source}
+        settled: set[int] = set()
+        heap: list[tuple[float, int]] = [(pot(source), source)]
+        while heap:
+            _, u = heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if u == target:
+                self.last_settled = len(settled)
+                if not want_path:
+                    return dist[u], None
+                path = [u]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return dist[u], path
+            du = dist[u]
+            for v, w in graph.neighbors(u):
+                nd = du + w
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    parent[v] = u
+                    heappush(heap, (nd + pot(v), v))
+        self.last_settled = len(settled)
+        return INF, None

@@ -1,0 +1,183 @@
+"""An ε-approximate distance oracle in the spirit of [24] (Appendix A).
+
+    "Sankaranarayanan and Samet [24] propose a revised version of PCPD
+    that can handle approximate distance queries efficiently."
+
+PCPD answers a distance query with O(k) lookups because it must walk
+the whole path. The approximate revision trades exactness for a single
+O(log n) lookup: pairs of squares are split not until all paths share
+an edge, but until both sides are *well separated* — their network
+diameters are at most ε times the distance between their
+representatives. The stored representative distance then approximates
+every cross distance:
+
+    dist(s, t) ≥ d_rep · (1 - 2ε)  and  dist(s, t) ≤ d_rep · (1 + 2ε)
+
+so the returned ``d_rep`` is within a relative error of ``2ε/(1-2ε)``
+of the truth (``ε < 0.5`` required). Diameters are upper-bounded by
+twice the representative's eccentricity, which keeps construction at
+one APSP reuse plus linear scans per pair.
+
+Like PCPD, the construction is Θ(n²) — this is a *small-network*
+oracle, used here to complete the Appendix A picture, not to compete
+with CH.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.core.pcpd.pairs import APSPTables, quadrant_of, quadrant_split
+from repro.graph.coords import BoundingBox, square_hull
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+#: Recursion guard, same rationale as PCPD's.
+MAX_DEPTH = 48
+
+
+class _Node:
+    __slots__ = ("approx", "children")
+
+    def __init__(self) -> None:
+        self.approx: float | None = None
+        self.children: dict[tuple[int, int], "_Node"] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.approx is not None
+
+    def count_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        if not self.children:
+            return 0
+        return sum(c.count_leaves() for c in self.children.values())
+
+
+@dataclass
+class ApproxOracleStats:
+    seconds: float = 0.0
+    n_pairs: int = 0
+
+
+@dataclass
+class ApproxOracleIndex:
+    graph: Graph
+    epsilon: float
+    root: _Node
+    hull: BoundingBox
+    stats: ApproxOracleStats = field(default_factory=ApproxOracleStats)
+
+
+class ApproxDistanceOracle:
+    """Single-lookup ε-approximate distance queries."""
+
+    name = "ApproxOracle"
+
+    def __init__(self, index: ApproxOracleIndex) -> None:
+        self.index = index
+
+    @classmethod
+    def build(cls, graph: Graph, epsilon: float = 0.25) -> "ApproxDistanceOracle":
+        """Construct the oracle; ``0 < epsilon < 0.5``."""
+        if not 0 < epsilon < 0.5:
+            raise ValueError("epsilon must be in (0, 0.5)")
+        if not graph.frozen:
+            raise ValueError("freeze() the graph before building an index")
+        started = time.perf_counter()
+        tables = APSPTables.compute(graph)
+        hull = square_hull(graph.bounding_box())
+        root = _Node()
+        everything = list(range(graph.n))
+        stack = [(root, hull, everything, hull, everything, 0)]
+        while stack:
+            node, box_x, xs, box_y, ys, depth = stack.pop()
+            approx = _separated_distance(tables, xs, ys, epsilon)
+            if approx is not None:
+                node.approx = approx
+                continue
+            if depth >= MAX_DEPTH:
+                raise RuntimeError(
+                    "approximate oracle exceeded maximum depth; duplicate "
+                    "vertex coordinates in the input"
+                )
+            node.children = {}
+            for qi, (bx, vx) in enumerate(quadrant_split(box_x, xs, graph)):
+                if not vx:
+                    continue
+                for qj, (by, vy) in enumerate(quadrant_split(box_y, ys, graph)):
+                    if not vy:
+                        continue
+                    if len(vx) == 1 and len(vy) == 1 and vx[0] == vy[0]:
+                        continue
+                    child = _Node()
+                    node.children[(qi, qj)] = child
+                    stack.append((child, bx, vx, by, vy, depth + 1))
+        index = ApproxOracleIndex(
+            graph=graph, epsilon=epsilon, root=root, hull=hull
+        )
+        index.stats.seconds = time.perf_counter() - started
+        index.stats.n_pairs = root.count_leaves()
+        return cls(index)
+
+    # ------------------------------------------------------------------
+    @property
+    def guaranteed_relative_error(self) -> float:
+        """The worst-case relative error of :meth:`distance`."""
+        eps = self.index.epsilon
+        return 2 * eps / (1 - 2 * eps)
+
+    def distance(self, source: int, target: int) -> float:
+        """One O(log n) descent; within the guaranteed relative error."""
+        if source == target:
+            return 0.0
+        idx = self.index
+        g = idx.graph
+        sx, sy = g.xs[source], g.ys[source]
+        tx, ty = g.xs[target], g.ys[target]
+        node = idx.root
+        box_x, box_y = idx.hull, idx.hull
+        while not node.is_leaf:
+            if node.children is None:
+                return INF
+            qi = quadrant_of(box_x, sx, sy)
+            qj = quadrant_of(box_y, tx, ty)
+            child = node.children.get((qi, qj))
+            if child is None:
+                return INF
+            node = child
+            box_x = box_x.quadrants()[qi]
+            box_y = box_y.quadrants()[qj]
+        assert node.approx is not None
+        return node.approx
+
+
+def _separated_distance(
+    tables: APSPTables, xs: list[int], ys: list[int], epsilon: float
+) -> float | None:
+    """Representative distance if (xs, ys) is ε-well-separated.
+
+    Separation test: ``2·ecc_rep(X) + 2·ecc_rep(Y) ≤ 2ε·d(repX, repY)``
+    — twice the representative eccentricity upper-bounds a side's
+    network diameter. Singleton/singleton pairs always separate
+    (diameter zero), unreachable singleton pairs store ``inf``.
+    """
+    rep_x, rep_y = xs[0], ys[0]
+    if len(xs) == 1 and len(ys) == 1:
+        if rep_x == rep_y:
+            return None  # the trivial pair is handled by the caller
+        return float(tables.dist[rep_x][rep_y])
+    d = float(tables.dist[rep_x][rep_y])
+    if math.isinf(d) or d <= 0:
+        return None  # overlapping or unreachable: keep splitting
+    row_x = tables.dist[rep_x]
+    row_y = tables.dist[rep_y]
+    diam_x = 2 * max(row_x[v] for v in xs)
+    diam_y = 2 * max(row_y[v] for v in ys)
+    if diam_x + diam_y <= 2 * epsilon * d:
+        return d
+    return None

@@ -1,0 +1,182 @@
+"""Arc Flags (Hilger et al. [15], paper Appendix A).
+
+    "Arc Flags ... also imposes a grid on the road network. In the
+    preprocessing step, for each vertex v and each edge e incident to
+    v, Arc Flags tags e with the grid cells in which there is at least
+    one vertex v' whose shortest path to v' passes through e. Then ...
+    Arc Flags can efficiently identify the shortest path or distance
+    between s and t by applying a revised version of Dijkstra's
+    algorithm that avoids visiting irrelevant edges."
+
+Preprocessing is the classic boundary-vertex scheme: for every region
+(grid cell with vertices), run a full Dijkstra from each *boundary*
+vertex and flag every shortest-path-DAG edge pointing towards it;
+intra-region edges are flagged for their own region. Flagging the whole
+DAG (not one tree) keeps queries exact under ties.
+
+The preprocessing costs one full Dijkstra per boundary vertex — far
+more than CH — which is part of why the paper's main evaluation leaves
+Arc Flags out (shown inferior to CH in [26]); the ablation bench
+quantifies both sides of that trade here.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+from repro.core.dijkstra import dijkstra_sssp
+from repro.graph.graph import Graph
+from repro.graph.coords import square_hull
+
+INF = math.inf
+
+
+@dataclass
+class ArcFlagsBuildStats:
+    seconds: float = 0.0
+    regions: int = 0
+    boundary_vertices: int = 0
+
+
+@dataclass
+class ArcFlagsIndex:
+    """Directed-edge flag bitmasks over ``k x k`` grid regions.
+
+    ``flags[u][v]`` is a bitmask: bit ``r`` set means the directed edge
+    ``u -> v`` lies on some shortest path into region ``r``.
+    """
+
+    k: int
+    region_of: list[int]
+    flags: list[dict[int, int]]
+    stats: ArcFlagsBuildStats = field(default_factory=ArcFlagsBuildStats)
+
+
+def _regions(graph: Graph, k: int) -> list[int]:
+    hull = square_hull(graph.bounding_box())
+    side = hull.side or 1.0
+    cell = side / k
+    region = []
+    for v in range(graph.n):
+        ix = min(k - 1, max(0, int((graph.xs[v] - hull.xmin) / cell)))
+        iy = min(k - 1, max(0, int((graph.ys[v] - hull.ymin) / cell)))
+        region.append(iy * k + ix)
+    return region
+
+
+def build_arcflags(graph: Graph, k: int = 4) -> ArcFlagsIndex:
+    """Compute arc flags over a ``k x k`` region grid."""
+    if not graph.frozen:
+        raise ValueError("freeze() the graph before building an index")
+    start = time.perf_counter()
+    region_of = _regions(graph, k)
+    flags: list[dict[int, int]] = [
+        {v: 0 for v, _ in graph.neighbors(u)} for u in range(graph.n)
+    ]
+
+    # Intra-region edges are always allowed towards their own region.
+    for u in range(graph.n):
+        ru = region_of[u]
+        for v, _ in graph.neighbors(u):
+            if region_of[v] == ru:
+                flags[u][v] |= 1 << ru
+                flags[v][u] |= 1 << ru
+
+    # Boundary vertices: endpoints of region-crossing edges.
+    boundary: set[int] = set()
+    for u in range(graph.n):
+        for v, _ in graph.neighbors(u):
+            if region_of[u] != region_of[v]:
+                boundary.add(u)
+                boundary.add(v)
+
+    for b in sorted(boundary):
+        bit = 1 << region_of[b]
+        dist, _ = dijkstra_sssp(graph, b)
+        # Flag every DAG edge pointing towards b: travelling u -> v is
+        # "towards b" when dist(b, v) + w == dist(b, u).
+        for u in range(graph.n):
+            du = dist[u]
+            if math.isinf(du):
+                continue
+            for v, w in graph.neighbors(u):
+                if dist[v] + w == du:
+                    flags[u][v] |= bit
+
+    stats = ArcFlagsBuildStats(
+        seconds=time.perf_counter() - start,
+        regions=k * k,
+        boundary_vertices=len(boundary),
+    )
+    return ArcFlagsIndex(k=k, region_of=region_of, flags=flags, stats=stats)
+
+
+class ArcFlags:
+    """Flag-pruned Dijkstra; exact thanks to DAG-complete flags."""
+
+    name = "ArcFlags"
+
+    def __init__(self, graph: Graph, index: ArcFlagsIndex) -> None:
+        if len(index.region_of) != graph.n:
+            raise ValueError("index was built for a different graph")
+        self.graph = graph
+        self.index = index
+        self.last_settled = 0
+
+    @classmethod
+    def build(cls, graph: Graph, k: int = 4) -> "ArcFlags":
+        return cls(graph, build_arcflags(graph, k))
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        return self.index.stats.seconds
+
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        d, _ = self._search(source, target, want_path=False)
+        return d
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        return self._search(source, target, want_path=True)
+
+    def _search(
+        self, source: int, target: int, want_path: bool
+    ) -> tuple[float, list[int] | None]:
+        if source == target:
+            return 0.0, [source]
+        graph = self.graph
+        flags = self.index.flags
+        bit = 1 << self.index.region_of[target]
+
+        dist: dict[int, float] = {source: 0.0}
+        parent: dict[int, int] = {source: source}
+        settled: set[int] = set()
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if u == target:
+                self.last_settled = len(settled)
+                if not want_path:
+                    return d, None
+                path = [u]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return d, path
+            row = flags[u]
+            for v, w in graph.neighbors(u):
+                if not row[v] & bit:
+                    continue  # edge flagged irrelevant for t's region
+                nd = d + w
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    parent[v] = u
+                    heappush(heap, (nd, v))
+        self.last_settled = len(settled)
+        return INF, None

@@ -1,0 +1,162 @@
+"""RE — reach-based pruning (Goldberg et al. [13], paper Appendix A).
+
+    "for any shortest path that passes through v, the reach of v is an
+    upperbound on min{dist(s', v), dist(v, t')} ... given any two
+    vertices s and t, if the reach of v is smaller than both dist(s, v)
+    and dist(v, t), then v cannot be on the shortest path from s to t."
+
+Reach values here are *exact* (not the upper bounds engineered for
+continent-scale graphs): from the all-pairs distance matrix,
+
+    reach(v) = max over (s, t) with d(s,v) + d(v,t) = d(s,t)
+               of min(d(s,v), d(v,t))
+
+computed as n vectorised n×n passes — Θ(n³) work that numpy keeps
+affordable at this library's spatial-method scale, and another reason
+(besides the query numbers) the paper's main evaluation sticks with CH.
+
+Queries run Dijkstra with the pruning test above; ``dist(v, t)`` is
+replaced by its certified geometric lower bound (straight-line distance
+over the network's best speed), which keeps the test safe: pruning only
+fires when ``reach(v)`` is below both a true distance and a true lower
+bound, so no vertex of any shortest path is ever pruned.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.core.dijkstra import dijkstra_sssp
+from repro.graph.graph import Graph
+from repro.queries.knn import certified_max_speed
+
+INF = math.inf
+
+
+@dataclass
+class ReachBuildStats:
+    seconds: float = 0.0
+
+
+@dataclass
+class ReachIndex:
+    """Exact reach per vertex plus the geometric bound's speed."""
+
+    reach: np.ndarray
+    max_speed: float
+    stats: ReachBuildStats = field(default_factory=ReachBuildStats)
+
+
+def compute_reaches(graph: Graph) -> np.ndarray:
+    """Exact reach values from the all-pairs distance matrix."""
+    n = graph.n
+    dist = np.empty((n, n), dtype=np.float64)
+    for s in range(n):
+        dist[s] = dijkstra_sssp(graph, s)[0]
+    reach = np.zeros(n, dtype=np.float64)
+    for v in range(n):
+        to_v = dist[:, v][:, None]      # d(s, v)
+        from_v = dist[v, :][None, :]    # d(v, t)
+        with np.errstate(invalid="ignore"):
+            on_path = (to_v + from_v) == dist
+        if not on_path.any():
+            continue
+        contribution = np.minimum(
+            np.broadcast_to(to_v, dist.shape),
+            np.broadcast_to(from_v, dist.shape),
+        )
+        reach[v] = contribution[on_path].max()
+    return reach
+
+
+def build_reach(graph: Graph) -> ReachIndex:
+    """Exact reach preprocessing (Θ(n³); small networks only)."""
+    if not graph.frozen:
+        raise ValueError("freeze() the graph before building an index")
+    started = time.perf_counter()
+    index = ReachIndex(
+        reach=compute_reaches(graph),
+        max_speed=certified_max_speed(graph),
+    )
+    index.stats.seconds = time.perf_counter() - started
+    return index
+
+
+class Reach:
+    """Reach-pruned Dijkstra; exact (see module docstring)."""
+
+    name = "RE"
+
+    def __init__(self, graph: Graph, index: ReachIndex) -> None:
+        if len(index.reach) != graph.n:
+            raise ValueError("index was built for a different graph")
+        self.graph = graph
+        self.index = index
+        self.last_settled = 0
+
+    @classmethod
+    def build(cls, graph: Graph) -> "Reach":
+        return cls(graph, build_reach(graph))
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        return self.index.stats.seconds
+
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        d, _ = self._search(source, target, want_path=False)
+        return d
+
+    def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
+        return self._search(source, target, want_path=True)
+
+    def _search(
+        self, source: int, target: int, want_path: bool
+    ) -> tuple[float, list[int] | None]:
+        if source == target:
+            return 0.0, [source]
+        graph = self.graph
+        reach = self.index.reach
+        speed = self.index.max_speed
+        tx, ty = graph.xs[target], graph.ys[target]
+        xs, ys = graph.xs, graph.ys
+
+        dist: dict[int, float] = {source: 0.0}
+        parent: dict[int, int] = {source: source}
+        settled: set[int] = set()
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if u == target:
+                self.last_settled = len(settled)
+                if not want_path:
+                    return d, None
+                path = [u]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return d, path
+            for v, w in graph.neighbors(u):
+                nd = d + w
+                if v != target:
+                    # The [13] test with a certified geometric lower
+                    # bound standing in for dist(v, t).
+                    r = reach[v]
+                    if r < nd:
+                        lower = math.hypot(xs[v] - tx, ys[v] - ty) / speed
+                        if r < lower:
+                            continue
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    parent[v] = u
+                    heappush(heap, (nd, v))
+        self.last_settled = len(settled)
+        return INF, None

@@ -1,0 +1,32 @@
+"""Road-network graph substrate.
+
+This subpackage provides everything the query techniques are built on:
+
+- :class:`~repro.graph.graph.Graph` — an undirected, weighted,
+  coordinate-embedded graph tailored to road networks.
+- :mod:`~repro.graph.coords` — bounding boxes and distance metrics.
+- :mod:`~repro.graph.morton` — Z-order (Morton) codes used by SILC.
+- :mod:`~repro.graph.dimacs` — DIMACS challenge ``.gr``/``.co`` IO.
+- :mod:`~repro.graph.generators` — synthetic road-network generators.
+- :mod:`~repro.graph.components` — connectivity utilities.
+- :mod:`~repro.graph.pqueue` — addressable binary heap.
+"""
+
+from repro.graph.components import connected_components, largest_component
+from repro.graph.coords import BoundingBox, chebyshev, euclidean
+from repro.graph.graph import Edge, Graph
+from repro.graph.morton import morton_decode, morton_encode
+from repro.graph.pqueue import AddressableHeap
+
+__all__ = [
+    "AddressableHeap",
+    "BoundingBox",
+    "Edge",
+    "Graph",
+    "chebyshev",
+    "connected_components",
+    "euclidean",
+    "largest_component",
+    "morton_decode",
+    "morton_encode",
+]

@@ -1,0 +1,50 @@
+"""Connectivity utilities.
+
+The paper assumes connected road networks (§2). Synthetic generation or
+DIMACS subsetting can leave stray components, so every dataset passes
+through :func:`largest_component` before indexing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.graph import Graph
+
+
+def connected_components(g: Graph) -> list[list[int]]:
+    """All connected components, largest first, each sorted by vertex id."""
+    seen = [False] * g.n
+    components: list[list[int]] = []
+    for start in range(g.n):
+        if seen[start]:
+            continue
+        comp = [start]
+        seen[start] = True
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v, _ in g.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    queue.append(v)
+        comp.sort()
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(g: Graph) -> bool:
+    """Whether the graph is a single connected component."""
+    if g.n == 0:
+        return True
+    return len(connected_components(g)[0]) == g.n
+
+
+def largest_component(g: Graph) -> tuple[Graph, list[int]]:
+    """Subgraph induced by the largest component plus the old-id map."""
+    if g.n == 0:
+        return g.copy(), []
+    comp = connected_components(g)[0]
+    return g.induced_subgraph(comp)

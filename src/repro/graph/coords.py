@@ -1,0 +1,141 @@
+"""Coordinate utilities: bounding boxes and planar distance metrics.
+
+The paper's workload generator buckets queries by the L∞ (Chebyshev)
+distance between endpoints measured over a grid imposed on the network's
+bounding box (§4.2), so the bounding box and the Chebyshev metric are
+first-class citizens here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def euclidean(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean (L2) distance between two planar points."""
+    return math.hypot(x2 - x1, y2 - y1)
+
+
+def chebyshev(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Chebyshev (L∞) distance between two planar points."""
+    return max(abs(x2 - x1), abs(y2 - y1))
+
+
+def manhattan(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Manhattan (L1) distance between two planar points."""
+    return abs(x2 - x1) + abs(y2 - y1)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box of a point set.
+
+    ``xmin == xmax`` (or ``ymin == ymax``) is legal and describes a
+    degenerate box; :meth:`side` is then zero along that axis.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"inverted bounding box: {self}")
+
+    @staticmethod
+    def of_points(xs: Sequence[float], ys: Sequence[float]) -> "BoundingBox":
+        """Bounding box of the points ``zip(xs, ys)``.
+
+        Raises :class:`ValueError` on an empty point set.
+        """
+        if len(xs) == 0 or len(xs) != len(ys):
+            raise ValueError("need a non-empty, equal-length coordinate pair")
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def side(self) -> float:
+        """The longer side; the square hull of the box has this side."""
+        return max(self.width, self.height)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether ``(x, y)`` lies in the (closed) box."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the closed boxes share at least one point."""
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """A copy grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return BoundingBox(
+            self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin
+        )
+
+    def quadrants(self) -> tuple["BoundingBox", "BoundingBox", "BoundingBox", "BoundingBox"]:
+        """Split into four equal quadrants (SW, SE, NW, NE)."""
+        cx = (self.xmin + self.xmax) / 2.0
+        cy = (self.ymin + self.ymax) / 2.0
+        return (
+            BoundingBox(self.xmin, self.ymin, cx, cy),
+            BoundingBox(cx, self.ymin, self.xmax, cy),
+            BoundingBox(self.xmin, cy, cx, self.ymax),
+            BoundingBox(cx, cy, self.xmax, self.ymax),
+        )
+
+
+def square_hull(box: BoundingBox) -> BoundingBox:
+    """Smallest square box containing ``box``, anchored at its min corner.
+
+    SILC's quadtree and PCPD's quadrant splits both operate on squares;
+    anchoring at the min corner keeps Morton codes monotone in x and y.
+    The max corner is clamped up to the original corners because
+    ``min + (max - min)`` can round *below* ``max`` in floating point,
+    which would push boundary points outside the hull.
+    """
+    side = box.side
+    return BoundingBox(
+        box.xmin,
+        box.ymin,
+        max(box.xmin + side, box.xmax),
+        max(box.ymin + side, box.ymax),
+    )
+
+
+def bucket_of(value: float, cell: float) -> int:
+    """Index of the half-open bucket ``[k*cell, (k+1)*cell)`` holding ``value``.
+
+    Used to place vertices into grid cells; values exactly on the top
+    boundary of the last cell are clamped into it by callers.
+    """
+    if cell <= 0:
+        raise ValueError("cell size must be positive")
+    return int(math.floor(value / cell))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on an empty iterable."""
+    total, count = 0.0, 0
+    for v in values:
+        total += v
+        count += 1
+    if count == 0:
+        raise ValueError("mean of empty iterable")
+    return total / count

@@ -1,0 +1,281 @@
+"""The core road-network graph structure.
+
+The paper (§2) models a road network as a degree-bounded, connected,
+undirected graph with positive edge weights (travel times). ``Graph``
+mirrors that model:
+
+- vertices are dense integer ids ``0 .. n-1``;
+- every vertex carries planar coordinates (needed by TNR's grid, SILC's
+  quadtree, PCPD's square pairs, and the workload generators);
+- edges are undirected with strictly positive weights;
+- adjacency is a list of ``(neighbour, weight)`` lists, the layout the
+  C++ reference implementation uses (Appendix D) translated to Python.
+
+The structure is append-only after :meth:`freeze`; the query indexes all
+assume the graph does not change underneath them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.graph.coords import BoundingBox, chebyshev, euclidean
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected edge, normalised so that ``u < v``."""
+
+    u: int
+    v: int
+    weight: float
+
+    @staticmethod
+    def make(u: int, v: int, weight: float) -> "Edge":
+        """Create a normalised edge (smaller endpoint first)."""
+        if u > v:
+            u, v = v, u
+        return Edge(u, v, weight)
+
+    def key(self) -> tuple[int, int]:
+        """The normalised ``(min, max)`` endpoint pair."""
+        return (self.u, self.v)
+
+    def other(self, w: int) -> int:
+        """The endpoint that is not ``w``."""
+        if w == self.u:
+            return self.v
+        if w == self.v:
+            return self.u
+        raise ValueError(f"vertex {w} is not an endpoint of {self}")
+
+
+class Graph:
+    """Undirected, weighted, coordinate-embedded road network.
+
+    Parameters
+    ----------
+    xs, ys:
+        Vertex coordinates; ``len(xs)`` defines the vertex count.
+    edges:
+        Iterable of ``(u, v, weight)``. Parallel edges collapse to the
+        minimum weight (the only one a shortest-path query can use);
+        self-loops are rejected.
+
+    Examples
+    --------
+    >>> g = Graph([0.0, 1.0, 2.0], [0.0, 0.0, 0.0],
+    ...           [(0, 1, 1.0), (1, 2, 1.0)])
+    >>> g.n, g.m
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [(0, 1.0), (2, 1.0)]
+    """
+
+    __slots__ = ("xs", "ys", "_adj", "_m", "_frozen", "_bbox", "_wmaps")
+
+    def __init__(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        edges: Iterable[tuple[int, int, float]] = (),
+    ) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        self.xs: list[float] = [float(x) for x in xs]
+        self.ys: list[float] = [float(y) for y in ys]
+        self._adj: list[list[tuple[int, float]]] = [[] for _ in range(len(self.xs))]
+        self._m = 0
+        self._frozen = False
+        self._bbox: BoundingBox | None = None
+        self._wmaps: list[dict[int, float]] | None = None
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Insert an undirected edge; parallel edges keep the lighter one."""
+        if self._frozen:
+            raise RuntimeError("graph is frozen; indexes may depend on it")
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u} is not allowed")
+        weight = float(weight)
+        if weight <= 0:
+            raise ValueError(f"edge ({u}, {v}) has non-positive weight {weight}")
+        existing = self._edge_index(u, v)
+        if existing is None:
+            self._adj[u].append((v, weight))
+            self._adj[v].append((u, weight))
+            self._m += 1
+        else:
+            i, j = existing
+            if weight < self._adj[u][i][1]:
+                self._adj[u][i] = (v, weight)
+                self._adj[v][j] = (u, weight)
+
+    def freeze(self) -> "Graph":
+        """Mark the graph immutable; returns ``self`` for chaining."""
+        self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.xs)
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self._m
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def neighbors(self, u: int) -> list[tuple[int, float]]:
+        """``(neighbour, weight)`` pairs of ``u`` (do not mutate)."""
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def max_degree(self) -> int:
+        """Largest vertex degree (the paper assumes this is bounded)."""
+        return max((len(a) for a in self._adj), default=0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._edge_index(u, v) is not None
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; raises :class:`KeyError` if absent."""
+        found = self._edge_index(u, v)
+        if found is None:
+            raise KeyError(f"no edge between {u} and {v}")
+        return self._adj[u][found[0]][1]
+
+    def weight_map(self, u: int) -> dict[int, float]:
+        """``{neighbour: weight}`` of ``u`` — O(1) weight lookups.
+
+        Built lazily for the whole graph on first use and only on
+        frozen graphs (mutation would invalidate it). This is the hot
+        lookup inside SILC/PCPD/TNR path walks, which fetch one edge
+        weight per path edge.
+        """
+        if self._wmaps is None:
+            if not self._frozen:
+                raise RuntimeError("weight_map requires a frozen graph")
+            self._wmaps = [dict(nbrs) for nbrs in self._adj]
+        return self._wmaps[u]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate each undirected edge exactly once (normalised)."""
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs:
+                if u < v:
+                    yield Edge(u, v, w)
+
+    def coord(self, u: int) -> tuple[float, float]:
+        """``(x, y)`` coordinates of vertex ``u``."""
+        return (self.xs[u], self.ys[u])
+
+    def bounding_box(self) -> BoundingBox:
+        """Bounding box of the vertex coordinates (cached once frozen)."""
+        if self._bbox is not None and self._frozen:
+            return self._bbox
+        box = BoundingBox.of_points(self.xs, self.ys)
+        if self._frozen:
+            self._bbox = box
+        return box
+
+    def euclidean_distance(self, u: int, v: int) -> float:
+        """Straight-line distance between two vertices."""
+        return euclidean(self.xs[u], self.ys[u], self.xs[v], self.ys[v])
+
+    def chebyshev_distance(self, u: int, v: int) -> float:
+        """L∞ distance between two vertices (the §4.2 bucketing metric)."""
+        return chebyshev(self.xs[u], self.ys[u], self.xs[v], self.ys[v])
+
+    def path_weight(self, path: Sequence[int]) -> float:
+        """Total weight of a vertex path; validates every hop is an edge.
+
+        A single-vertex path has weight 0. Raises :class:`KeyError` if a
+        consecutive pair is not an edge — this is the validity check the
+        tests lean on.
+        """
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += self.edge_weight(a, b)
+        return total
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, vertices: Sequence[int]) -> tuple["Graph", list[int]]:
+        """Subgraph induced by ``vertices``.
+
+        Returns the new graph (vertices renumbered ``0..k-1`` in the
+        order given) and the old-id list such that ``old[i]`` is the
+        original id of new vertex ``i``.
+        """
+        old = list(vertices)
+        new_id = {v: i for i, v in enumerate(old)}
+        if len(new_id) != len(old):
+            raise ValueError("duplicate vertices in subgraph request")
+        sub = Graph([self.xs[v] for v in old], [self.ys[v] for v in old])
+        for v in old:
+            for w, weight in self._adj[v]:
+                if v < w and w in new_id:
+                    sub.add_edge(new_id[v], new_id[w], weight)
+        return sub, old
+
+    def without_vertices(self, removed: Iterable[int]) -> "Graph":
+        """Copy of the graph with ``removed`` vertices isolated.
+
+        Vertex ids are preserved (removed vertices stay but lose all
+        incident edges); used by the δ-redundancy analysis, which needs
+        shortest paths avoiding the core of another path (Appendix C).
+        """
+        gone = set(removed)
+        g = Graph(self.xs, self.ys)
+        for u, nbrs in enumerate(self._adj):
+            if u in gone:
+                continue
+            for v, w in nbrs:
+                if u < v and v not in gone:
+                    g.add_edge(u, v, w)
+        return g
+
+    def copy(self) -> "Graph":
+        """Unfrozen deep copy."""
+        g = Graph(self.xs, self.ys)
+        for e in self.edges():
+            g.add_edge(e.u, e.v, e.weight)
+        return g
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._adj):
+            raise IndexError(f"vertex {u} out of range [0, {len(self._adj)})")
+
+    def _edge_index(self, u: int, v: int) -> tuple[int, int] | None:
+        """Positions of ``v`` in ``adj[u]`` and ``u`` in ``adj[v]``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        iu = next((i for i, (w, _) in enumerate(self._adj[u]) if w == v), None)
+        if iu is None:
+            return None
+        iv = next(i for i, (w, _) in enumerate(self._adj[v]) if w == u)
+        return (iu, iv)
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m}, frozen={self._frozen})"

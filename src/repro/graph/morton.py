@@ -1,0 +1,115 @@
+"""Z-order (Morton) codes.
+
+SILC stores each vertex's equivalence-class partition as intervals on a
+two-dimensional Z-curve (Appendix D): every quadtree cell corresponds to
+one contiguous Morton-code interval, so "which class contains target t"
+becomes a binary search over sorted intervals.
+
+We use ``MORTON_BITS`` bits per axis. 20 bits cover the generators'
+1,000,000-unit coordinate lattice exactly, so distinct lattice points
+get distinct codes — which lets the SILC quadtree always separate
+mixed-colour cells by splitting deeper.
+"""
+
+from __future__ import annotations
+
+from repro.graph.coords import BoundingBox
+
+MORTON_BITS = 20
+MORTON_SIDE = 1 << MORTON_BITS  # cells per axis
+MORTON_MAX = (1 << (2 * MORTON_BITS)) - 1
+
+_SPREAD_MASKS = (
+    0x0000FFFF0000FFFF,
+    0x00FF00FF00FF00FF,
+    0x0F0F0F0F0F0F0F0F,
+    0x3333333333333333,
+    0x5555555555555555,
+)
+
+
+def _part1by1(x: int) -> int:
+    """Spread the low 32 bits of ``x`` to even bit positions."""
+    x &= 0xFFFFFFFF
+    x = (x | (x << 16)) & _SPREAD_MASKS[0]
+    x = (x | (x << 8)) & _SPREAD_MASKS[1]
+    x = (x | (x << 4)) & _SPREAD_MASKS[2]
+    x = (x | (x << 2)) & _SPREAD_MASKS[3]
+    x = (x | (x << 1)) & _SPREAD_MASKS[4]
+    return x
+
+
+def _compact1by1(x: int) -> int:
+    """Inverse of :func:`_part1by1`."""
+    x &= _SPREAD_MASKS[4]
+    x = (x | (x >> 1)) & _SPREAD_MASKS[3]
+    x = (x | (x >> 2)) & _SPREAD_MASKS[2]
+    x = (x | (x >> 4)) & _SPREAD_MASKS[1]
+    x = (x | (x >> 8)) & _SPREAD_MASKS[0]
+    x = (x | (x >> 16)) & 0xFFFFFFFF
+    return x
+
+
+def morton_encode(ix: int, iy: int) -> int:
+    """Interleave two cell indices into one Morton code.
+
+    ``ix`` occupies the even bits, ``iy`` the odd bits, so codes sort in
+    Z-curve order.
+    """
+    if not (0 <= ix < MORTON_SIDE and 0 <= iy < MORTON_SIDE):
+        raise ValueError(f"cell index ({ix}, {iy}) out of range [0, {MORTON_SIDE})")
+    return _part1by1(ix) | (_part1by1(iy) << 1)
+
+
+def morton_decode(code: int) -> tuple[int, int]:
+    """Recover ``(ix, iy)`` from a Morton code."""
+    if not 0 <= code <= MORTON_MAX:
+        raise ValueError(f"morton code {code} out of range")
+    return _compact1by1(code), _compact1by1(code >> 1)
+
+
+class MortonMapper:
+    """Maps continuous coordinates in a bounding box to Morton codes.
+
+    The box is first extended to its square hull so both axes share one
+    scale; a quadtree cell at depth ``d`` then corresponds to exactly one
+    aligned Morton interval of length ``4**(MORTON_BITS - d)``.
+    """
+
+    __slots__ = ("x0", "y0", "scale")
+
+    def __init__(self, box: BoundingBox) -> None:
+        side = box.side
+        if side <= 0:
+            # Degenerate (single point / collinear) boxes still need a
+            # well-defined mapping; any positive scale works.
+            side = 1.0
+        self.x0 = box.xmin
+        self.y0 = box.ymin
+        # Strictly-below-one scaling so xmax lands inside the last cell.
+        self.scale = (MORTON_SIDE - 1) / side
+
+    def cell_of(self, x: float, y: float) -> tuple[int, int]:
+        """Integer cell indices of a point (clamped to the grid)."""
+        ix = min(MORTON_SIDE - 1, max(0, int((x - self.x0) * self.scale)))
+        iy = min(MORTON_SIDE - 1, max(0, int((y - self.y0) * self.scale)))
+        return ix, iy
+
+    def encode(self, x: float, y: float) -> int:
+        """Morton code of a point."""
+        ix, iy = self.cell_of(x, y)
+        return morton_encode(ix, iy)
+
+
+def quadtree_interval(ix: int, iy: int, depth: int) -> tuple[int, int]:
+    """Half-open Morton interval of the quadtree cell ``(ix, iy, depth)``.
+
+    ``depth`` counts root = 0; the cell covers ``2**(MORTON_BITS-depth)``
+    Morton cells per axis and its codes form one contiguous block.
+    ``(ix, iy)`` index the cell within its depth level.
+    """
+    if not 0 <= depth <= MORTON_BITS:
+        raise ValueError(f"depth {depth} out of range [0, {MORTON_BITS}]")
+    shift = MORTON_BITS - depth
+    base = morton_encode(ix << shift, iy << shift)
+    return base, base + (1 << (2 * shift))

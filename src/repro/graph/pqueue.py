@@ -1,0 +1,160 @@
+"""Addressable binary min-heap with decrease-key.
+
+``heapq`` plus lazy deletion is fine for plain Dijkstra, but CH's node
+ordering (§3.2) needs true *re-prioritisation* of arbitrary entries
+(a vertex's contraction priority changes whenever a neighbour is
+contracted), so we keep a classic addressable heap. It is also used by
+the Dijkstra variants so every traversal in the library shares one
+queue implementation ("common subroutines for similar tasks", §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class AddressableHeap(Generic[K]):
+    """Binary min-heap keyed by hashable items with float priorities.
+
+    Supports O(log n) :meth:`push`, :meth:`pop`, :meth:`update` (both
+    decrease and increase), and O(1) :meth:`priority` lookup.
+
+    >>> h = AddressableHeap()
+    >>> h.push('a', 3.0); h.push('b', 1.0); h.push('c', 2.0)
+    >>> h.update('a', 0.5)
+    >>> [h.pop()[0] for _ in range(len(h))]
+    ['a', 'b', 'c']
+    """
+
+    __slots__ = ("_items", "_prios", "_pos")
+
+    def __init__(self) -> None:
+        self._items: list[K] = []
+        self._prios: list[float] = []
+        self._pos: dict[K, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, item: K) -> bool:
+        return item in self._pos
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate items in arbitrary (heap) order."""
+        return iter(self._items)
+
+    def push(self, item: K, priority: float) -> None:
+        """Insert a new item; raises if it is already queued."""
+        if item in self._pos:
+            raise KeyError(f"{item!r} already in heap; use update()")
+        self._items.append(item)
+        self._prios.append(priority)
+        self._pos[item] = len(self._items) - 1
+        self._sift_up(len(self._items) - 1)
+
+    def push_or_update(self, item: K, priority: float) -> None:
+        """Insert, or change priority if present (any direction)."""
+        if item in self._pos:
+            self.update(item, priority)
+        else:
+            self.push(item, priority)
+
+    def update(self, item: K, priority: float) -> None:
+        """Change the priority of a queued item."""
+        i = self._pos[item]
+        old = self._prios[i]
+        self._prios[i] = priority
+        if priority < old:
+            self._sift_up(i)
+        elif priority > old:
+            self._sift_down(i)
+
+    def decrease_key(self, item: K, priority: float) -> bool:
+        """Lower the priority if ``priority`` improves it.
+
+        Returns True if the key changed. The Dijkstra idiom:
+        ``if tentative < dist: heap.decrease_key(v, tentative)``.
+        """
+        i = self._pos[item]
+        if priority >= self._prios[i]:
+            return False
+        self._prios[i] = priority
+        self._sift_up(i)
+        return True
+
+    def priority(self, item: K) -> float:
+        """Current priority of a queued item."""
+        return self._prios[self._pos[item]]
+
+    def peek(self) -> tuple[K, float]:
+        """Minimum item without removing it."""
+        if not self._items:
+            raise IndexError("peek from empty heap")
+        return self._items[0], self._prios[0]
+
+    def pop(self) -> tuple[K, float]:
+        """Remove and return the minimum ``(item, priority)``."""
+        if not self._items:
+            raise IndexError("pop from empty heap")
+        top, prio = self._items[0], self._prios[0]
+        last_item, last_prio = self._items.pop(), self._prios.pop()
+        del self._pos[top]
+        if self._items:
+            self._items[0], self._prios[0] = last_item, last_prio
+            self._pos[last_item] = 0
+            self._sift_down(0)
+        return top, prio
+
+    def remove(self, item: K) -> float:
+        """Delete an arbitrary queued item; returns its priority."""
+        i = self._pos[item]
+        prio = self._prios[i]
+        last = len(self._items) - 1
+        if i != last:
+            self._items[i], self._prios[i] = self._items[last], self._prios[last]
+            self._pos[self._items[i]] = i
+        self._items.pop()
+        self._prios.pop()
+        del self._pos[item]
+        if i < len(self._items):
+            self._sift_down(i)
+            self._sift_up(i)
+        return prio
+
+    # ------------------------------------------------------------------
+    def _sift_up(self, i: int) -> None:
+        items, prios, pos = self._items, self._prios, self._pos
+        item, prio = items[i], prios[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if prios[parent] <= prio:
+                break
+            items[i], prios[i] = items[parent], prios[parent]
+            pos[items[i]] = i
+            i = parent
+        items[i], prios[i] = item, prio
+        pos[item] = i
+
+    def _sift_down(self, i: int) -> None:
+        items, prios, pos = self._items, self._prios, self._pos
+        size = len(items)
+        item, prio = items[i], prios[i]
+        while True:
+            child = 2 * i + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and prios[right] < prios[child]:
+                child = right
+            if prios[child] >= prio:
+                break
+            items[i], prios[i] = items[child], prios[child]
+            pos[items[i]] = i
+            i = child
+        items[i], prios[i] = item, prio
+        pos[item] = i

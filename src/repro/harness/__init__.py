@@ -1,0 +1,11 @@
+"""Experiment harness: cached index registry, timers, figure runners.
+
+``python -m repro.harness --experiment fig8`` prints the series of the
+paper's Figure 8 (and so on for every table/figure); the pytest-
+benchmark suites under ``benchmarks/`` use the same registry so indexes
+are built once and shared.
+"""
+
+from repro.harness.registry import Registry, default_registry
+
+__all__ = ["Registry", "default_registry"]

@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro.harness`` / ``repro-harness``.
+
+Examples
+--------
+List the available experiments::
+
+    repro-harness --list
+
+Reproduce Figure 8 on the default (small) tier::
+
+    repro-harness --experiment fig8
+
+Everything, with a bigger workload, on the tiny tier::
+
+    repro-harness --experiment all --tier tiny --pairs 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import all_keys, run
+from repro.harness.registry import Registry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description=(
+            "Regenerate the tables and figures of 'Shortest Path and "
+            "Distance Queries on Road Networks: An Experimental "
+            "Evaluation' (Wu et al., VLDB 2012)."
+        ),
+    )
+    parser.add_argument(
+        "--experiment", "-e", default=None,
+        help="experiment key (e.g. fig8, table2) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment keys")
+    parser.add_argument("--tier", default=None, help="dataset tier (tiny/small/medium)")
+    parser.add_argument("--pairs", type=int, default=None, help="pairs per query set")
+    parser.add_argument(
+        "--datasets", default=None,
+        help="comma-separated dataset names overriding the experiment default",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the disk cache")
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="render the figure's log-log series as ASCII plots",
+    )
+    return parser
+
+
+def _print_charts(exp, registry) -> None:
+    """Render a figure experiment's series like the paper's plots."""
+    from repro.harness.plotting import experiment_charts
+
+    keyed = [k for k in exp.data if isinstance(k, tuple) and len(k) == 3]
+    n_of = {k[1]: float(registry.graph(k[1]).n) for k in keyed}
+    charts = experiment_charts(exp, n_of)
+    if not charts:
+        print("(no chartable series in this experiment)\n")
+        return
+    for chart in charts:
+        print(chart)
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into `head` etc.; exit quietly like a good CLI.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for key in all_keys():
+            print(f"  {key}")
+        return 0
+
+    kwargs = {}
+    if args.tier:
+        kwargs["tier"] = args.tier
+    if args.pairs:
+        kwargs["pairs_per_set"] = args.pairs
+    if args.no_cache:
+        kwargs["cache"] = "off"
+    registry = Registry(**kwargs)
+
+    run_kwargs = {}
+    if args.datasets:
+        run_kwargs["names"] = tuple(args.datasets.split(","))
+
+    keys = all_keys() if args.experiment == "all" else [args.experiment]
+    for key in keys:
+        started = time.perf_counter()
+        exp = run(key, registry, **(run_kwargs if args.datasets else {}))
+        print(exp.render())
+        print(f"[{key} completed in {time.perf_counter() - started:.1f}s]\n")
+        if args.chart:
+            _print_charts(exp, registry)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Experiment plumbing: result container and the experiment registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.harness.registry import Registry
+
+#: key -> runner, populated by the @experiment decorator in figures.py.
+EXPERIMENTS: dict[str, Callable[..., "Experiment"]] = {}
+
+
+@dataclass
+class Experiment:
+    """One reproduced table/figure: rendered rows plus raw data.
+
+    ``data`` holds the raw numbers keyed by (series, dataset, ...) so
+    tests and EXPERIMENTS.md generation can assert on shapes without
+    re-parsing strings.
+    """
+
+    key: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII table in the style of the paper's tables."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        out = [f"== {self.key}: {self.title} =="]
+        out.append(line(self.headers))
+        out.append(line(["-" * w for w in widths]))
+        out.extend(line(row) for row in self.rows)
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+
+def experiment(key: str) -> Callable:
+    """Register a runner under ``key`` (e.g. ``fig8``, ``table2``)."""
+
+    def wrap(fn: Callable[..., Experiment]) -> Callable[..., Experiment]:
+        EXPERIMENTS[key] = fn
+        return fn
+
+    return wrap
+
+
+def run(key: str, registry: Registry, **kwargs) -> Experiment:
+    """Run one registered experiment."""
+    # Import for the registration side effect.
+    from repro.harness import figures  # noqa: F401
+
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {key!r}; known: {known}")
+    return EXPERIMENTS[key](registry, **kwargs)
+
+
+def all_keys() -> list[str]:
+    from repro.harness import figures  # noqa: F401
+
+    return sorted(EXPERIMENTS)

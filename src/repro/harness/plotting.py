@@ -1,0 +1,146 @@
+"""ASCII rendering of the paper's log-log figure series.
+
+The paper's figures are log-log line plots (query time vs n, or vs
+query set). ``repro-harness --chart`` renders the measured series the
+same way, in the terminal, so the *shape* — who wins, where curves
+cross — is visible without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Plot glyphs per series, in declaration order.
+GLYPHS = "o*x+#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: parallel x/y value lists (NaNs are gaps)."""
+
+    label: str
+    xs: list[float]
+    ys: list[float]
+
+    def finite_points(self) -> list[tuple[float, float]]:
+        return [
+            (x, y)
+            for x, y in zip(self.xs, self.ys)
+            if not (math.isnan(y) or math.isinf(y) or y <= 0 or x <= 0)
+        ]
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Powers of ten covering [lo, hi]."""
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(first, last + 1)]
+
+
+def render_loglog(
+    series: list[Series],
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 64,
+    height: int = 20,
+) -> str:
+    """A character-grid log-log plot of the given series.
+
+    Mirrors the paper's figure style: log x (n or query-set rank),
+    log y (microseconds), one glyph per technique, legend below.
+    """
+    points = [p for s in series for p in s.finite_points()]
+    if not points:
+        return f"{title}\n(no finite data to plot)"
+    x_lo = min(x for x, _ in points)
+    x_hi = max(x for x, _ in points)
+    y_lo = min(y for _, y in points)
+    y_hi = max(y for _, y in points)
+    if x_lo == x_hi:
+        x_hi = x_lo * 10
+    if y_lo == y_hi:
+        y_hi = y_lo * 10
+
+    def col(x: float) -> int:
+        f = (math.log10(x) - math.log10(x_lo)) / (math.log10(x_hi) - math.log10(x_lo))
+        return min(width - 1, max(0, round(f * (width - 1))))
+
+    def row(y: float) -> int:
+        f = (math.log10(y) - math.log10(y_lo)) / (math.log10(y_hi) - math.log10(y_lo))
+        return min(height - 1, max(0, round(f * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, s in zip(GLYPHS, series):
+        for x, y in s.finite_points():
+            r, c = row(y), col(x)
+            cell = grid[r][c]
+            grid[r][c] = glyph if cell in (" ", glyph) else "?"
+
+    lines = [title, f"{y_label} (log scale)"]
+    for r in range(height - 1, -1, -1):
+        edge = "+" if r in (0, height - 1) else "|"
+        lines.append(edge + "".join(grid[r]))
+    lines.append("+" + "-" * width + f"> {x_label} (log scale)")
+    lines.append(
+        f"x: {x_lo:g} .. {x_hi:g}    y: {y_lo:g} .. {y_hi:g}"
+    )
+    legend = "   ".join(
+        f"{glyph}={s.label}" for glyph, s in zip(GLYPHS, series)
+    )
+    lines.append(f"legend: {legend}   (?=overlap)")
+    return "\n".join(lines)
+
+
+def _points_to_series(points: dict[float, float], label: str) -> Series:
+    xs = sorted(points)
+    return Series(label=label, xs=xs, ys=[points[x] for x in xs])
+
+
+#: Experiments whose panels are per-query-set with x = n.
+VS_N_EXPERIMENTS = ("fig8", "fig10", "fig16", "fig17")
+
+
+def experiment_charts(exp, n_of_dataset: dict[str, float]) -> list[str]:
+    """Render an experiment's series as the paper's figure panels.
+
+    For the vs-n figures one panel per query set (x = n); for everything
+    else one panel per dataset (x = query-set rank). Experiments without
+    ``(technique, dataset, set)`` data yield no charts.
+    """
+    keyed = [k for k in exp.data if isinstance(k, tuple) and len(k) == 3]
+    if not keyed:
+        return []
+    techniques = sorted({k[0] for k in keyed})
+    charts: list[str] = []
+
+    if exp.key in VS_N_EXPERIMENTS:
+        for set_name in sorted({k[2] for k in keyed}, key=lambda s: int(s[1:])):
+            series = []
+            for tech in techniques:
+                points = {
+                    n_of_dataset[d]: exp.data[(t, d, s)]
+                    for (t, d, s) in keyed
+                    if t == tech and s == set_name and d in n_of_dataset
+                }
+                if points:
+                    series.append(_points_to_series(points, tech))
+            charts.append(render_loglog(
+                series, f"{exp.key} — {set_name}", "n", "running time (us)"
+            ))
+    else:
+        for dataset in sorted({k[1] for k in keyed}):
+            series = []
+            for tech in techniques:
+                points = {
+                    float(s[1:]): exp.data[(t, d, s)]
+                    for (t, d, s) in keyed
+                    if t == tech and d == dataset
+                }
+                if points:
+                    series.append(_points_to_series(points, tech))
+            charts.append(render_loglog(
+                series, f"{exp.key} — {dataset}", "query set", "running time (us)"
+            ))
+    return charts

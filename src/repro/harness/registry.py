@@ -1,0 +1,228 @@
+"""The experiment registry: one place that builds and caches indexes.
+
+Every bench and harness experiment asks the registry for graphs,
+indexes and query workloads. Results are cached at two levels:
+
+- in-process (a dict), so one pytest session builds everything once;
+- on disk (pickles under ``.cache/repro``), so repeated benchmark runs
+  skip preprocessing entirely — pure-Python index builds are the
+  expensive part of reproducing the paper.
+
+Build *times* are part of the cached artifacts (each index carries its
+``stats``), so Figure 6(b)-style preprocessing numbers survive the
+cache. Bump :data:`CACHE_VERSION` whenever an index layout changes.
+
+Environment knobs (also exposed as CLI flags):
+
+- ``REPRO_TIER`` — dataset tier (default ``small``);
+- ``REPRO_PAIRS`` — pairs per query set (default 100);
+- ``REPRO_CACHE`` — cache directory (default ``<cwd>/.cache/repro``);
+  set to ``off`` to disable the disk layer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import datasets
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.core.ch import ContractionHierarchy
+from repro.core.ch.contraction import CHIndex, build_ch
+from repro.core.pcpd import PCPD, build_pcpd
+from repro.core.silc import SILC, build_silc
+from repro.core.tnr import HybridTNR, TransitNodeRouting, build_tnr
+from repro.graph.graph import Graph
+from repro.queries.workloads import (
+    QuerySet,
+    distance_query_sets,
+    linf_query_sets,
+)
+
+CACHE_VERSION = 1
+
+DEFAULT_PAIRS = int(os.environ.get("REPRO_PAIRS", "100"))
+DEFAULT_TIER = os.environ.get("REPRO_TIER", datasets.DEFAULT_TIER)
+DEFAULT_WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
+
+
+def _default_cache_dir() -> Path | None:
+    raw = os.environ.get("REPRO_CACHE", "")
+    if raw.lower() == "off":
+        return None
+    if raw:
+        return Path(raw)
+    return Path.cwd() / ".cache" / "repro"
+
+
+@dataclass
+class Registry:
+    """Builds, caches and hands out everything an experiment needs.
+
+    ``cache`` is ``"auto"`` (honour ``REPRO_CACHE`` / default location),
+    ``"off"`` (in-memory only), or an explicit directory path.
+    """
+
+    tier: str = DEFAULT_TIER
+    pairs_per_set: int = DEFAULT_PAIRS
+    cache: str = "auto"
+    verbose: bool = True
+    #: Worker processes for the parallel build passes (``REPRO_WORKERS``).
+    workers: int = DEFAULT_WORKERS
+
+    def __post_init__(self) -> None:
+        if self.cache == "auto":
+            self.cache_dir = _default_cache_dir()
+        elif self.cache == "off":
+            self.cache_dir = None
+        else:
+            self.cache_dir = Path(self.cache)
+        self._memory: dict[tuple, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _cached(self, key: tuple, builder: Callable[[], Any]) -> Any:
+        if key in self._memory:
+            return self._memory[key]
+        path: Path | None = None
+        if self.cache_dir is not None:
+            name = "-".join(str(part) for part in key)
+            path = self.cache_dir / f"v{CACHE_VERSION}" / f"{name}.pkl"
+            if path.exists():
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+                self._memory[key] = value
+                return value
+        started = time.perf_counter()
+        value = builder()
+        elapsed = time.perf_counter() - started
+        if self.verbose and elapsed > 1.0:
+            print(f"[registry] built {key} in {elapsed:.1f}s")
+        self._memory[key] = value
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        return value
+
+    # ------------------------------------------------------------------
+    # Graphs and workloads
+    # ------------------------------------------------------------------
+    def graph(self, name: str) -> Graph:
+        """The dataset graph (generation itself is cached in-memory)."""
+        key = ("graph", self.tier, name)
+        return self._cached(key, lambda: datasets.load_dataset(name, self.tier))
+
+    def spec(self, name: str) -> datasets.DatasetSpec:
+        return datasets.dataset_spec(name, self.tier)
+
+    def q_sets(self, name: str) -> list[QuerySet]:
+        """Q1..Q10 for a dataset (§4.2)."""
+        key = ("qsets", self.tier, name, self.pairs_per_set)
+        return self._cached(
+            key,
+            lambda: linf_query_sets(
+                self.graph(name), self.pairs_per_set, seed=self.spec(name).seed
+            ),
+        )
+
+    def r_sets(self, name: str) -> list[QuerySet]:
+        """R1..R10 for a dataset (Appendix E.2)."""
+        key = ("rsets", self.tier, name, self.pairs_per_set)
+        return self._cached(
+            key,
+            lambda: distance_query_sets(
+                self.graph(name), self.pairs_per_set, seed=self.spec(name).seed
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Techniques
+    # ------------------------------------------------------------------
+    def bidijkstra(self, name: str) -> BidirectionalDijkstra:
+        return BidirectionalDijkstra(self.graph(name))
+
+    def ch_index(self, name: str) -> CHIndex:
+        key = ("ch", self.tier, name)
+        return self._cached(key, lambda: build_ch(self.graph(name)))
+
+    def ch(self, name: str) -> ContractionHierarchy:
+        return ContractionHierarchy(self.graph(name), self.ch_index(name))
+
+    def tnr(
+        self,
+        name: str,
+        grid: int | None = None,
+        fallback: str = "ch",
+        flawed: bool = False,
+    ) -> TransitNodeRouting:
+        """TNR with the dataset's default grid (or an explicit one).
+
+        ``fallback`` is ``"ch"`` (the paper's recommended setup) or
+        ``"dijkstra"`` (the Appendix E.1 alternative).
+        """
+        grid = grid if grid is not None else self.spec(name).tnr_grid
+        key = ("tnr", self.tier, name, grid, flawed)
+        index = self._cached(
+            key,
+            lambda: build_tnr(
+                self.graph(name), self.ch(name), grid, flawed, workers=self.workers
+            ),
+        )
+        return TransitNodeRouting(self.graph(name), index, self._fallback(name, fallback))
+
+    def hybrid_tnr(self, name: str, grid: int | None = None, fallback: str = "ch") -> HybridTNR:
+        """The Appendix E.1 two-level hybrid (coarse ``grid``, fine ``2·grid``)."""
+        grid = grid if grid is not None else self.spec(name).tnr_grid
+        key = ("tnr-hybrid", self.tier, name, grid)
+        hybrid = self._cached(
+            key,
+            lambda: HybridTNR.build(
+                self.graph(name), self.ch(name), grid, self.ch(name)
+            ),
+        )
+        hybrid.fallback = self._fallback(name, fallback)
+        return hybrid
+
+    def silc(self, name: str) -> SILC:
+        key = ("silc", self.tier, name)
+        index = self._cached(
+            key, lambda: build_silc(self.graph(name), workers=self.workers)
+        )
+        return SILC(self.graph(name), index)
+
+    def pcpd(self, name: str) -> PCPD:
+        key = ("pcpd", self.tier, name)
+        graph = self.graph(name)
+        index = self._cached(
+            key, lambda: build_pcpd(graph, workers=self.workers)
+        )
+        # The pickled index carries its own Graph copy; rebind to the
+        # session's instance so identity checks hold.
+        index.graph = graph
+        return PCPD(graph, index)
+
+    def _fallback(self, name: str, kind: str):
+        if kind == "ch":
+            return self.ch(name)
+        if kind == "dijkstra":
+            return self.bidijkstra(name)
+        raise ValueError(f"unknown fallback {kind!r} (use 'ch' or 'dijkstra')")
+
+
+_default: Registry | None = None
+
+
+def default_registry() -> Registry:
+    """Process-wide registry singleton (benches and harness share it)."""
+    global _default
+    if _default is None:
+        _default = Registry()
+    return _default

@@ -1,0 +1,71 @@
+"""Timing helpers shared by the harness and the pytest benches."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Average per-query wall time over a workload."""
+
+    micros_per_query: float
+    queries: int
+
+    def __str__(self) -> str:
+        return f"{self.micros_per_query:.1f} us over {self.queries} queries"
+
+
+def time_queries(
+    fn: Callable[[int, int], object],
+    pairs: Sequence[tuple[int, int]],
+    max_pairs: int | None = None,
+) -> Timing:
+    """Average wall-clock time of ``fn(s, t)`` over the pairs.
+
+    ``max_pairs`` subsamples evenly (used to keep the Dijkstra baseline
+    affordable on the long-range sets; the paper ran 10,000 queries per
+    set on C++, we scale down for pure Python).
+    """
+    work = list(pairs)
+    if max_pairs is not None and len(work) > max_pairs:
+        step = len(work) / max_pairs
+        work = [work[int(i * step)] for i in range(max_pairs)]
+    if not work:
+        return Timing(micros_per_query=math.nan, queries=0)
+    start = time.perf_counter()
+    for s, t in work:
+        fn(s, t)
+    elapsed = time.perf_counter() - start
+    return Timing(micros_per_query=elapsed / len(work) * 1e6, queries=len(work))
+
+
+def fmt_micros(value: float) -> str:
+    """Render a microsecond value like the paper's log-scale plots."""
+    if math.isnan(value):
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}ms"
+    return f"{value:.1f}us"
+
+
+def fmt_bytes(n_bytes: float) -> str:
+    """Render an index size like Figure 6(a)'s MB axis."""
+    if n_bytes >= 1e9:
+        return f"{n_bytes / 1e9:.2f}GB"
+    if n_bytes >= 1e6:
+        return f"{n_bytes / 1e6:.1f}MB"
+    return f"{n_bytes / 1e3:.1f}KB"
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds:.1f}s"

@@ -1,0 +1,77 @@
+"""Multiprocess fan-out for the embarrassingly parallel build passes.
+
+The heavy preprocessing in this library is dominated by per-source or
+per-cell computations that never touch shared state: SILC runs one
+Dijkstra per vertex, PCPD materialises one tree per vertex, TNR one
+access-node computation per grid cell. This module fans such loops out
+over worker processes.
+
+Workers inherit the immutable inputs (graph, grid) through a pool
+initializer — on fork platforms that is a copy-on-write no-op, and on
+spawn platforms a one-time pickle per worker rather than per task.
+
+``workers=None`` or ``workers<=1`` means run inline (no pool, no
+overhead); builders accept the knob and default to inline so nothing
+changes for small graphs or platforms without fork.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_context
+from typing import Any, Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+# Worker-global slot filled by the pool initializer.
+_WORKER_CONTEXT: Any = None
+
+
+def _init_worker(context: Any) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _call_with_context(payload: tuple[Callable, Any]) -> Any:
+    fn, item = payload
+    return fn(_WORKER_CONTEXT, item)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` knob: None/0/1 → 1, -1 → cpu count."""
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def map_with_context(
+    fn: Callable[[Any, T], R],
+    context: Any,
+    items: Sequence[T],
+    workers: int | None = None,
+    chunksize: int = 8,
+) -> list[R]:
+    """``[fn(context, item) for item in items]``, optionally in parallel.
+
+    Order is preserved. With ``workers <= 1`` (the default) this is a
+    plain loop — same code path, zero multiprocessing machinery — so
+    parallelism is strictly opt-in.
+    """
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(items) <= 1:
+        return [fn(context, item) for item in items]
+
+    ctx = get_context()
+    with ctx.Pool(
+        processes=min(n_workers, len(items)),
+        initializer=_init_worker,
+        initargs=(context,),
+    ) as pool:
+        return pool.map(
+            _call_with_context,
+            [(fn, item) for item in items],
+            chunksize=max(1, min(chunksize, len(items) // n_workers or 1)),
+        )

@@ -1,0 +1,108 @@
+"""Index persistence: save and load preprocessed indexes.
+
+Preprocessing is the expensive side of every technique in the paper —
+up to hours at real scale — so a deployment builds once and ships the
+index. This module wraps that in a small, versioned container so stale
+or foreign files fail loudly instead of answering queries wrongly:
+
+- a magic + format-version header (refuses files from other tools or
+  incompatible releases);
+- the index class name (refuses loading a SILC index as a CH index);
+- the graph fingerprint (n, m, total weight) the index was built for
+  (refuses an index built on different data).
+
+>>> import repro, repro.persistence as rp
+>>> g = repro.load_dataset("DE", tier="tiny")
+>>> ch = repro.ContractionHierarchy.build(g)
+>>> path = rp.save_index("/tmp/de.chx", ch.index, g)     # doctest: +SKIP
+>>> index = rp.load_index("/tmp/de.chx", g)              # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+from repro.graph.graph import Graph
+
+MAGIC = b"RRNQIDX1"  # repro road-network query index, format 1
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised for unreadable, foreign, or mismatched index files."""
+
+
+@dataclass(frozen=True)
+class GraphFingerprint:
+    """Cheap identity of the graph an index was built against."""
+
+    n: int
+    m: int
+    total_weight: float
+
+    @staticmethod
+    def of(graph: Graph) -> "GraphFingerprint":
+        return GraphFingerprint(
+            n=graph.n,
+            m=graph.m,
+            total_weight=float(sum(e.weight for e in graph.edges())),
+        )
+
+
+def save_index(path: str | os.PathLike, index: Any, graph: Graph) -> str:
+    """Write an index with header + fingerprint; returns the path.
+
+    Atomic: writes to a sibling temp file and renames, so a crash never
+    leaves a truncated index behind.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "kind": type(index).__name__,
+        "fingerprint": GraphFingerprint.of(graph),
+        "index": index,
+    }
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def load_index(
+    path: str | os.PathLike,
+    graph: Graph,
+    expected_kind: str | None = None,
+) -> Any:
+    """Read an index, verifying header, kind and graph fingerprint.
+
+    ``expected_kind`` (e.g. ``"CHIndex"``) adds a type check on top of
+    the stored kind; omit it to accept any index built for ``graph``.
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise PersistenceError(f"{path}: not a repro index file")
+        try:
+            payload = pickle.load(fh)
+        except Exception as exc:  # truncated/corrupt pickle
+            raise PersistenceError(f"{path}: corrupt index payload") from exc
+    if payload.get("format") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path}: format {payload.get('format')} unsupported "
+            f"(this release reads {FORMAT_VERSION})"
+        )
+    kind = payload.get("kind")
+    if expected_kind is not None and kind != expected_kind:
+        raise PersistenceError(f"{path}: contains {kind}, expected {expected_kind}")
+    fingerprint = payload.get("fingerprint")
+    if fingerprint != GraphFingerprint.of(graph):
+        raise PersistenceError(
+            f"{path}: index was built for a different graph "
+            f"({fingerprint} vs {GraphFingerprint.of(graph)})"
+        )
+    return payload["index"]

@@ -1,0 +1,9 @@
+"""Query workload generation (paper §4.2 and Appendix E.2)."""
+
+from repro.queries.workloads import (
+    QuerySet,
+    distance_query_sets,
+    linf_query_sets,
+)
+
+__all__ = ["QuerySet", "distance_query_sets", "linf_query_sets"]

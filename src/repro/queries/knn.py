@@ -1,0 +1,131 @@
+"""k-nearest-neighbour search by network distance.
+
+The paper motivates distance queries with nearest-POI search (§2), and
+Appendix A notes that SILC extends to nearest-neighbour queries [21].
+This module provides the generic machinery on top of *any* technique:
+
+- :func:`knn_brute_force` — the §2 recipe verbatim: one distance query
+  per candidate;
+- :class:`KNNFinder` — the same answer with geometric pruning: on
+  travel-time-weighted networks, the straight-line distance divided by
+  the network's best speed is a valid lower bound on travel time, so
+  candidates are examined best-bound-first and the search stops once
+  the bound exceeds the current k-th best (classic incremental NN).
+
+The pruned variant needs a certified ``max_speed`` (distance units per
+travel-time unit). For graphs from :mod:`repro.graph.generators` that
+is :data:`repro.graph.generators.HIGHWAY_SPEED`; for arbitrary graphs
+:func:`certified_max_speed` derives it from the edges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from heapq import heapify, heappop
+from typing import Sequence
+
+from repro.core.base import QueryTechnique
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+def knn_brute_force(
+    technique: QueryTechnique,
+    source: int,
+    candidates: Sequence[int],
+    k: int = 1,
+) -> list[tuple[float, int]]:
+    """The paper's §2 recipe: a distance query per candidate.
+
+    Returns the ``k`` nearest as ``(distance, vertex)`` ascending,
+    ties broken by vertex id. Unreachable candidates are excluded.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    scored = sorted(
+        (technique.distance(source, c), c)
+        for c in candidates
+    )
+    return [(d, c) for d, c in scored if not math.isinf(d)][:k]
+
+
+def certified_max_speed(graph: Graph) -> float:
+    """Largest (euclidean length / travel time) over the edges.
+
+    Any single edge's speed bounds the speed of a whole path, so
+    ``euclid(s, t) / max_speed <= dist(s, t)`` — the pruning bound.
+    """
+    best = 0.0
+    for e in graph.edges():
+        length = graph.euclidean_distance(e.u, e.v)
+        if length > 0:
+            best = max(best, length / e.weight)
+    if best <= 0:
+        raise ValueError("graph has no positive-length edges")
+    return best
+
+
+@dataclass
+class KNNStats:
+    """How much work the pruned search did."""
+
+    distance_queries: int = 0
+    pruned: int = 0
+
+
+class KNNFinder:
+    """Best-bound-first kNN over a fixed candidate set.
+
+    >>> # doctest-style sketch; see tests for executable checks
+    >>> # finder = KNNFinder(graph, ch, restaurants)
+    >>> # finder.query(my_location, k=3)
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        technique: QueryTechnique,
+        candidates: Sequence[int],
+        max_speed: float | None = None,
+    ) -> None:
+        self.graph = graph
+        self.technique = technique
+        self.candidates = list(candidates)
+        self.max_speed = max_speed if max_speed is not None else certified_max_speed(graph)
+        if self.max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        self.stats = KNNStats()
+
+    def query(self, source: int, k: int = 1) -> list[tuple[float, int]]:
+        """The ``k`` nearest candidates by network distance.
+
+        Identical output to :func:`knn_brute_force`; candidates whose
+        geometric lower bound already exceeds the current k-th best
+        distance are never queried.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        g = self.graph
+        heap = [
+            (g.euclidean_distance(source, c) / self.max_speed, c)
+            for c in self.candidates
+        ]
+        heapify(heap)
+
+        best: list[tuple[float, int]] = []  # (distance, vertex), sorted
+        while heap:
+            bound, c = heappop(heap)
+            if len(best) >= k and bound >= best[-1][0]:
+                self.stats.pruned += len(heap) + 1
+                break  # every remaining bound is at least this one
+            d = self.technique.distance(source, c)
+            self.stats.distance_queries += 1
+            if math.isinf(d):
+                continue
+            best.append((d, c))
+            best.sort()
+            if len(best) > k:
+                best.pop()
+        return best

@@ -1,0 +1,96 @@
+"""Shared fixtures: small graphs and session-scoped indexes.
+
+Index builds are the expensive part of the suite, so every index is
+built once per session on the ``tiny`` registry tier. Correctness tests
+cross-check against plain Dijkstra on these graphs; scale behaviour is
+the benchmarks' job, not the tests'.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.core.ch import ContractionHierarchy
+from repro.core.pcpd import PCPD
+from repro.core.silc import SILC
+from repro.core.tnr import TransitNodeRouting, build_tnr
+from repro.datasets import load_dataset
+from repro.graph.generators import (
+    RoadNetworkSpec,
+    generate_road_network,
+    grid_graph,
+    paper_example_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_graph():
+    """The Figure 1 example network (vertices v1..v8 -> ids 0..7)."""
+    return paper_example_graph()
+
+
+@pytest.fixture(scope="session")
+def lattice():
+    """A 6x5 unit lattice with hand-checkable distances."""
+    return grid_graph(6, 5)
+
+
+@pytest.fixture(scope="session")
+def de_tiny():
+    """The smallest registry dataset (~150 vertices)."""
+    return load_dataset("DE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def co_tiny():
+    """A mid-sized tiny-tier dataset (~340 vertices)."""
+    return load_dataset("CO", "tiny")
+
+
+@pytest.fixture(scope="session")
+def random_road():
+    """A seeded synthetic network independent of the registry."""
+    graph, _ = generate_road_network(RoadNetworkSpec(n=220, seed=99))
+    return graph
+
+
+@pytest.fixture(scope="session")
+def ch_co(co_tiny):
+    return ContractionHierarchy.build(co_tiny)
+
+
+@pytest.fixture(scope="session")
+def tnr_co(co_tiny, ch_co):
+    index = build_tnr(co_tiny, ch_co, 16)
+    return TransitNodeRouting(co_tiny, index, ch_co)
+
+
+@pytest.fixture(scope="session")
+def silc_co(co_tiny):
+    return SILC.build(co_tiny)
+
+
+@pytest.fixture(scope="session")
+def pcpd_de(de_tiny):
+    return PCPD.build(de_tiny)
+
+
+@pytest.fixture(scope="session")
+def bidij_co(co_tiny):
+    return BidirectionalDijkstra(co_tiny)
+
+
+@pytest.fixture()
+def rng():
+    """Per-test deterministic RNG."""
+    return random.Random(0xC0FFEE)
+
+
+def random_pairs(graph, rng, count):
+    """Uniform random vertex pairs (shared helper, not a fixture)."""
+    return [
+        (rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(count)
+    ]

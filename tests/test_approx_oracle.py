@@ -1,0 +1,92 @@
+"""Unit tests for the ε-approximate distance oracle (Appendix A / [24])."""
+
+import math
+
+import pytest
+
+from repro.core.dijkstra import dijkstra_distance
+from repro.extensions.approx_oracle import ApproxDistanceOracle
+from repro.graph.graph import Graph
+from tests.conftest import random_pairs
+
+
+@pytest.fixture(scope="module")
+def oracle_de(de_tiny):
+    return ApproxDistanceOracle.build(de_tiny, epsilon=0.2)
+
+
+class TestBuild:
+    def test_epsilon_validated(self, de_tiny):
+        for bad in (0.0, 0.5, 0.9, -0.1):
+            with pytest.raises(ValueError):
+                ApproxDistanceOracle.build(de_tiny, epsilon=bad)
+
+    def test_unfrozen_rejected(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0], [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            ApproxDistanceOracle.build(g)
+
+    def test_pair_count_grows_with_precision(self, de_tiny):
+        loose = ApproxDistanceOracle.build(de_tiny, epsilon=0.4)
+        tight = ApproxDistanceOracle.build(de_tiny, epsilon=0.1)
+        assert tight.index.stats.n_pairs > loose.index.stats.n_pairs
+
+
+class TestGuarantee:
+    def test_relative_error_bound(self, de_tiny, oracle_de, rng):
+        bound = oracle_de.guaranteed_relative_error
+        assert bound > 0
+        for s, t in random_pairs(de_tiny, rng, 250):
+            exact = dijkstra_distance(de_tiny, s, t)
+            approx = oracle_de.distance(s, t)
+            if exact == 0:
+                assert approx == 0
+                continue
+            assert abs(approx - exact) <= bound * exact + 1e-9, (s, t)
+
+    def test_tighter_epsilon_tighter_answers(self, de_tiny, rng):
+        loose = ApproxDistanceOracle.build(de_tiny, epsilon=0.45)
+        tight = ApproxDistanceOracle.build(de_tiny, epsilon=0.05)
+        pairs = random_pairs(de_tiny, rng, 100)
+        loose_err = tight_err = 0.0
+        for s, t in pairs:
+            exact = dijkstra_distance(de_tiny, s, t)
+            if exact == 0:
+                continue
+            loose_err += abs(loose.distance(s, t) - exact) / exact
+            tight_err += abs(tight.distance(s, t) - exact) / exact
+        assert tight_err <= loose_err
+
+    def test_same_vertex(self, oracle_de):
+        assert oracle_de.distance(9, 9) == 0.0
+
+    def test_disconnected_inf(self):
+        g = Graph([0.0, 100.0, 900_000.0, 900_100.0], [0.0] * 4,
+                  [(0, 1, 5.0), (2, 3, 5.0)]).freeze()
+        oracle = ApproxDistanceOracle.build(g, epsilon=0.3)
+        assert math.isinf(oracle.distance(0, 2))
+        assert oracle.distance(0, 1) == 5.0
+
+
+class TestSingleLookup:
+    def test_faster_than_pcpd_distance_on_far_pairs(self, de_tiny, oracle_de, rng):
+        """The [24] selling point: O(log n) instead of O(k) lookups."""
+        import time
+
+        from repro.core.pcpd import PCPD
+
+        pcpd = PCPD.build(de_tiny)
+        # Far pairs maximise k; the oracle cost is k-independent.
+        pairs = sorted(
+            random_pairs(de_tiny, rng, 200),
+            key=lambda p: -de_tiny.euclidean_distance(*p),
+        )[:40]
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            oracle_de.distance(s, t)
+        oracle_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            pcpd.distance(s, t)
+        pcpd_time = time.perf_counter() - t0
+        assert oracle_time < pcpd_time

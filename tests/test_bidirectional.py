@@ -1,0 +1,73 @@
+"""Unit tests for the bidirectional Dijkstra baseline (§3.1)."""
+
+import math
+
+from repro.core.bidirectional import BidirectionalDijkstra, UnidirectionalDijkstra
+from repro.core.dijkstra import dijkstra_distance
+from repro.graph.graph import Graph
+from tests.conftest import random_pairs
+
+
+class TestCorrectness:
+    def test_paper_walkthrough(self, paper_graph):
+        algo = BidirectionalDijkstra(paper_graph)
+        assert algo.distance(2, 6) == 6.0  # v3 -> v7
+
+    def test_agreement_with_dijkstra(self, co_tiny, bidij_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 150):
+            assert bidij_co.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+
+    def test_paths_valid_and_optimal(self, co_tiny, bidij_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 80):
+            d, path = bidij_co.path(s, t)
+            assert path[0] == s and path[-1] == t
+            assert co_tiny.path_weight(path) == d
+            assert d == dijkstra_distance(co_tiny, s, t)
+
+    def test_same_vertex(self, co_tiny, bidij_co):
+        assert bidij_co.distance(5, 5) == 0.0
+        assert bidij_co.path(5, 5) == (0.0, [5])
+
+    def test_disconnected(self):
+        g = Graph([0.0, 1.0, 2.0, 3.0], [0.0] * 4,
+                  [(0, 1, 1.0), (2, 3, 1.0)]).freeze()
+        algo = BidirectionalDijkstra(g)
+        assert math.isinf(algo.distance(0, 3))
+        d, path = algo.path(0, 3)
+        assert math.isinf(d) and path is None
+
+    def test_adjacent_vertices(self, lattice):
+        algo = BidirectionalDijkstra(lattice)
+        assert algo.distance(0, 1) == 1.0
+        assert algo.path(0, 1) == (1.0, [0, 1])
+
+
+class TestSearchSpace:
+    def test_smaller_than_unidirectional(self, co_tiny, bidij_co, rng):
+        # §3.1: each traversal covers ~dist/2, so the bidirectional
+        # search settles fewer vertices than plain Dijkstra on average.
+        from repro.core.dijkstra import settled_count
+
+        bi_total = uni_total = 0
+        for s, t in random_pairs(co_tiny, rng, 40):
+            bidij_co.distance(s, t)
+            bi_total += bidij_co.last_settled
+            uni_total += settled_count(co_tiny, s, t)
+        assert bi_total < uni_total
+
+    def test_last_settled_updates(self, co_tiny, bidij_co):
+        bidij_co.distance(0, co_tiny.n - 1)
+        far = bidij_co.last_settled
+        bidij_co.distance(0, 0)
+        assert bidij_co.last_settled == 0
+        assert far > 0
+
+
+class TestUnidirectionalWrapper:
+    def test_interface(self, co_tiny, rng):
+        uni = UnidirectionalDijkstra(co_tiny)
+        for s, t in random_pairs(co_tiny, rng, 30):
+            d = uni.distance(s, t)
+            assert d == dijkstra_distance(co_tiny, s, t)
+            d2, path = uni.path(s, t)
+            assert d2 == d and co_tiny.path_weight(path) == d

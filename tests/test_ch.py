@@ -1,0 +1,214 @@
+"""Unit tests for Contraction Hierarchies (§3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.ch import ContractionHierarchy, OrderingConfig, build_ch, many_to_many
+from repro.core.ch.contraction import ORIGINAL_EDGE
+from repro.core.ch.many_to_many import many_to_many_sparse
+from repro.core.ch.ordering import STRATEGIES, validate_fixed_order
+from repro.core.dijkstra import dijkstra_distance
+from repro.graph.graph import Graph
+from tests.conftest import random_pairs
+
+FIGURE1_ORDER = OrderingConfig(strategy="fixed", fixed_order=tuple(range(8)))
+
+
+class TestPaperWalkthrough:
+    """The full §3.2 example on the Figure 1 network."""
+
+    def test_exactly_three_shortcuts(self, paper_graph):
+        index = build_ch(paper_graph, FIGURE1_ORDER)
+        assert index.n_shortcuts == 3
+
+    def test_shortcut_tags(self, paper_graph):
+        index = build_ch(paper_graph, FIGURE1_ORDER)
+        shortcuts = {
+            pair: via for pair, via in index.middle.items() if via != ORIGINAL_EDGE
+        }
+        # c1 = (v3, v8) via v1; c2 = (v6, v7) via v5; c3 = (v7, v8) via v6.
+        assert shortcuts == {(2, 7): 0, (5, 6): 4, (6, 7): 5}
+
+    def test_shortcut_weights(self, paper_graph):
+        index = build_ch(paper_graph, FIGURE1_ORDER)
+        weights = {}
+        for v in range(8):
+            for u, w, via in index.up[v]:
+                if via != ORIGINAL_EDGE:
+                    weights[(min(u, v), max(u, v))] = w
+        assert weights == {(2, 7): 2.0, (5, 6): 2.0, (6, 7): 4.0}
+
+    def test_query_meets_at_v8(self, paper_graph):
+        ch = ContractionHierarchy.build(paper_graph, FIGURE1_ORDER)
+        assert ch.distance(2, 6) == 6.0
+
+    def test_unpacked_path(self, paper_graph):
+        ch = ContractionHierarchy.build(paper_graph, FIGURE1_ORDER)
+        d, path = ch.path(2, 6)
+        assert d == 6.0
+        # c1 unpacks to (v3, v1), (v1, v8) exactly as §3.2 describes.
+        assert path == [2, 0, 7, 5, 4, 6]
+
+    def test_c1_unpacks_through_v1(self, paper_graph):
+        ch = ContractionHierarchy.build(paper_graph, FIGURE1_ORDER)
+        assert ch.unpack_edge(2, 7) == [2, 0, 7]
+
+    def test_all_pairs_exact(self, paper_graph):
+        ch = ContractionHierarchy.build(paper_graph, FIGURE1_ORDER)
+        for s in range(8):
+            for t in range(8):
+                assert ch.distance(s, t) == dijkstra_distance(paper_graph, s, t)
+
+
+class TestCorrectness:
+    def test_distance_agreement(self, co_tiny, ch_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 200):
+            assert ch_co.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+
+    def test_paths_valid_and_optimal(self, co_tiny, ch_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 100):
+            d, path = ch_co.path(s, t)
+            assert path[0] == s and path[-1] == t
+            assert co_tiny.path_weight(path) == d
+            assert d == dijkstra_distance(co_tiny, s, t)
+
+    def test_augmented_path_weight_matches(self, co_tiny, ch_co, rng):
+        # The augmented path may contain shortcuts but its unpacking is
+        # exactly the reported distance.
+        for s, t in random_pairs(co_tiny, rng, 40):
+            d, augmented = ch_co.augmented_path(s, t)
+            unpacked = ch_co.unpack_path(augmented)
+            assert co_tiny.path_weight(unpacked) == d
+            assert len(unpacked) >= len(augmented)
+
+    def test_same_vertex(self, ch_co):
+        assert ch_co.distance(9, 9) == 0.0
+        assert ch_co.path(9, 9) == (0.0, [9])
+
+    def test_disconnected(self):
+        g = Graph([0.0, 1.0, 2.0, 3.0], [0.0] * 4,
+                  [(0, 1, 1.0), (2, 3, 1.0)]).freeze()
+        ch = ContractionHierarchy.build(g)
+        assert math.isinf(ch.distance(0, 3))
+        assert ch.path(0, 3) == (math.inf, None)
+
+    def test_stalling_preserves_exactness(self, co_tiny, rng):
+        plain = ContractionHierarchy(co_tiny, build_ch(co_tiny), use_stalling=False)
+        stalled = ContractionHierarchy(co_tiny, plain.index, use_stalling=True)
+        for s, t in random_pairs(co_tiny, rng, 80):
+            assert plain.distance(s, t) == stalled.distance(s, t)
+
+    def test_tight_witness_budget_still_exact(self, de_tiny, rng):
+        ch = ContractionHierarchy.build(de_tiny, witness_settle_limit=2)
+        for s, t in random_pairs(de_tiny, rng, 80):
+            assert ch.distance(s, t) == dijkstra_distance(de_tiny, s, t)
+
+    def test_unfrozen_graph_rejected(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0], [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            build_ch(g)
+
+    def test_wrong_graph_rejected(self, co_tiny, de_tiny, ch_co):
+        with pytest.raises(ValueError):
+            ContractionHierarchy(de_tiny, ch_co.index)
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("strategy", ["edge_difference", "edge_difference_only",
+                                          "degree", "random"])
+    def test_every_strategy_is_exact(self, de_tiny, strategy, rng):
+        ch = ContractionHierarchy.build(
+            de_tiny, OrderingConfig(strategy=strategy, seed=3)
+        )
+        for s, t in random_pairs(de_tiny, rng, 60):
+            assert ch.distance(s, t) == dijkstra_distance(de_tiny, s, t)
+
+    def test_random_ordering_creates_more_shortcuts(self, co_tiny, ch_co):
+        # §3.2: "an inferior ordering can lead to O(n^2) shortcuts".
+        random_idx = build_ch(co_tiny, OrderingConfig(strategy="random", seed=1))
+        assert random_idx.n_shortcuts > ch_co.index.n_shortcuts
+
+    def test_rank_is_permutation(self, ch_co, co_tiny):
+        assert sorted(ch_co.index.rank) == list(range(co_tiny.n))
+        order = ch_co.index.order()
+        assert sorted(order) == list(range(co_tiny.n))
+        assert all(ch_co.index.rank[v] == i for i, v in enumerate(order))
+
+    def test_up_edges_point_upward(self, ch_co):
+        rank = ch_co.index.rank
+        for v, edges in enumerate(ch_co.index.up):
+            for u, _, _ in edges:
+                assert rank[u] > rank[v]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            OrderingConfig(strategy="voodoo")
+
+    def test_fixed_requires_order(self):
+        with pytest.raises(ValueError):
+            OrderingConfig(strategy="fixed")
+
+    def test_validate_fixed_order(self):
+        assert validate_fixed_order([1, 0], 2) == (1, 0)
+        with pytest.raises(ValueError):
+            validate_fixed_order([0, 0], 2)
+
+    def test_strategy_catalogue(self):
+        assert set(STRATEGIES) == {
+            "edge_difference", "edge_difference_only", "degree", "random", "fixed"
+        }
+
+
+class TestManyToMany:
+    def test_table_exact(self, co_tiny, ch_co, rng):
+        nodes = [rng.randrange(co_tiny.n) for _ in range(20)]
+        table = many_to_many(ch_co, nodes, nodes)
+        for i, s in enumerate(nodes):
+            for j, t in enumerate(nodes):
+                assert table[i, j] == dijkstra_distance(co_tiny, s, t)
+
+    def test_asymmetric_source_target_sets(self, co_tiny, ch_co, rng):
+        sources = [rng.randrange(co_tiny.n) for _ in range(7)]
+        targets = [rng.randrange(co_tiny.n) for _ in range(11)]
+        table = many_to_many(ch_co, sources, targets)
+        assert table.shape == (7, 11)
+        for i, s in enumerate(sources):
+            for j, t in enumerate(targets):
+                assert table[i, j] == dijkstra_distance(co_tiny, s, t)
+
+    def test_disconnected_pairs_inf(self):
+        g = Graph([0.0, 1.0, 2.0, 3.0], [0.0] * 4,
+                  [(0, 1, 1.0), (2, 3, 1.0)]).freeze()
+        ch = ContractionHierarchy.build(g)
+        table = many_to_many(ch, [0, 2], [1, 3])
+        assert table[0, 0] == 1.0 and table[1, 1] == 1.0
+        assert math.isinf(table[0, 1]) and math.isinf(table[1, 0])
+
+    def test_sparse_variant_matches_dense(self, co_tiny, ch_co, rng):
+        nodes = [rng.randrange(co_tiny.n) for _ in range(15)]
+        dense = many_to_many(ch_co, nodes, nodes)
+        sparse = many_to_many_sparse(ch_co, nodes, lambda i, j: (i + j) % 2 == 0)
+        for (i, j), d in sparse.items():
+            assert (i + j) % 2 == 0
+            assert d == dense[i, j]
+        # All wanted, reachable entries are present.
+        for i in range(15):
+            for j in range(15):
+                if (i + j) % 2 == 0 and not math.isinf(dense[i, j]):
+                    assert (i, j) in sparse
+
+
+class TestUnpacking:
+    def test_unknown_edge_rejected(self, ch_co):
+        with pytest.raises(KeyError):
+            ch_co.unpack_edge(0, 0)
+
+    def test_unpack_trivial_path(self, ch_co):
+        assert ch_co.unpack_path([4]) == [4]
+        assert ch_co.unpack_path([]) == []
+
+    def test_upward_search_contains_source(self, ch_co):
+        space = ch_co.upward_search(11)
+        assert space[11] == 0.0
+        assert all(d >= 0 for d in space.values())

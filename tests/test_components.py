@@ -1,0 +1,46 @@
+"""Unit tests for connectivity utilities."""
+
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.graph import Graph
+
+
+def two_islands() -> Graph:
+    g = Graph([float(i) for i in range(5)], [0.0] * 5)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(3, 4, 1.0)
+    return g
+
+
+class TestComponents:
+    def test_two_components_largest_first(self):
+        comps = connected_components(two_islands())
+        assert comps == [[0, 1, 2], [3, 4]]
+
+    def test_isolated_vertices_are_components(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)])
+        comps = connected_components(g)
+        assert comps == [[0, 1], [2]]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph([], [])) == []
+        assert is_connected(Graph([], []))
+
+    def test_is_connected(self, lattice):
+        assert is_connected(lattice)
+        assert not is_connected(two_islands())
+
+    def test_largest_component_renumbers(self):
+        sub, old = largest_component(two_islands())
+        assert old == [0, 1, 2]
+        assert sub.n == 3 and sub.m == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+    def test_largest_component_of_connected_is_identity_shape(self, lattice):
+        sub, old = largest_component(lattice)
+        assert sub.n == lattice.n and sub.m == lattice.m
+        assert old == list(range(lattice.n))
+
+    def test_datasets_are_connected(self, de_tiny, co_tiny):
+        assert is_connected(de_tiny)
+        assert is_connected(co_tiny)

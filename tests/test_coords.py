@@ -1,0 +1,110 @@
+"""Unit tests for coordinate utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.coords import (
+    BoundingBox,
+    bucket_of,
+    chebyshev,
+    euclidean,
+    manhattan,
+    mean,
+    square_hull,
+)
+
+
+class TestMetrics:
+    def test_euclidean(self):
+        assert euclidean(0, 0, 3, 4) == 5.0
+
+    def test_chebyshev(self):
+        assert chebyshev(0, 0, 3, 4) == 4.0
+        assert chebyshev(1, 1, -2, 1) == 3.0
+
+    def test_manhattan(self):
+        assert manhattan(0, 0, 3, 4) == 7.0
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6),
+           st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_metric_ordering(self, x1, y1, x2, y2):
+        # Chebyshev <= Euclidean <= Manhattan for any pair of points.
+        c = chebyshev(x1, y1, x2, y2)
+        e = euclidean(x1, y1, x2, y2)
+        m = manhattan(x1, y1, x2, y2)
+        assert c <= e + 1e-9
+        assert e <= m + 1e-9
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of_points([1.0, 3.0, 2.0], [5.0, -1.0, 0.0])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (1.0, -1.0, 3.0, 5.0)
+
+    def test_of_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of_points([], [])
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 2, 5)
+        assert box.width == 2 and box.height == 5 and box.side == 5
+
+    def test_contains_closed(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains(0, 0) and box.contains(1, 1)
+        assert not box.contains(1.01, 0.5)
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 1, 1)
+        assert a.intersects(BoundingBox(1, 1, 2, 2))  # shared corner
+        assert not a.intersects(BoundingBox(1.1, 0, 2, 1))
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 1, 1).expanded(0.5)
+        assert box == BoundingBox(-0.5, -0.5, 1.5, 1.5)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).expanded(-1)
+
+    def test_quadrants_partition(self):
+        box = BoundingBox(0, 0, 2, 2)
+        sw, se, nw, ne = box.quadrants()
+        assert sw == BoundingBox(0, 0, 1, 1)
+        assert ne == BoundingBox(1, 1, 2, 2)
+        assert se.width == se.height == 1
+
+    def test_degenerate_box_allowed(self):
+        box = BoundingBox(1, 1, 1, 1)
+        assert box.side == 0
+        assert box.contains(1, 1)
+
+
+class TestHelpers:
+    def test_square_hull(self):
+        hull = square_hull(BoundingBox(0, 0, 2, 5))
+        assert hull.width == hull.height == 5
+        assert hull.xmin == 0 and hull.ymin == 0
+
+    def test_bucket_of(self):
+        assert bucket_of(0.0, 1.0) == 0
+        assert bucket_of(0.99, 1.0) == 0
+        assert bucket_of(1.0, 1.0) == 1
+        with pytest.raises(ValueError):
+            bucket_of(1.0, 0.0)
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    @given(st.lists(st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+                    min_size=1, max_size=30))
+    def test_hull_contains_all_points(self, pts):
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        hull = square_hull(BoundingBox.of_points(xs, ys))
+        assert all(hull.contains(x, y) for x, y in pts)

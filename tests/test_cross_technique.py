@@ -1,0 +1,148 @@
+"""Property-based cross-technique agreement.
+
+The paper's central correctness premise is that all five techniques are
+*exact*: they answer identically to Dijkstra on any road network. These
+tests generate networks with hypothesis and assert exactly that, plus
+the interface contract of :class:`~repro.core.base.QueryTechnique`.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import QueryTechnique
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.core.ch import ContractionHierarchy
+from repro.core.dijkstra import dijkstra_distance, dijkstra_sssp
+from repro.core.pcpd import PCPD
+from repro.core.silc import SILC
+from repro.core.tnr import TransitNodeRouting, build_tnr
+from repro.graph.generators import RoadNetworkSpec, generate_road_network
+
+NETWORK_CACHE: dict[int, object] = {}
+
+
+def network(seed: int):
+    """Small deterministic network per seed (cached across examples)."""
+    if seed not in NETWORK_CACHE:
+        NETWORK_CACHE[seed] = generate_road_network(
+            RoadNetworkSpec(n=90, seed=seed)
+        )[0]
+    return NETWORK_CACHE[seed]
+
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestAgreementProperties:
+    @SLOW
+    @given(seed=st.integers(0, 7), s=st.integers(0, 89), t=st.integers(0, 89))
+    def test_bidirectional_equals_dijkstra(self, seed, s, t):
+        g = network(seed)
+        s, t = s % g.n, t % g.n
+        assert BidirectionalDijkstra(g).distance(s, t) == dijkstra_distance(g, s, t)
+
+    @SLOW
+    @given(seed=st.integers(0, 4), pair_seed=st.integers(0, 10_000))
+    def test_ch_equals_dijkstra(self, seed, pair_seed):
+        g = network(seed)
+        key = ("ch", seed)
+        if key not in NETWORK_CACHE:
+            NETWORK_CACHE[key] = ContractionHierarchy.build(g)
+        ch = NETWORK_CACHE[key]
+        s, t = pair_seed % g.n, (pair_seed // g.n) % g.n
+        d = dijkstra_distance(g, s, t)
+        assert ch.distance(s, t) == d
+        dp, path = ch.path(s, t)
+        assert dp == d
+        if path is not None:
+            assert g.path_weight(path) == d
+
+    @SLOW
+    @given(seed=st.integers(0, 4), pair_seed=st.integers(0, 10_000))
+    def test_silc_equals_dijkstra(self, seed, pair_seed):
+        g = network(seed)
+        key = ("silc", seed)
+        if key not in NETWORK_CACHE:
+            NETWORK_CACHE[key] = SILC.build(g)
+        silc = NETWORK_CACHE[key]
+        s, t = pair_seed % g.n, (pair_seed // g.n) % g.n
+        assert silc.distance(s, t) == dijkstra_distance(g, s, t)
+
+    @SLOW
+    @given(seed=st.integers(0, 3), pair_seed=st.integers(0, 10_000))
+    def test_pcpd_equals_dijkstra(self, seed, pair_seed):
+        g = network(seed)
+        key = ("pcpd", seed)
+        if key not in NETWORK_CACHE:
+            NETWORK_CACHE[key] = PCPD.build(g)
+        pcpd = NETWORK_CACHE[key]
+        s, t = pair_seed % g.n, (pair_seed // g.n) % g.n
+        assert pcpd.distance(s, t) == dijkstra_distance(g, s, t)
+
+    @SLOW
+    @given(seed=st.integers(0, 3), pair_seed=st.integers(0, 10_000))
+    def test_tnr_equals_dijkstra(self, seed, pair_seed):
+        g = network(seed)
+        key = ("tnr", seed)
+        if key not in NETWORK_CACHE:
+            ch = ContractionHierarchy.build(g)
+            NETWORK_CACHE[key] = TransitNodeRouting(g, build_tnr(g, ch, 16), ch)
+        tnr = NETWORK_CACHE[key]
+        s, t = pair_seed % g.n, (pair_seed // g.n) % g.n
+        assert tnr.distance(s, t) == dijkstra_distance(g, s, t)
+
+    @SLOW
+    @given(seed=st.integers(0, 3), source=st.integers(0, 89))
+    def test_first_hop_consistency(self, seed, source):
+        # Walking any first-hop table from any source reaches every
+        # reachable target with the exact distance.
+        from repro.core.dijkstra import first_hop_table
+
+        g = network(seed)
+        source %= g.n
+        hop = first_hop_table(g, source)
+        dist, _ = dijkstra_sssp(g, source)
+        for t in range(0, g.n, 7):
+            if t == source or hop[t] < 0:
+                continue
+            h = hop[t]
+            assert g.edge_weight(source, h) + dijkstra_sssp(g, h)[0][t] == dist[t]
+
+
+class TestProtocol:
+    def test_all_techniques_satisfy_protocol(self, co_tiny, ch_co, tnr_co,
+                                             silc_co, bidij_co):
+        for tech in (ch_co, tnr_co, silc_co, bidij_co):
+            assert isinstance(tech, QueryTechnique)
+            assert isinstance(tech.name, str)
+
+    def test_pcpd_satisfies_protocol(self, pcpd_de):
+        assert isinstance(pcpd_de, QueryTechnique)
+
+    def test_names_are_the_papers(self, ch_co, tnr_co, silc_co, bidij_co, pcpd_de):
+        assert {t.name for t in (ch_co, tnr_co, silc_co, bidij_co, pcpd_de)} == {
+            "CH", "TNR", "SILC", "Dijkstra", "PCPD"
+        }
+
+
+class TestSymmetry:
+    """Undirected graphs: every technique must answer symmetrically."""
+
+    @pytest.mark.parametrize("fixture", ["ch_co", "tnr_co", "silc_co", "bidij_co"])
+    def test_distance_symmetric(self, fixture, request, co_tiny, rng):
+        tech = request.getfixturevalue(fixture)
+        for _ in range(40):
+            s, t = rng.randrange(co_tiny.n), rng.randrange(co_tiny.n)
+            assert tech.distance(s, t) == tech.distance(t, s)
+
+    def test_pcpd_distance_symmetric(self, pcpd_de, de_tiny, rng):
+        for _ in range(40):
+            s, t = rng.randrange(de_tiny.n), rng.randrange(de_tiny.n)
+            assert pcpd_de.distance(s, t) == pcpd_de.distance(t, s)

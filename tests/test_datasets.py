@@ -1,0 +1,83 @@
+"""Unit tests for the Table 1 dataset registry."""
+
+import pytest
+
+from repro import datasets
+from repro.graph import dimacs
+
+
+class TestRegistry:
+    def test_ten_datasets_in_order(self):
+        assert len(datasets.DATASET_NAMES) == 10
+        assert datasets.DATASET_NAMES[0] == "DE"
+        assert datasets.DATASET_NAMES[-1] == "US"
+
+    def test_paper_sizes_ascending(self):
+        sizes = [datasets.PAPER_TABLE1[n][1] for n in datasets.DATASET_NAMES]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 48_812 and sizes[-1] == 23_947_347
+
+    def test_tier_sizes_ascending(self):
+        for tier in datasets.TIERS:
+            sizes = [datasets.dataset_spec(n, tier).n_target
+                     for n in datasets.DATASET_NAMES]
+            assert sizes == sorted(sizes)
+
+    def test_spec_fields(self):
+        spec = datasets.dataset_spec("CO", "small")
+        assert spec.region == "Colorado"
+        assert spec.paper_n == 435_666
+        assert spec.allows_spatial_methods
+        assert spec.tnr_grid in (16, 32, 64, 128)
+
+    def test_spatial_methods_gate(self):
+        allowed = [n for n in datasets.DATASET_NAMES
+                   if datasets.dataset_spec(n).allows_spatial_methods]
+        assert allowed == list(datasets.SPATIAL_METHOD_DATASETS)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            datasets.dataset_spec("XX")
+        with pytest.raises(KeyError):
+            datasets.load_dataset("XX")
+        with pytest.raises(KeyError):
+            datasets.dataset_spec("DE", "giant")
+
+    def test_seeds_differ_between_datasets_and_tiers(self):
+        seeds = {
+            datasets.dataset_spec(n, t).seed
+            for n in datasets.DATASET_NAMES
+            for t in datasets.TIERS
+        }
+        assert len(seeds) == len(datasets.DATASET_NAMES) * len(datasets.TIERS)
+
+    def test_tnr_grid_grows_with_n(self):
+        small = datasets.dataset_spec("DE", "small").tnr_grid
+        large = datasets.dataset_spec("US", "small").tnr_grid
+        assert large >= small
+
+
+class TestLoading:
+    def test_load_close_to_target(self, de_tiny):
+        spec = datasets.dataset_spec("DE", "tiny")
+        assert abs(de_tiny.n - spec.n_target) <= spec.n_target * 0.05
+
+    def test_load_cached(self):
+        a = datasets.load_dataset("DE", "tiny")
+        b = datasets.load_dataset("DE", "tiny")
+        assert a is b
+
+    def test_generation_report(self):
+        report = datasets.generation_report("DE", "tiny")
+        assert report.final_n > 0 and report.final_m > 0
+
+    def test_dimacs_dir_override(self, tmp_path, de_tiny):
+        dimacs.save(de_tiny, tmp_path / "NH.gr", tmp_path / "NH.co")
+        g = datasets.load_dataset("NH", "tiny", dimacs_dir=tmp_path)
+        # The override wins: same shape as the saved DE graph, not NH's.
+        assert g.n == de_tiny.n
+        assert g.frozen
+
+    def test_dimacs_dir_missing_files_fall_back(self, tmp_path):
+        g = datasets.load_dataset("DE", "tiny", dimacs_dir=tmp_path)
+        assert g.n > 0

@@ -1,0 +1,72 @@
+"""Unit tests for the Appendix B defect demonstration."""
+
+import math
+
+import pytest
+
+from repro.analysis.defect import counterexample, demonstrate, stress
+from repro.core.dijkstra import dijkstra_distance
+from repro.core.tnr.grid import OUTER_RADIUS, TNRGrid
+from tests.conftest import random_pairs
+
+
+class TestCounterexample:
+    def test_geometry_matches_figure12b(self):
+        graph, grid_g, v1, v6 = counterexample()
+        grid = TNRGrid(graph, grid_g)
+        c0 = grid.cell_of_vertex[v1]
+        # v5 (id 7) sits between the shells; v6 beyond the outer shell.
+        d5 = grid.cell_distance(c0, grid.cell_of_vertex[7])
+        d6 = grid.cell_distance(c0, grid.cell_of_vertex[v6])
+        assert 2 < d5 <= OUTER_RADIUS
+        assert d6 > OUTER_RADIUS
+
+    def test_v5_is_essential(self):
+        graph, _, v1, v6 = counterexample()
+        # v6's only neighbour is v5 (id 7), per Figure 12(b).
+        assert [v for v, _ in graph.neighbors(v6)] == [7]
+        assert dijkstra_distance(graph, v1, v6) == 80.0
+
+    def test_query_is_answerable(self):
+        graph, grid_g, v1, v6 = counterexample()
+        grid = TNRGrid(graph, grid_g)
+        assert grid.answerable(v1, v6)
+
+
+class TestDemonstration:
+    def test_flawed_wrong_corrected_right(self):
+        report = demonstrate()
+        assert report.flawed_is_wrong
+        assert report.corrected_is_right
+        assert report.flawed_distance > report.true_distance
+
+    def test_flawed_misses_the_essential_access_node(self):
+        report = demonstrate()
+        # The corrected access set covers v1's crossing towards v5
+        # (it contains v1 itself as the inside endpoint of the long
+        # crossing edge); the flawed one cannot route through v5.
+        assert set(report.corrected_access_nodes) - set(report.flawed_access_nodes)
+
+
+class TestStress:
+    def test_flawed_wrong_corrected_exact_on_dataset(self, co_tiny, ch_co, rng):
+        pairs = random_pairs(co_tiny, rng, 200)
+        wrong, answerable = stress(co_tiny, 16, pairs, ch_co)
+        assert answerable > 20
+        # stress() itself asserts the corrected variant is exact;
+        # the flawed one must err somewhere on a tie-rich network.
+        assert wrong > 0
+
+    def test_stress_raises_if_corrected_breaks(self, co_tiny, ch_co, monkeypatch):
+        # Sanity: the guard inside stress() really does trip if the
+        # "corrected" answers were wrong.
+        import repro.analysis.defect as defect_mod
+
+        real = dijkstra_distance
+
+        def skewed(graph, s, t):
+            return real(graph, s, t) + 1.0
+
+        monkeypatch.setattr(defect_mod, "dijkstra_distance", skewed)
+        with pytest.raises(AssertionError):
+            stress(co_tiny, 16, [(0, co_tiny.n - 1)] * 50, ch_co)

@@ -1,0 +1,161 @@
+"""Unit tests for Dijkstra variants, cross-checked against networkx."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.dijkstra import (
+    dijkstra_distance,
+    dijkstra_path,
+    dijkstra_sssp,
+    dijkstra_to_targets,
+    first_hop_table,
+    settled_count,
+    tree_path,
+)
+from repro.graph.graph import Graph
+
+
+def to_networkx(g: Graph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.n))
+    for e in g.edges():
+        nxg.add_edge(e.u, e.v, weight=e.weight)
+    return nxg
+
+
+class TestAgainstNetworkx:
+    def test_sssp_matches(self, co_tiny):
+        nxg = to_networkx(co_tiny)
+        for source in (0, 17, co_tiny.n - 1):
+            dist, parent = dijkstra_sssp(co_tiny, source)
+            expected = nx.single_source_dijkstra_path_length(nxg, source)
+            for v in range(co_tiny.n):
+                assert dist[v] == expected.get(v, math.inf)
+            assert parent[source] == source
+
+    def test_point_queries_match(self, co_tiny, rng):
+        nxg = to_networkx(co_tiny)
+        for _ in range(50):
+            s, t = rng.randrange(co_tiny.n), rng.randrange(co_tiny.n)
+            expected = nx.shortest_path_length(nxg, s, t, weight="weight")
+            assert dijkstra_distance(co_tiny, s, t) == expected
+            d, path = dijkstra_path(co_tiny, s, t)
+            assert d == expected
+            assert co_tiny.path_weight(path) == expected
+
+
+class TestBasics:
+    def test_source_equals_target(self, lattice):
+        assert dijkstra_distance(lattice, 3, 3) == 0.0
+        assert dijkstra_path(lattice, 3, 3) == (0.0, [3])
+
+    def test_unreachable(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)])
+        assert math.isinf(dijkstra_distance(g, 0, 2))
+        d, path = dijkstra_path(g, 0, 2)
+        assert math.isinf(d) and path is None
+
+    def test_path_endpoints(self, lattice):
+        _, path = dijkstra_path(lattice, 0, 29)
+        assert path[0] == 0 and path[-1] == 29
+
+    def test_sssp_parent_tree_consistent(self, de_tiny):
+        dist, parent = dijkstra_sssp(de_tiny, 0)
+        for v in range(1, de_tiny.n):
+            p = parent[v]
+            assert p >= 0
+            assert dist[v] == dist[p] + de_tiny.edge_weight(p, v)
+
+    def test_tree_path(self, de_tiny):
+        dist, parent = dijkstra_sssp(de_tiny, 0)
+        path = tree_path(parent, 0, de_tiny.n - 1)
+        assert path[0] == 0 and path[-1] == de_tiny.n - 1
+        assert de_tiny.path_weight(path) == dist[de_tiny.n - 1]
+
+    def test_tree_path_unreachable(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0])
+        _, parent = dijkstra_sssp(g, 0)
+        assert tree_path(parent, 0, 1) is None
+
+
+class TestToTargets:
+    def test_exactly_requested(self, de_tiny):
+        targets = [5, 9, de_tiny.n - 1]
+        result = dijkstra_to_targets(de_tiny, 0, targets)
+        assert set(result) == set(targets)
+        dist, _ = dijkstra_sssp(de_tiny, 0)
+        for t in targets:
+            assert result[t] == dist[t]
+
+    def test_source_in_targets(self, de_tiny):
+        result = dijkstra_to_targets(de_tiny, 3, [3, 4])
+        assert result[3] == 0.0
+
+    def test_empty_targets(self, de_tiny):
+        assert dijkstra_to_targets(de_tiny, 0, []) == {}
+
+    def test_unreachable_target_is_inf(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)])
+        result = dijkstra_to_targets(g, 0, [1, 2])
+        assert result[1] == 1.0 and math.isinf(result[2])
+
+
+class TestFirstHop:
+    def test_invariant(self, de_tiny):
+        # dist(s, t) == w(s, hop) + dist(hop, t) for every target.
+        for s in (0, 7, 40):
+            hop = first_hop_table(de_tiny, s)
+            dist_s, _ = dijkstra_sssp(de_tiny, s)
+            assert hop[s] == s
+            neighbours = {v for v, _ in de_tiny.neighbors(s)}
+            hop_dists = {
+                h: dijkstra_sssp(de_tiny, h)[0] for h in set(hop) - {s, -1}
+            }
+            for t in range(de_tiny.n):
+                if t == s:
+                    continue
+                h = hop[t]
+                assert h in neighbours
+                assert (
+                    de_tiny.edge_weight(s, h) + hop_dists[h][t] == dist_s[t]
+                )
+
+    def test_unreachable_marked(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)])
+        hop = first_hop_table(g, 0)
+        assert hop[2] == -1
+
+    def test_neighbours_hop_to_themselves(self, de_tiny):
+        hop = first_hop_table(de_tiny, 0)
+        for v, _ in de_tiny.neighbors(0):
+            # The first hop towards an adjacent vertex may be the
+            # vertex itself or a tie-equivalent neighbour; either way
+            # the invariant holds, checked above. Direct neighbours at
+            # tie-free distance must hop to themselves.
+            alt = min(
+                (de_tiny.edge_weight(0, u) + dijkstra_distance(de_tiny, u, v))
+                for u, _ in de_tiny.neighbors(0) if u != v
+            )
+            if alt > de_tiny.edge_weight(0, v):
+                assert hop[v] == v
+
+
+class TestSettledCount:
+    def test_zero_for_same_vertex(self, de_tiny):
+        assert settled_count(de_tiny, 4, 4) == 0
+
+    def test_grows_with_distance(self, co_tiny, rng):
+        # The §1 argument: far targets force larger search spaces.
+        near_counts, far_counts = [], []
+        for _ in range(20):
+            s = rng.randrange(co_tiny.n)
+            dist, _ = dijkstra_sssp(co_tiny, s)
+            by_dist = sorted(
+                (d, v) for v, d in enumerate(dist) if v != s and not math.isinf(d)
+            )
+            near_counts.append(settled_count(co_tiny, s, by_dist[3][1]))
+            far_counts.append(settled_count(co_tiny, s, by_dist[-1][1]))
+        assert sum(far_counts) > sum(near_counts) * 5

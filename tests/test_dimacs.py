@@ -1,0 +1,106 @@
+"""Unit tests for DIMACS challenge IO."""
+
+import io
+
+import pytest
+
+from repro.graph import dimacs
+from repro.graph.graph import Graph
+
+
+def sample_graph() -> Graph:
+    g = Graph([0.0, 1_000_000.0, 500_000.0], [0.0, 0.0, 800_000.0])
+    g.add_edge(0, 1, 120.0)
+    g.add_edge(1, 2, 75.0)
+    return g
+
+
+def write_to_strings(g: Graph) -> tuple[str, str]:
+    gr, co = io.StringIO(), io.StringIO()
+    dimacs.write_graph(g, gr, co, name="sample")
+    return gr.getvalue(), co.getvalue()
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        g = sample_graph()
+        gr, co = write_to_strings(g)
+        back = dimacs.read_graph(io.StringIO(gr), io.StringIO(co))
+        assert back.n == g.n and back.m == g.m
+        for e in g.edges():
+            assert back.edge_weight(e.u, e.v) == e.weight
+        assert back.coord(2) == g.coord(2)
+
+    def test_each_edge_written_as_two_arcs(self):
+        gr, _ = write_to_strings(sample_graph())
+        arcs = [line for line in gr.splitlines() if line.startswith("a ")]
+        assert len(arcs) == 4
+
+    def test_save_load_files(self, tmp_path):
+        g = sample_graph()
+        gr_path = tmp_path / "x.gr"
+        co_path = tmp_path / "x.co"
+        dimacs.save(g, gr_path, co_path)
+        back = dimacs.load(gr_path, co_path)
+        assert back.n == 3 and back.m == 2
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_skipped(self):
+        co = "c comment\n\np aux sp co 1\nv 1 5 6\n"
+        gr = "c hello\np sp 1 0\n"
+        g = dimacs.read_graph(io.StringIO(gr), io.StringIO(co))
+        assert g.n == 1 and g.coord(0) == (5.0, 6.0)
+
+    def test_asymmetric_arc_weights_keep_minimum(self):
+        co = "p aux sp co 2\nv 1 0 0\nv 2 1 0\n"
+        gr = "p sp 2 2\na 1 2 10\na 2 1 7\n"
+        g = dimacs.read_graph(io.StringIO(gr), io.StringIO(co))
+        assert g.edge_weight(0, 1) == 7.0
+
+    def test_self_loop_arcs_ignored(self):
+        co = "p aux sp co 2\nv 1 0 0\nv 2 1 0\n"
+        gr = "p sp 2 3\na 1 1 5\na 1 2 3\na 2 1 3\n"
+        g = dimacs.read_graph(io.StringIO(gr), io.StringIO(co))
+        assert g.m == 1
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(dimacs.DimacsFormatError):
+            dimacs.read_coordinates(io.StringIO("v 1 0 0\n"))
+        with pytest.raises(dimacs.DimacsFormatError):
+            dimacs.read_graph(io.StringIO("a 1 2 3\n"),
+                              io.StringIO("p aux sp co 2\nv 1 0 0\nv 2 1 0\n"))
+
+    def test_vertex_count_mismatch_rejected(self):
+        co = "p aux sp co 1\nv 1 0 0\n"
+        gr = "p sp 2 0\n"
+        with pytest.raises(dimacs.DimacsFormatError):
+            dimacs.read_graph(io.StringIO(gr), io.StringIO(co))
+
+    def test_vertex_id_out_of_range_rejected(self):
+        with pytest.raises(dimacs.DimacsFormatError):
+            dimacs.read_coordinates(io.StringIO("p aux sp co 1\nv 2 0 0\n"))
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(dimacs.DimacsFormatError):
+            dimacs.read_coordinates(io.StringIO("p aux sp co 1\nq 1 0 0\n"))
+
+    def test_bad_header_shape_rejected(self):
+        with pytest.raises(dimacs.DimacsFormatError):
+            dimacs.read_coordinates(io.StringIO("p aux sp xx 1\n"))
+
+    def test_too_many_arcs_rejected(self):
+        co = "p aux sp co 2\nv 1 0 0\nv 2 1 0\n"
+        gr = "p sp 2 1\na 1 2 3\na 2 1 3\na 1 2 4\n"
+        with pytest.raises(dimacs.DimacsFormatError):
+            dimacs.read_graph(io.StringIO(gr), io.StringIO(co))
+
+
+class TestDatasetRoundtrip:
+    def test_tiny_dataset_roundtrip(self, de_tiny, tmp_path):
+        dimacs.save(de_tiny, tmp_path / "DE.gr", tmp_path / "DE.co")
+        back = dimacs.load(tmp_path / "DE.gr", tmp_path / "DE.co")
+        assert back.n == de_tiny.n and back.m == de_tiny.m
+        # Integer lattice coordinates and integer weights survive exactly.
+        for e in list(de_tiny.edges())[:50]:
+            assert back.edge_weight(e.u, e.v) == e.weight

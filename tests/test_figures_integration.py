@@ -1,0 +1,106 @@
+"""Integration: every experiment runner end-to-end on the tiny tier.
+
+One shared registry (tiny datasets, few pairs) runs the complete
+catalogue — the same code path as ``repro-harness -e all`` — and checks
+the structural integrity of each result: headers/rows consistent, raw
+data present, and the relationships that must hold at *any* scale.
+Timing-shape claims that need realistic scale live in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.experiments import all_keys, run
+from repro.harness.registry import Registry
+
+
+@pytest.fixture(scope="module")
+def reg(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("figcache")
+    return Registry(tier="tiny", pairs_per_set=8, cache=str(cache), verbose=False)
+
+
+def rows_consistent(exp):
+    assert exp.rows, exp.key
+    for row in exp.rows:
+        assert len(row) == len(exp.headers), (exp.key, row)
+
+
+class TestEveryExperimentRuns:
+    def test_catalogue_complete(self):
+        assert len(all_keys()) == 16
+
+    @pytest.mark.parametrize("key", ["table1", "table2", "appb", "summary"])
+    def test_tables_and_checks(self, reg, key):
+        exp = run(key, reg)
+        rows_consistent(exp)
+
+    @pytest.mark.parametrize("key", ["fig6", "fig7"])
+    def test_space_and_silc_pcpd_figures(self, reg, key):
+        exp = run(key, reg)
+        rows_consistent(exp)
+
+    @pytest.mark.parametrize("key", ["fig8", "fig10"])
+    def test_vs_n_figures(self, reg, key):
+        exp = run(key, reg, names=("DE", "CO", "US"))
+        rows_consistent(exp)
+        assert ("CH", "US", "Q10") in exp.data
+
+    @pytest.mark.parametrize("key", ["fig16", "fig17"])
+    def test_vs_n_figures_rsets(self, reg, key):
+        exp = run(key, reg, names=("DE", "US"))
+        rows_consistent(exp)
+
+    @pytest.mark.parametrize("key", ["fig9", "fig11"])
+    def test_vs_qset_figures(self, reg, key):
+        exp = run(key, reg, names=("DE", "US"))
+        rows_consistent(exp)
+        assert sum(1 for (tech, *_rest) in exp.data if tech == "TNR") == 20
+
+    def test_fig13_grid_sweep(self, reg):
+        exp = run("fig13", reg, names=("DE", "CO"))
+        rows_consistent(exp)
+        for name in ("DE", "CO"):
+            assert exp.data[("g", name)]["bytes"] > 0
+            assert exp.data[("hybrid", name)]["bytes"] > exp.data[("g", name)]["bytes"]
+
+    @pytest.mark.parametrize("key", ["fig14", "fig15"])
+    def test_tnr_variant_figures(self, reg, key):
+        exp = run(key, reg, names=("CO",))
+        rows_consistent(exp)
+        assert ("g(CH)", "CO", "Q10") in exp.data
+
+
+class TestScaleInvariantRelationships:
+    def test_fig6_data_relationships(self, reg):
+        exp = run("fig6", reg)
+        for name in ("DE", "NH", "ME", "CO"):
+            # The quadratic-preprocessing wall exists at every scale.
+            assert exp.data[("SILC", name)]["seconds"] > exp.data[("CH", name)]["seconds"]
+            assert exp.data[("PCPD", name)]["seconds"] > exp.data[("SILC", name)]["seconds"]
+            assert exp.data[("SILC", name)]["bytes"] > exp.data[("CH", name)]["bytes"]
+
+    def test_appb_defect_reproduces(self, reg):
+        exp = run("appb", reg)
+        report = exp.data["counterexample"]
+        assert report.flawed_is_wrong and report.corrected_is_right
+        assert exp.data["stress"]["wrong"] > 0
+
+    def test_table2_bounds_near_one(self, reg):
+        exp = run("table2", reg)
+        finite = [d["bound"] for d in exp.data.values() if not math.isinf(d["bound"])]
+        assert finite, "at least some datasets admit core-disjoint paths"
+        assert min(finite) < 1.6
+
+    def test_table1_ladder_ascends(self, reg):
+        exp = run("table1", reg)
+        ns = [exp.data[name]["n"] for name in
+              ("DE", "NH", "ME", "CO", "FL", "CA", "E-US", "W-US", "C-US", "US")]
+        assert ns == sorted(ns)
+
+    def test_fig7_silc_wins_aggregate(self, reg):
+        exp = run("fig7", reg, names=("CO",))
+        silc = [v for k, v in exp.data.items() if k[0] == "SILC" and not math.isnan(v)]
+        pcpd = [v for k, v in exp.data.items() if k[0] == "PCPD" and not math.isnan(v)]
+        assert sum(silc) < sum(pcpd)

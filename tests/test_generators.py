@@ -1,0 +1,123 @@
+"""Unit tests for synthetic road-network generation."""
+
+import pytest
+
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    ARTERIAL_SPEED,
+    COORD_SCALE,
+    HIGHWAY_SPEED,
+    RoadNetworkSpec,
+    generate_road_network,
+    grid_graph,
+    paper_example_graph,
+)
+
+
+class TestSpec:
+    def test_resolved_defaults(self):
+        spec = RoadNetworkSpec(n=400)
+        assert spec.resolved_cities() >= 3
+        assert 4 <= spec.resolved_hubs() <= 16
+
+    def test_explicit_overrides(self):
+        spec = RoadNetworkSpec(n=400, n_cities=7, n_hubs=5)
+        assert spec.resolved_cities() == 7
+        assert spec.resolved_hubs() == 5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_road_network(RoadNetworkSpec(n=4))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a, _ = generate_road_network(RoadNetworkSpec(n=150, seed=5))
+        b, _ = generate_road_network(RoadNetworkSpec(n=150, seed=5))
+        assert a.n == b.n and a.m == b.m
+        assert sorted((e.u, e.v, e.weight) for e in a.edges()) == sorted(
+            (e.u, e.v, e.weight) for e in b.edges()
+        )
+
+    def test_seed_changes_output(self):
+        a, _ = generate_road_network(RoadNetworkSpec(n=150, seed=5))
+        b, _ = generate_road_network(RoadNetworkSpec(n=150, seed=6))
+        assert sorted((e.u, e.v) for e in a.edges()) != sorted(
+            (e.u, e.v) for e in b.edges()
+        )
+
+    def test_connected_and_frozen(self, random_road):
+        assert is_connected(random_road)
+        assert random_road.frozen
+
+    def test_road_like_density(self, random_road):
+        # Table 1's arc/vertex ratio ~2.4 means ~1.2 undirected edges
+        # per vertex; allow a generous band.
+        ratio = random_road.m / random_road.n
+        assert 1.0 <= ratio <= 1.7
+
+    def test_degree_bounded(self, random_road):
+        # §2 assumes a degree-bounded graph.
+        assert random_road.max_degree() <= 12
+
+    def test_coordinates_on_lattice(self, random_road):
+        for v in range(random_road.n):
+            x, y = random_road.coord(v)
+            assert 0 <= x <= COORD_SCALE and 0 <= y <= COORD_SCALE
+            assert x == int(x) and y == int(y)
+
+    def test_coordinates_unique(self, random_road):
+        coords = {random_road.coord(v) for v in range(random_road.n)}
+        assert len(coords) == random_road.n
+
+    def test_integer_positive_weights(self, random_road):
+        for e in random_road.edges():
+            assert e.weight >= 1
+            assert e.weight == int(e.weight)
+
+    def test_report_counts(self):
+        g, report = generate_road_network(RoadNetworkSpec(n=150, seed=5))
+        assert report.requested_n == 150
+        assert report.final_n == g.n
+        assert report.final_m == g.m
+        assert report.n_highway_edges > 0
+
+    def test_hierarchy_speeds_up_backbone(self):
+        # Highway edges carry lower travel time per unit length than
+        # local edges: spot-check the generated weight distribution by
+        # comparing weight/length ratios.
+        g, report = generate_road_network(RoadNetworkSpec(n=300, seed=1))
+        ratios = []
+        for e in g.edges():
+            length = g.euclidean_distance(e.u, e.v)
+            if length > 0:
+                ratios.append(e.weight / length)
+        ratios.sort()
+        fastest, slowest = ratios[0], ratios[-1]
+        # Fastest edges should be ~HIGHWAY_SPEED x faster than locals.
+        assert slowest / max(fastest, 1e-12) >= ARTERIAL_SPEED
+        assert HIGHWAY_SPEED > ARTERIAL_SPEED  # invariant of the model
+
+
+class TestFixtures:
+    def test_grid_graph_shape(self):
+        g = grid_graph(4, 3)
+        assert g.n == 12
+        assert g.m == 17  # (4-1)*3 horizontal + 4*(3-1) vertical
+
+    def test_grid_graph_distances(self, lattice):
+        from repro.core.dijkstra import dijkstra_distance
+
+        # Manhattan distance on a unit lattice.
+        assert dijkstra_distance(lattice, 0, 5) == 5.0
+        assert dijkstra_distance(lattice, 0, 6 * 5 - 1) == 5 + 4
+
+    def test_grid_graph_validation(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_paper_graph_is_figure1(self):
+        g = paper_example_graph()
+        assert g.n == 8 and g.m == 9
+        weights = sorted(e.weight for e in g.edges())
+        assert weights == [1, 1, 1, 1, 1, 1, 1, 2, 2]

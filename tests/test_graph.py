@@ -1,0 +1,198 @@
+"""Unit tests for the core Graph structure."""
+
+import math
+
+import pytest
+
+from repro.graph.graph import Edge, Graph
+
+
+def tri() -> Graph:
+    return Graph([0.0, 1.0, 0.5], [0.0, 0.0, 1.0],
+                 [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = tri()
+        assert g.n == 3
+        assert g.m == 3
+
+    def test_empty_graph(self):
+        g = Graph([], [])
+        assert g.n == 0 and g.m == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_without_edges(self):
+        g = Graph([0.0, 1.0], [0.0, 1.0])
+        assert g.n == 2 and g.m == 0
+        assert g.degree(0) == 0
+
+    def test_mismatched_coords_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([0.0], [0.0, 1.0])
+
+    def test_self_loop_rejected(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -2.0)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0])
+        with pytest.raises(IndexError):
+            g.add_edge(0, 2, 1.0)
+        with pytest.raises(IndexError):
+            g.add_edge(-7, 0, 1.0)
+
+    def test_parallel_edges_keep_minimum(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0])
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 3.0)   # lighter: replaces
+        g.add_edge(1, 0, 9.0)   # heavier (either direction): ignored
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == 3.0
+        assert g.edge_weight(1, 0) == 3.0
+
+
+class TestFreeze:
+    def test_freeze_blocks_mutation(self):
+        g = tri().freeze()
+        with pytest.raises(RuntimeError):
+            g.add_edge(0, 1, 1.0)
+
+    def test_freeze_returns_self(self):
+        g = tri()
+        assert g.freeze() is g
+        assert g.frozen
+
+    def test_weight_map_requires_frozen(self):
+        g = tri()
+        with pytest.raises(RuntimeError):
+            g.weight_map(0)
+        g.freeze()
+        assert g.weight_map(1) == {0: 1.0, 2: 2.0}
+
+
+class TestInspection:
+    def test_neighbors_symmetric(self):
+        g = tri()
+        assert (1, 1.0) in g.neighbors(0)
+        assert (0, 1.0) in g.neighbors(1)
+
+    def test_degree_and_max_degree(self):
+        g = tri()
+        assert g.degree(0) == 2
+        assert g.max_degree() == 2
+
+    def test_has_edge(self):
+        g = tri()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        g2 = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)])
+        assert not g2.has_edge(0, 2)
+
+    def test_edge_weight_missing_raises(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)])
+        with pytest.raises(KeyError):
+            g.edge_weight(0, 2)
+
+    def test_edges_iterates_each_once_normalised(self):
+        g = tri()
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert all(e.u < e.v for e in edges)
+
+    def test_coord(self):
+        g = tri()
+        assert g.coord(2) == (0.5, 1.0)
+
+    def test_metric_helpers(self):
+        g = tri()
+        assert g.euclidean_distance(0, 1) == 1.0
+        assert g.chebyshev_distance(0, 2) == 1.0
+
+    def test_path_weight(self):
+        g = tri()
+        assert g.path_weight([0, 1, 2]) == 3.0
+        assert g.path_weight([2]) == 0.0
+        with pytest.raises(KeyError):
+            Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)]).path_weight([0, 2])
+
+    def test_bounding_box_cached_when_frozen(self):
+        g = tri().freeze()
+        assert g.bounding_box() is g.bounding_box()
+
+
+class TestDerivation:
+    def test_induced_subgraph(self):
+        g = tri()
+        sub, old = g.induced_subgraph([2, 0])
+        assert old == [2, 0]
+        assert sub.n == 2
+        assert sub.edge_weight(0, 1) == 4.0  # old (2, 0) edge
+
+    def test_induced_subgraph_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            tri().induced_subgraph([0, 0])
+
+    def test_without_vertices_isolates(self):
+        g = tri()
+        stripped = g.without_vertices([1])
+        assert stripped.n == 3
+        assert stripped.degree(1) == 0
+        assert stripped.edge_weight(0, 2) == 4.0
+        assert not stripped.has_edge(0, 1)
+
+    def test_copy_is_unfrozen_and_equal(self):
+        g = tri().freeze()
+        c = g.copy()
+        assert not c.frozen
+        assert sorted(e.key() for e in c.edges()) == sorted(e.key() for e in g.edges())
+        c.add_edge(0, 1, 0.5)  # copy stays mutable
+        assert g.edge_weight(0, 1) == 1.0
+
+
+class TestEdge:
+    def test_make_normalises(self):
+        e = Edge.make(5, 2, 1.5)
+        assert (e.u, e.v) == (2, 5)
+        assert e.key() == (2, 5)
+
+    def test_other(self):
+        e = Edge.make(1, 2, 1.0)
+        assert e.other(1) == 2
+        assert e.other(2) == 1
+        with pytest.raises(ValueError):
+            e.other(7)
+
+
+class TestPaperGraph:
+    def test_shape(self, paper_graph):
+        assert paper_graph.n == 8
+        assert paper_graph.m == 9
+
+    def test_weights_match_figure1(self, paper_graph):
+        assert paper_graph.edge_weight(1, 7) == 2.0  # v2-v8
+        assert paper_graph.edge_weight(5, 7) == 2.0  # v6-v8
+        light = [e for e in paper_graph.edges() if e.weight == 1.0]
+        assert len(light) == 7
+
+    def test_v1_neighbours(self, paper_graph):
+        # §3.2: "v1 has only two neighbors v3 and v8"
+        assert sorted(v for v, _ in paper_graph.neighbors(0)) == [2, 7]
+
+    def test_v2_neighbours(self, paper_graph):
+        # §3.2: "v2 has only two neighbors v3 and v8"
+        assert sorted(v for v, _ in paper_graph.neighbors(1)) == [2, 7]
+
+    def test_walkthrough_distance(self, paper_graph):
+        # §3.2: dist(v3, v7) = 6 via v8.
+        from repro.core.dijkstra import dijkstra_distance
+
+        assert dijkstra_distance(paper_graph, 2, 6) == 6.0

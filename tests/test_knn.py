@@ -1,0 +1,89 @@
+"""Unit tests for network-distance kNN search."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.dijkstra import dijkstra_distance
+from repro.graph.generators import HIGHWAY_SPEED
+from repro.graph.graph import Graph
+from repro.queries.knn import KNNFinder, certified_max_speed, knn_brute_force
+
+
+@pytest.fixture(scope="module")
+def candidates(co_tiny):
+    rng = random.Random(31)
+    return sorted(rng.sample(range(co_tiny.n), 40))
+
+
+class TestBruteForce:
+    def test_matches_dijkstra_ranking(self, co_tiny, ch_co, candidates):
+        result = knn_brute_force(ch_co, 0, candidates, k=5)
+        expected = sorted(
+            (dijkstra_distance(co_tiny, 0, c), c) for c in candidates
+        )[:5]
+        assert result == expected
+
+    def test_k_larger_than_candidates(self, ch_co, candidates):
+        result = knn_brute_force(ch_co, 0, candidates, k=1000)
+        assert len(result) == len(candidates)
+
+    def test_invalid_k(self, ch_co, candidates):
+        with pytest.raises(ValueError):
+            knn_brute_force(ch_co, 0, candidates, k=0)
+
+    def test_unreachable_excluded(self, ch_co):
+        g = Graph([0.0, 1.0, 500.0], [0.0] * 3, [(0, 1, 1.0)]).freeze()
+        from repro.core.bidirectional import BidirectionalDijkstra
+
+        result = knn_brute_force(BidirectionalDijkstra(g), 0, [1, 2], k=2)
+        assert result == [(1.0, 1)]
+
+
+class TestCertifiedSpeed:
+    def test_generated_graph_speed_bounded(self, co_tiny):
+        speed = certified_max_speed(co_tiny)
+        # Generator speeds top out at HIGHWAY_SPEED (integer rounding
+        # of travel times can nudge the ratio slightly above).
+        assert 0 < speed <= HIGHWAY_SPEED * 1.2
+
+    def test_lower_bound_property(self, co_tiny, rng):
+        speed = certified_max_speed(co_tiny)
+        for _ in range(60):
+            s, t = rng.randrange(co_tiny.n), rng.randrange(co_tiny.n)
+            bound = co_tiny.euclidean_distance(s, t) / speed
+            d = dijkstra_distance(co_tiny, s, t)
+            if not math.isinf(d):
+                assert bound <= d + 1e-6
+
+
+class TestFinder:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_matches_brute_force(self, co_tiny, ch_co, candidates, k, rng):
+        finder = KNNFinder(co_tiny, ch_co, candidates)
+        for _ in range(15):
+            q = rng.randrange(co_tiny.n)
+            assert finder.query(q, k) == knn_brute_force(ch_co, q, candidates, k)
+
+    def test_pruning_saves_queries(self, co_tiny, ch_co, candidates, rng):
+        finder = KNNFinder(co_tiny, ch_co, candidates)
+        queries = 0
+        rounds = 20
+        for _ in range(rounds):
+            finder.query(rng.randrange(co_tiny.n), k=1)
+        assert finder.stats.distance_queries < rounds * len(candidates)
+        assert finder.stats.pruned > 0
+
+    def test_invalid_inputs(self, co_tiny, ch_co, candidates):
+        finder = KNNFinder(co_tiny, ch_co, candidates)
+        with pytest.raises(ValueError):
+            finder.query(0, k=0)
+        with pytest.raises(ValueError):
+            KNNFinder(co_tiny, ch_co, candidates, max_speed=0.0)
+
+    def test_source_among_candidates(self, co_tiny, ch_co, candidates):
+        finder = KNNFinder(co_tiny, ch_co, candidates)
+        q = candidates[0]
+        result = finder.query(q, k=1)
+        assert result[0] == (0.0, q)

@@ -1,0 +1,62 @@
+"""Unit tests for index size accounting."""
+
+import numpy as np
+
+from repro.analysis.memory import deep_sizeof, megabytes
+
+
+class Holder:
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+class Slotted:
+    __slots__ = ("a", "graph")
+
+    def __init__(self, a, graph=None):
+        self.a = a
+        if graph is not None:
+            self.graph = graph
+
+
+class TestDeepSizeof:
+    def test_numpy_counted_by_nbytes(self):
+        arr = np.zeros(1000, dtype=np.float64)
+        assert deep_sizeof(arr) >= 8000
+
+    def test_containers_recursive(self):
+        flat = deep_sizeof([1, 2, 3])
+        nested = deep_sizeof([[1, 2, 3], [4, 5, 6]])
+        assert nested > flat
+
+    def test_shared_objects_counted_once(self):
+        arr = np.zeros(10000, dtype=np.float64)
+        assert deep_sizeof([arr, arr]) < 2 * deep_sizeof(arr)
+
+    def test_graph_attribute_skipped(self, de_tiny):
+        with_graph = Holder(a=[1, 2], graph=de_tiny)
+        without = Holder(a=[1, 2])
+        assert abs(deep_sizeof(with_graph) - deep_sizeof(without)) < 200
+
+    def test_slots_supported_and_graph_skipped(self, de_tiny):
+        a = Slotted(a=list(range(100)))
+        b = Slotted(a=list(range(100)), graph=de_tiny)
+        assert abs(deep_sizeof(a) - deep_sizeof(b)) < 200
+
+    def test_dict_keys_and_values(self):
+        small = deep_sizeof({1: "x"})
+        big = deep_sizeof({i: "x" * 50 for i in range(100)})
+        assert big > small * 20
+
+    def test_index_ordering_matches_intuition(self, co_tiny, ch_co, tnr_co, silc_co):
+        # The Figure 6(a) ordering at this scale: CH smallest.
+        ch_bytes = deep_sizeof(ch_co.index)
+        tnr_bytes = deep_sizeof(tnr_co.index)
+        silc_bytes = deep_sizeof(silc_co.index)
+        assert ch_bytes < tnr_bytes
+        assert ch_bytes < silc_bytes
+
+
+class TestUnits:
+    def test_megabytes(self):
+        assert megabytes(2_000_000) == 2.0

@@ -1,0 +1,120 @@
+"""Unit + property tests for Morton codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.coords import BoundingBox
+from repro.graph.morton import (
+    MORTON_BITS,
+    MORTON_MAX,
+    MORTON_SIDE,
+    MortonMapper,
+    morton_decode,
+    morton_encode,
+    quadtree_interval,
+)
+
+cells = st.integers(0, MORTON_SIDE - 1)
+
+
+class TestCodes:
+    def test_known_values(self):
+        assert morton_encode(0, 0) == 0
+        assert morton_encode(1, 0) == 1
+        assert morton_encode(0, 1) == 2
+        assert morton_encode(1, 1) == 3
+        assert morton_encode(2, 0) == 4
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            morton_encode(-1, 0)
+        with pytest.raises(ValueError):
+            morton_encode(0, MORTON_SIDE)
+        with pytest.raises(ValueError):
+            morton_decode(-1)
+        with pytest.raises(ValueError):
+            morton_decode(MORTON_MAX + 1)
+
+    @given(cells, cells)
+    def test_roundtrip(self, ix, iy):
+        assert morton_decode(morton_encode(ix, iy)) == (ix, iy)
+
+    @given(cells, cells)
+    def test_distinct_cells_distinct_codes(self, ix, iy):
+        other = ((ix + 1) % MORTON_SIDE, iy)
+        assert morton_encode(*other) != morton_encode(ix, iy)
+
+    @given(cells, cells)
+    def test_monotone_in_each_axis_within_quadrant(self, ix, iy):
+        # Within the same cell, increasing x by 1 where the low bit is 0
+        # increases the code (Z-order local monotonicity).
+        if ix % 2 == 0:
+            assert morton_encode(ix + 1, iy) > morton_encode(ix, iy)
+
+
+class TestQuadtreeInterval:
+    def test_root_interval(self):
+        lo, hi = quadtree_interval(0, 0, 0)
+        assert lo == 0 and hi == MORTON_MAX + 1
+
+    def test_leaf_interval(self):
+        lo, hi = quadtree_interval(5, 9, MORTON_BITS)
+        assert hi - lo == 1
+        assert lo == morton_encode(5, 9)
+
+    def test_depth_range_checked(self):
+        with pytest.raises(ValueError):
+            quadtree_interval(0, 0, MORTON_BITS + 1)
+
+    @given(st.integers(0, 6), st.data())
+    def test_children_partition_parent(self, depth, data):
+        side = 1 << depth
+        ix = data.draw(st.integers(0, side - 1))
+        iy = data.draw(st.integers(0, side - 1))
+        lo, hi = quadtree_interval(ix, iy, depth)
+        child_ranges = sorted(
+            quadtree_interval(2 * ix + dx, 2 * iy + dy, depth + 1)
+            for dx in (0, 1)
+            for dy in (0, 1)
+        )
+        assert child_ranges[0][0] == lo
+        assert child_ranges[-1][1] == hi
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(child_ranges, child_ranges[1:]):
+            assert a_hi == b_lo  # contiguous, disjoint
+
+    @given(st.integers(0, 8), st.data())
+    def test_cell_codes_inside_interval(self, depth, data):
+        side = 1 << depth
+        ix = data.draw(st.integers(0, side - 1))
+        iy = data.draw(st.integers(0, side - 1))
+        lo, hi = quadtree_interval(ix, iy, depth)
+        shift = MORTON_BITS - depth
+        sub_x = data.draw(st.integers(0, (1 << shift) - 1))
+        sub_y = data.draw(st.integers(0, (1 << shift) - 1))
+        code = morton_encode((ix << shift) + sub_x, (iy << shift) + sub_y)
+        assert lo <= code < hi
+
+
+class TestMapper:
+    def test_corners_map_inside(self):
+        m = MortonMapper(BoundingBox(0, 0, 10, 10))
+        assert m.cell_of(0, 0) == (0, 0)
+        ix, iy = m.cell_of(10, 10)
+        assert ix == MORTON_SIDE - 1 and iy == MORTON_SIDE - 1
+
+    def test_clamping(self):
+        m = MortonMapper(BoundingBox(0, 0, 10, 10))
+        assert m.cell_of(-5, 100) == (0, MORTON_SIDE - 1)
+
+    def test_degenerate_box(self):
+        m = MortonMapper(BoundingBox(3, 3, 3, 3))
+        assert m.encode(3, 3) == 0
+
+    @given(st.floats(0, 10), st.floats(0, 10), st.floats(0, 10), st.floats(0, 10))
+    def test_order_preserved_on_axis(self, x1, y, x2, _unused):
+        m = MortonMapper(BoundingBox(0, 0, 10, 10))
+        c1 = m.cell_of(x1, y)[0]
+        c2 = m.cell_of(x2, y)[0]
+        if x1 < x2:
+            assert c1 <= c2

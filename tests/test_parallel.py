@@ -1,0 +1,66 @@
+"""Unit tests for the multiprocess build fan-out."""
+
+import pytest
+
+from repro.core.pcpd.pairs import APSPTables
+from repro.core.silc import build_silc
+from repro.core.tnr import TNRGrid
+from repro.core.tnr.access_nodes import compute_access_nodes
+from repro.parallel import map_with_context, resolve_workers
+
+
+def _double(context, item):
+    return context * item
+
+
+class TestMapWithContext:
+    def test_inline_path(self):
+        assert map_with_context(_double, 3, [1, 2, 4]) == [3, 6, 12]
+
+    def test_parallel_matches_inline(self):
+        items = list(range(40))
+        inline = map_with_context(_double, 7, items, workers=1)
+        fanned = map_with_context(_double, 7, items, workers=2)
+        assert fanned == inline
+
+    def test_order_preserved(self):
+        items = list(range(25))
+        result = map_with_context(_double, 1, items, workers=3)
+        assert result == items
+
+    def test_single_item_stays_inline(self):
+        assert map_with_context(_double, 2, [5], workers=8) == [10]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(-1) >= 1
+
+
+class TestBuildersParallel:
+    def test_silc_identical_output(self, de_tiny):
+        seq = build_silc(de_tiny, workers=1)
+        par = build_silc(de_tiny, workers=2)
+        assert seq.starts == par.starts
+        assert seq.ends == par.ends
+        assert seq.colors == par.colors
+        assert seq.exceptions == par.exceptions
+
+    def test_apsp_identical_output(self, de_tiny):
+        import numpy as np
+
+        seq = APSPTables.compute(de_tiny, workers=1)
+        par = APSPTables.compute(de_tiny, workers=2)
+        assert np.array_equal(seq.dist, par.dist)
+        assert np.array_equal(seq.parent, par.parent)
+
+    def test_access_nodes_identical_output(self, co_tiny):
+        grid = TNRGrid(co_tiny, 16)
+        seq = compute_access_nodes(co_tiny, grid, workers=1)
+        par = compute_access_nodes(co_tiny, grid, workers=2)
+        assert seq.keys() == par.keys()
+        for cell in seq:
+            assert seq[cell].access_nodes == par[cell].access_nodes
+            assert seq[cell].vertex_distances == par[cell].vertex_distances

@@ -1,0 +1,133 @@
+"""Unit tests for PCPD (§3.5 / Appendix D)."""
+
+import math
+
+import pytest
+
+from repro.core.dijkstra import dijkstra_distance
+from repro.core.pcpd import PCPD, build_pcpd
+from repro.core.pcpd.pairs import APSPTables, quadrant_of, quadrant_split
+from repro.graph.coords import BoundingBox
+from repro.graph.graph import Graph
+from tests.conftest import random_pairs
+
+
+class TestAPSP:
+    def test_tables_match_dijkstra(self, de_tiny):
+        tables = APSPTables.compute(de_tiny)
+        for s in (0, 5, de_tiny.n - 1):
+            for t in (1, 9, de_tiny.n // 2):
+                assert tables.dist[s][t] == dijkstra_distance(de_tiny, s, t)
+
+    def test_path_edges_form_path(self, de_tiny):
+        tables = APSPTables.compute(de_tiny)
+        edges = list(tables.path_edges(0, de_tiny.n - 1))
+        assert edges[0][0] == 0
+        assert edges[-1][1] == de_tiny.n - 1
+        for (a, b), (c, d) in zip(edges, edges[1:]):
+            assert b == c
+        total = sum(de_tiny.edge_weight(a, b) for a, b in edges)
+        assert total == tables.dist[0][de_tiny.n - 1]
+
+    def test_unreachable_path_empty(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)]).freeze()
+        tables = APSPTables.compute(g)
+        assert list(tables.path_edges(0, 2)) == []
+
+
+class TestQuadrants:
+    def test_split_partitions(self):
+        g = Graph([0.0, 0.9, 0.1, 0.9], [0.0, 0.0, 0.9, 0.9]).freeze()
+        box = BoundingBox(0, 0, 1, 1)
+        parts = quadrant_split(box, [0, 1, 2, 3], g)
+        assigned = [v for _, vs in parts for v in vs]
+        assert sorted(assigned) == [0, 1, 2, 3]
+
+    def test_boundary_goes_to_higher_quadrant(self):
+        g = Graph([0.5], [0.5]).freeze()
+        box = BoundingBox(0, 0, 1, 1)
+        parts = quadrant_split(box, [0], g)
+        assert parts[3][1] == [0]  # NE quadrant under the >= rule
+        assert quadrant_of(box, 0.5, 0.5) == 3
+
+    def test_lookup_descent_agrees_with_split(self, de_tiny):
+        box = BoundingBox(0, 0, 10, 10)
+        for x, y in [(0.0, 0.0), (4.999, 5.0), (5.0, 4.999), (9.9, 9.9)]:
+            q = quadrant_of(box, x, y)
+            sub = box.quadrants()[q]
+            # closed-open: the point's quadrant box half-contains it
+            assert sub.xmin <= x and sub.ymin <= y
+
+
+class TestPaperWalkthrough:
+    def test_all_pairs_exact(self, paper_graph):
+        pcpd = PCPD.build(paper_graph)
+        for s in range(8):
+            for t in range(8):
+                d, path = pcpd.path(s, t)
+                assert d == dijkstra_distance(paper_graph, s, t)
+                if path is not None:
+                    assert paper_graph.path_weight(path) == d
+
+
+class TestQueries:
+    def test_distance_agreement(self, de_tiny, pcpd_de, rng):
+        for s, t in random_pairs(de_tiny, rng, 200):
+            assert pcpd_de.distance(s, t) == dijkstra_distance(de_tiny, s, t)
+
+    def test_paths_valid_and_optimal(self, de_tiny, pcpd_de, rng):
+        for s, t in random_pairs(de_tiny, rng, 100):
+            d, path = pcpd_de.path(s, t)
+            assert path[0] == s and path[-1] == t
+            assert de_tiny.path_weight(path) == d
+
+    def test_same_vertex(self, pcpd_de):
+        assert pcpd_de.distance(6, 6) == 0.0
+        assert pcpd_de.path(6, 6) == (0.0, [6])
+
+    def test_unreachable(self):
+        g = Graph([0.0, 100.0, 200.0, 300.0], [0.0] * 4,
+                  [(0, 1, 1.0), (2, 3, 1.0)]).freeze()
+        pcpd = PCPD.build(g)
+        assert math.isinf(pcpd.distance(0, 3))
+        assert pcpd.path(0, 3) == (math.inf, None)
+
+    def test_wrong_graph_rejected(self, de_tiny, co_tiny):
+        index = build_pcpd(de_tiny)
+        with pytest.raises(ValueError):
+            PCPD(co_tiny, index)
+
+
+class TestCoverage:
+    def test_every_distinct_pair_covered(self, de_tiny, pcpd_de):
+        # §3.5: any two vertices are covered by a unique pair. The
+        # lookup therefore succeeds for every distinct pair.
+        n = de_tiny.n
+        for s in range(0, n, 7):
+            for t in range(0, n, 5):
+                if s == t:
+                    continue
+                u, v = pcpd_de.index.lookup(s, t)
+                assert de_tiny.has_edge(u, v)
+
+    def test_trivial_pair_not_covered(self, pcpd_de):
+        with pytest.raises(KeyError):
+            pcpd_de.index.lookup(3, 3)
+
+    def test_link_on_shortest_path(self, de_tiny, pcpd_de, rng):
+        # The link edge decomposes the distance exactly.
+        for s, t in random_pairs(de_tiny, rng, 60):
+            if s == t:
+                continue
+            u, v = pcpd_de.index.lookup(s, t)
+            w = de_tiny.edge_weight(u, v)
+            assert (
+                dijkstra_distance(de_tiny, s, u)
+                + w
+                + dijkstra_distance(de_tiny, v, t)
+                == dijkstra_distance(de_tiny, s, t)
+            )
+
+    def test_pair_count_reported(self, pcpd_de):
+        assert pcpd_de.index.n_pairs == pcpd_de.index.root.count_pairs()
+        assert pcpd_de.index.n_pairs > 0

@@ -1,0 +1,65 @@
+"""Unit tests for index persistence."""
+
+import pickle
+
+import pytest
+
+from repro import persistence
+from repro.core.ch import ContractionHierarchy
+from repro.core.silc import build_silc
+
+
+class TestRoundtrip:
+    def test_ch_index_roundtrip(self, co_tiny, ch_co, tmp_path, rng):
+        path = persistence.save_index(tmp_path / "co.chx", ch_co.index, co_tiny)
+        loaded = persistence.load_index(path, co_tiny, expected_kind="CHIndex")
+        restored = ContractionHierarchy(co_tiny, loaded)
+        for _ in range(30):
+            s, t = rng.randrange(co_tiny.n), rng.randrange(co_tiny.n)
+            assert restored.distance(s, t) == ch_co.distance(s, t)
+
+    def test_silc_index_roundtrip(self, de_tiny, tmp_path):
+        index = build_silc(de_tiny)
+        path = persistence.save_index(tmp_path / "de.silc", index, de_tiny)
+        loaded = persistence.load_index(path, de_tiny)
+        assert loaded.total_intervals == index.total_intervals
+
+    def test_save_is_atomic_no_tmp_left(self, de_tiny, ch_co, co_tiny, tmp_path):
+        path = persistence.save_index(tmp_path / "x.idx", ch_co.index, co_tiny)
+        assert not (tmp_path / "x.idx.tmp").exists()
+        assert path == str(tmp_path / "x.idx")
+
+
+class TestValidation:
+    def test_foreign_file_rejected(self, de_tiny, tmp_path):
+        bogus = tmp_path / "bogus.idx"
+        bogus.write_bytes(b"GARBAGE!" + pickle.dumps({}))
+        with pytest.raises(persistence.PersistenceError, match="not a repro index"):
+            persistence.load_index(bogus, de_tiny)
+
+    def test_truncated_payload_rejected(self, de_tiny, tmp_path):
+        trunc = tmp_path / "trunc.idx"
+        trunc.write_bytes(persistence.MAGIC + b"\x80")
+        with pytest.raises(persistence.PersistenceError, match="corrupt"):
+            persistence.load_index(trunc, de_tiny)
+
+    def test_kind_mismatch_rejected(self, co_tiny, ch_co, tmp_path):
+        path = persistence.save_index(tmp_path / "a.idx", ch_co.index, co_tiny)
+        with pytest.raises(persistence.PersistenceError, match="expected SILCIndex"):
+            persistence.load_index(path, co_tiny, expected_kind="SILCIndex")
+
+    def test_wrong_graph_rejected(self, co_tiny, de_tiny, ch_co, tmp_path):
+        path = persistence.save_index(tmp_path / "a.idx", ch_co.index, co_tiny)
+        with pytest.raises(persistence.PersistenceError, match="different graph"):
+            persistence.load_index(path, de_tiny)
+
+    def test_format_version_rejected(self, co_tiny, ch_co, tmp_path, monkeypatch):
+        path = persistence.save_index(tmp_path / "a.idx", ch_co.index, co_tiny)
+        monkeypatch.setattr(persistence, "FORMAT_VERSION", 99)
+        with pytest.raises(persistence.PersistenceError, match="unsupported"):
+            persistence.load_index(path, co_tiny)
+
+    def test_fingerprint_equality(self, co_tiny, de_tiny):
+        a = persistence.GraphFingerprint.of(co_tiny)
+        assert a == persistence.GraphFingerprint.of(co_tiny)
+        assert a != persistence.GraphFingerprint.of(de_tiny)

@@ -1,0 +1,81 @@
+"""Unit tests for the ASCII figure renderer."""
+
+import math
+
+import pytest
+
+from repro.harness.plotting import GLYPHS, Series, render_loglog
+
+
+def make_series(label="CH", xs=(1, 10, 100), ys=(5.0, 50.0, 500.0)):
+    return Series(label=label, xs=list(xs), ys=list(ys))
+
+
+class TestSeries:
+    def test_finite_points_filters(self):
+        s = Series("x", [1, 2, 3, 4], [1.0, math.nan, math.inf, 4.0])
+        assert s.finite_points() == [(1, 1.0), (4, 4.0)]
+
+    def test_nonpositive_filtered(self):
+        s = Series("x", [0, 1], [1.0, -5.0])
+        assert s.finite_points() == []
+
+
+class TestRender:
+    def test_contains_title_axes_legend(self):
+        text = render_loglog([make_series()], "fig8 — Q1", "n", "us")
+        assert "fig8 — Q1" in text
+        assert "n (log scale)" in text
+        assert "legend: o=CH" in text
+
+    def test_monotone_series_slopes_up(self):
+        height = 10
+        text = render_loglog([make_series()], "t", "x", "y", width=30, height=height)
+        lines = text.splitlines()
+        # Grid rows sit after the two header lines, top row first.
+        grid = [line[1:] for line in lines[2:2 + height]]
+        top_cols = [i for i, c in enumerate(grid[0]) if c == "o"]
+        bottom_cols = [i for i, c in enumerate(grid[-1]) if c == "o"]
+        assert top_cols and bottom_cols
+        # Monotone series: the highest value is right of the lowest.
+        assert min(top_cols) > max(bottom_cols)
+
+    def test_multiple_series_distinct_glyphs(self):
+        a = make_series("CH")
+        b = make_series("TNR", ys=(7.0, 60.0, 700.0))
+        text = render_loglog([a, b], "t", "x", "y")
+        assert "o=CH" in text and "*=TNR" in text
+
+    def test_overlap_marked(self):
+        a = make_series("A")
+        b = make_series("B")  # identical points overlap everywhere
+        text = render_loglog([a, b], "t", "x", "y")
+        assert "?" in text
+
+    def test_empty_series_handled(self):
+        text = render_loglog([Series("e", [], [])], "t", "x", "y")
+        assert "no finite data" in text
+
+    def test_single_point(self):
+        text = render_loglog([Series("p", [10], [3.0])], "t", "x", "y")
+        assert "o" in text
+
+    def test_glyph_budget(self):
+        series = [make_series(f"s{i}", ys=(float(i + 1),) * 3) for i in range(6)]
+        text = render_loglog(series, "t", "x", "y")
+        for glyph in GLYPHS[:6]:
+            assert glyph in text
+
+
+class TestCLIChart:
+    def test_cli_chart_flag(self, capsys):
+        from repro.harness.cli import main as cli_main
+
+        code = cli_main([
+            "--experiment", "fig9", "--tier", "tiny", "--pairs", "6",
+            "--datasets", "DE", "--chart",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig9 — DE" in out
+        assert "log scale" in out

@@ -1,0 +1,115 @@
+"""Unit + property tests for the addressable heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.pqueue import AddressableHeap
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        h = AddressableHeap()
+        for item, prio in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            h.push(item, prio)
+        assert [h.pop() for _ in range(3)] == [("b", 1.0), ("c", 2.0), ("a", 3.0)]
+
+    def test_len_bool_contains(self):
+        h = AddressableHeap()
+        assert not h and len(h) == 0
+        h.push(1, 1.0)
+        assert h and len(h) == 1 and 1 in h and 2 not in h
+
+    def test_duplicate_push_rejected(self):
+        h = AddressableHeap()
+        h.push("x", 1.0)
+        with pytest.raises(KeyError):
+            h.push("x", 2.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop()
+        with pytest.raises(IndexError):
+            AddressableHeap().peek()
+
+    def test_peek_does_not_remove(self):
+        h = AddressableHeap()
+        h.push("a", 2.0)
+        assert h.peek() == ("a", 2.0)
+        assert len(h) == 1
+
+    def test_update_decrease_and_increase(self):
+        h = AddressableHeap()
+        h.push("a", 5.0)
+        h.push("b", 3.0)
+        h.update("a", 1.0)
+        assert h.peek() == ("a", 1.0)
+        h.update("a", 10.0)
+        assert h.peek() == ("b", 3.0)
+
+    def test_decrease_key_only_improves(self):
+        h = AddressableHeap()
+        h.push("a", 5.0)
+        assert h.decrease_key("a", 2.0)
+        assert not h.decrease_key("a", 4.0)  # worse: no-op
+        assert h.priority("a") == 2.0
+
+    def test_push_or_update(self):
+        h = AddressableHeap()
+        h.push_or_update("a", 4.0)
+        h.push_or_update("a", 1.0)
+        assert h.pop() == ("a", 1.0)
+
+    def test_remove_arbitrary(self):
+        h = AddressableHeap()
+        for i in range(10):
+            h.push(i, float(10 - i))
+        assert h.remove(5) == 5.0
+        popped = [h.pop()[0] for _ in range(len(h))]
+        assert 5 not in popped and len(popped) == 9
+
+    def test_priority_lookup(self):
+        h = AddressableHeap()
+        h.push("k", 7.5)
+        assert h.priority("k") == 7.5
+        with pytest.raises(KeyError):
+            h.priority("missing")
+
+    def test_iter_items(self):
+        h = AddressableHeap()
+        for i in range(5):
+            h.push(i, float(i))
+        assert sorted(h) == [0, 1, 2, 3, 4]
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.floats(-100, 100)),
+                    min_size=1, max_size=100))
+    def test_pop_sequence_sorted(self, ops):
+        h = AddressableHeap()
+        best: dict[int, float] = {}
+        for item, prio in ops:
+            h.push_or_update(item, prio)
+            best[item] = prio
+        out = [h.pop() for _ in range(len(h))]
+        prios = [p for _, p in out]
+        assert prios == sorted(prios)
+        assert {i for i, _ in out} == set(best)
+        for item, prio in out:
+            assert prio == best[item]
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60),
+           st.data())
+    def test_interleaved_remove_keeps_order(self, prios, data):
+        h = AddressableHeap()
+        for i, p in enumerate(prios):
+            h.push(i, p)
+        to_remove = data.draw(
+            st.sets(st.sampled_from(range(len(prios))),
+                    max_size=len(prios) // 2)
+        )
+        for i in to_remove:
+            h.remove(i)
+        out = [h.pop()[1] for _ in range(len(h))]
+        assert out == sorted(out)
+        assert len(out) == len(prios) - len(to_remove)

@@ -1,0 +1,177 @@
+"""Adversarial property tests: every technique, every pair, odd graphs.
+
+The road-network generator produces well-behaved inputs; these tests
+instead build *hostile* small graphs — random topologies, duplicate-ish
+geometry, maximal shortest-path ties — and check that all five
+techniques (plus the extensions) agree with Dijkstra on **all** vertex
+pairs. This is where the tie-handling bugs (TNR access-node coverage,
+SILC tie-broken first hops, PCPD canonical paths) would resurface.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.core.ch import ContractionHierarchy
+from repro.core.dijkstra import dijkstra_sssp
+from repro.core.pcpd import PCPD
+from repro.core.silc import SILC
+from repro.core.tnr import TransitNodeRouting, build_tnr
+from repro.extensions import ALT, ArcFlags
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def small_connected_graphs(draw):
+    """Random connected graph: spanning tree + extra edges, lattice coords."""
+    n = draw(st.integers(6, 26))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    g = Graph([c[0] for c in coords], [c[1] for c in coords])
+    # Random spanning tree keeps it connected.
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        w = draw(st.integers(1, 9))
+        g.add_edge(u, v, float(w))
+    # Extra edges create ties and alternative routes.
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b and not g.has_edge(a, b):
+            g.add_edge(a, b, float(draw(st.integers(1, 9))))
+    return g.freeze()
+
+
+def all_pairs_reference(g: Graph) -> list[list[float]]:
+    return [dijkstra_sssp(g, s)[0] for s in range(g.n)]
+
+
+class TestAllTechniquesAllPairs:
+    @SLOW
+    @given(g=small_connected_graphs())
+    def test_agreement_on_random_graphs(self, g):
+        ref = all_pairs_reference(g)
+        ch = ContractionHierarchy.build(g)
+        techniques = [
+            BidirectionalDijkstra(g),
+            ch,
+            TransitNodeRouting(g, build_tnr(g, ch, 16), ch),
+            SILC.build(g),
+            PCPD.build(g),
+            ALT.build(g, n_landmarks=3),
+            ArcFlags.build(g, k=4),
+        ]
+        for tech in techniques:
+            for s in range(g.n):
+                for t in range(g.n):
+                    assert tech.distance(s, t) == ref[s][t], (
+                        tech.name, s, t,
+                    )
+
+    @SLOW
+    @given(g=small_connected_graphs(), seed=st.integers(0, 999))
+    def test_paths_are_optimal_walks(self, g, seed):
+        ref = all_pairs_reference(g)
+        ch = ContractionHierarchy.build(g)
+        silc = SILC.build(g)
+        s = seed % g.n
+        t = (seed // g.n) % g.n
+        for tech in (ch, silc):
+            d, path = tech.path(s, t)
+            assert d == ref[s][t]
+            if path is not None:
+                assert path[0] == s and path[-1] == t
+                assert g.path_weight(path) == d
+
+
+class TestTieHeavyLattices:
+    """Uniform lattices maximise equal-length shortest paths."""
+
+    @pytest.mark.parametrize("dims", [(12, 12), (20, 5), (3, 40)])
+    def test_all_techniques_on_lattice(self, dims):
+        g = grid_graph(*dims)
+        ref = all_pairs_reference(g)
+        ch = ContractionHierarchy.build(g)
+        techniques = [
+            ch,
+            TransitNodeRouting(g, build_tnr(g, ch, 16), ch),
+            SILC.build(g),
+        ]
+        probes = [(0, g.n - 1), (1, g.n - 2), (g.n // 2, 0), (3, g.n // 3)]
+        for tech in techniques:
+            for s, t in probes:
+                assert tech.distance(s, t) == ref[s][t], tech.name
+
+    def test_pcpd_on_small_lattice(self):
+        g = grid_graph(6, 6)
+        ref = all_pairs_reference(g)
+        pcpd = PCPD.build(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert pcpd.distance(s, t) == ref[s][t]
+
+
+class TestDegenerateTopologies:
+    def path_graph(self, k: int) -> Graph:
+        g = Graph([float(i) for i in range(k)], [0.0] * k)
+        for i in range(k - 1):
+            g.add_edge(i, i + 1, float(i + 1))
+        return g.freeze()
+
+    def star_graph(self, k: int) -> Graph:
+        import math as m
+
+        xs = [0.0] + [m.cos(2 * m.pi * i / k) * 100 for i in range(k)]
+        ys = [0.0] + [m.sin(2 * m.pi * i / k) * 100 for i in range(k)]
+        g = Graph(xs, ys)
+        for i in range(1, k + 1):
+            g.add_edge(0, i, float(i))
+        return g.freeze()
+
+    @pytest.mark.parametrize("maker,arg", [("path_graph", 12), ("star_graph", 9)])
+    def test_all_on_degenerate(self, maker, arg):
+        g = getattr(self, maker)(arg)
+        ref = all_pairs_reference(g)
+        ch = ContractionHierarchy.build(g)
+        techniques = [
+            BidirectionalDijkstra(g),
+            ch,
+            TransitNodeRouting(g, build_tnr(g, ch, 16), ch),
+            SILC.build(g),
+            PCPD.build(g),
+        ]
+        for tech in techniques:
+            for s in range(g.n):
+                for t in range(g.n):
+                    assert tech.distance(s, t) == ref[s][t], tech.name
+
+    def test_two_vertex_graph(self):
+        g = Graph([0.0, 1000.0], [0.0, 0.0], [(0, 1, 7.0)]).freeze()
+        ch = ContractionHierarchy.build(g)
+        silc = SILC.build(g)
+        pcpd = PCPD.build(g)
+        for tech in (ch, silc, pcpd, BidirectionalDijkstra(g)):
+            assert tech.distance(0, 1) == 7.0
+            assert tech.path(0, 1) == (7.0, [0, 1])
+
+    def test_single_vertex_graph(self):
+        g = Graph([5.0], [5.0]).freeze()
+        ch = ContractionHierarchy.build(g)
+        assert ch.distance(0, 0) == 0.0
+        silc = SILC.build(g)
+        assert silc.path(0, 0) == (0.0, [0])

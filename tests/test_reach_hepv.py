@@ -1,0 +1,144 @@
+"""Unit tests for the RE and HEPV extensions (Appendix A)."""
+
+import math
+
+import pytest
+
+from repro.core.dijkstra import dijkstra_distance, settled_count
+from repro.extensions.hepv import HEPV, build_hepv
+from repro.extensions.reach import Reach, build_reach, compute_reaches
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+from tests.conftest import random_pairs
+
+
+@pytest.fixture(scope="module")
+def reach_de(de_tiny):
+    return Reach.build(de_tiny)
+
+
+@pytest.fixture(scope="module")
+def hepv_co(co_tiny):
+    return HEPV.build(co_tiny, k=4)
+
+
+class TestReachValues:
+    def test_path_graph_reaches(self):
+        # On a path a-b-c-d with unit weights, the middle vertices have
+        # reach 1 (min of the two sides), the ends reach 0.
+        g = Graph([0.0, 1.0, 2.0, 3.0], [0.0] * 4,
+                  [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).freeze()
+        reach = compute_reaches(g)
+        assert reach[0] == 0.0 and reach[3] == 0.0
+        assert reach[1] == 1.0 and reach[2] == 1.0
+
+    def test_star_center_reach(self):
+        g = Graph([0.0, 1.0, -1.0, 0.0], [0.0, 0.0, 0.0, 1.0],
+                  [(0, 1, 2.0), (0, 2, 3.0), (0, 3, 5.0)]).freeze()
+        reach = compute_reaches(g)
+        # Through-paths at the hub: min over the two arms, maximised
+        # over arm pairs -> min(3, 5) = 3.
+        assert reach[0] == 3.0
+        assert reach[1] == 0.0
+
+    def test_reach_bounds_on_dataset(self, de_tiny, reach_de, rng):
+        # Soundness: for any (s, t) and any v on a shortest path,
+        # min(d(s,v), d(v,t)) <= reach(v).
+        from repro.core.dijkstra import dijkstra_path
+
+        reach = reach_de.index.reach
+        for s, t in random_pairs(de_tiny, rng, 25):
+            d, path = dijkstra_path(de_tiny, s, t)
+            if path is None:
+                continue
+            for v in path[1:-1]:
+                dv = dijkstra_distance(de_tiny, s, v)
+                assert min(dv, d - dv) <= reach[v] + 1e-9
+
+
+class TestReachQueries:
+    def test_distance_agreement(self, de_tiny, reach_de, rng):
+        for s, t in random_pairs(de_tiny, rng, 150):
+            assert reach_de.distance(s, t) == dijkstra_distance(de_tiny, s, t)
+
+    def test_paths_valid(self, de_tiny, reach_de, rng):
+        for s, t in random_pairs(de_tiny, rng, 40):
+            d, path = reach_de.path(s, t)
+            assert path[0] == s and path[-1] == t
+            assert de_tiny.path_weight(path) == d
+
+    def test_prunes_search_space(self, de_tiny, reach_de, rng):
+        pruned = plain = 0
+        for s, t in random_pairs(de_tiny, rng, 25):
+            reach_de.distance(s, t)
+            pruned += reach_de.last_settled
+            plain += settled_count(de_tiny, s, t)
+        assert pruned < plain
+
+    def test_lattice_ties(self):
+        g = grid_graph(9, 9)
+        re = Reach.build(g)
+        import random as _r
+
+        rr = _r.Random(5)
+        for _ in range(60):
+            s, t = rr.randrange(g.n), rr.randrange(g.n)
+            assert re.distance(s, t) == dijkstra_distance(g, s, t)
+
+    def test_unfrozen_rejected(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0], [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            build_reach(g)
+
+
+class TestHEPV:
+    def test_distance_agreement(self, co_tiny, hepv_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 200):
+            assert hepv_co.distance(s, t) == dijkstra_distance(co_tiny, s, t), (s, t)
+
+    def test_same_component_queries(self, co_tiny, hepv_co, rng):
+        comp = hepv_co.index.component_of
+        pairs = [
+            (s, t) for s, t in random_pairs(co_tiny, rng, 300)
+            if comp[s] == comp[t]
+        ][:40]
+        assert pairs, "need same-component pairs"
+        for s, t in pairs:
+            assert hepv_co.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+
+    def test_path_valid(self, co_tiny, hepv_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 25):
+            d, path = hepv_co.path(s, t)
+            assert co_tiny.path_weight(path) == d
+
+    def test_same_vertex_and_disconnected(self, hepv_co):
+        assert hepv_co.distance(3, 3) == 0.0
+        g = Graph([0.0, 100.0, 900_000.0], [0.0] * 3, [(0, 1, 1.0)]).freeze()
+        hepv = HEPV.build(g, k=4)
+        assert math.isinf(hepv.distance(0, 2))
+
+    def test_views_are_quadratic_in_boundary(self, co_tiny, hepv_co):
+        # The [17] critique the paper cites: view entries ~ sum |B_C|^2.
+        stats = hepv_co.index.stats
+        assert stats.view_entries > stats.boundary_vertices
+        assert stats.components > 1
+
+    def test_finer_partition_more_boundary(self, co_tiny):
+        coarse = build_hepv(co_tiny, k=2)
+        fine = build_hepv(co_tiny, k=6)
+        assert fine.stats.boundary_vertices > coarse.stats.boundary_vertices
+
+    def test_lattice_ties(self):
+        g = grid_graph(10, 10)
+        hepv = HEPV.build(g, k=3)
+        import random as _r
+
+        rr = _r.Random(6)
+        for _ in range(80):
+            s, t = rr.randrange(g.n), rr.randrange(g.n)
+            assert hepv.distance(s, t) == dijkstra_distance(g, s, t), (s, t)
+
+    def test_unfrozen_rejected(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0], [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            build_hepv(g)

@@ -1,0 +1,103 @@
+"""Unit tests for the delta-redundancy analysis (Appendix C / Table 2)."""
+
+import math
+
+import pytest
+
+from repro.analysis.redundancy import (
+    core_disjoint_ratio,
+    pcpd_space_constant,
+    redundancy_upper_bound,
+)
+from repro.graph.graph import Graph
+
+
+def cycle_graph(k: int, weight: float = 1.0) -> Graph:
+    g = Graph([math.cos(2 * math.pi * i / k) for i in range(k)],
+              [math.sin(2 * math.pi * i / k) for i in range(k)])
+    for i in range(k):
+        g.add_edge(i, (i + 1) % k, weight)
+    return g.freeze()
+
+
+class TestCoreDisjointRatio:
+    def test_cycle_has_known_ratio(self):
+        # On a 10-cycle, opposite vertices: P has length 5, the only
+        # core-disjoint alternative is the other way round: also 5.
+        g = cycle_graph(10)
+        result = core_disjoint_ratio(g, 0, 5)
+        assert result.shortest == 5.0
+        assert result.core_disjoint == 5.0
+        assert result.ratio == 1.0
+
+    def test_asymmetric_cycle(self):
+        # 0-1-2 (short side, 2 hops) vs 0-3-2 with heavy edges.
+        g = Graph([0.0, 1.0, 2.0, 1.0], [0.0, 0.0, 0.0, 2.0])
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(0, 3, 3.0)
+        g.add_edge(3, 2, 3.0)
+        g.freeze()
+        result = core_disjoint_ratio(g, 0, 2)
+        assert result.shortest == 2.0
+        assert result.core_disjoint == 6.0
+        assert result.ratio == 3.0
+
+    def test_no_alternative_is_inf(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0), (1, 2, 1.0)]).freeze()
+        result = core_disjoint_ratio(g, 0, 2)
+        assert math.isinf(result.core_disjoint)
+        assert math.isinf(result.ratio)
+
+    def test_trivial_cases_none(self, de_tiny):
+        assert core_disjoint_ratio(de_tiny, 3, 3) is None
+        # An adjacent pair whose shortest path is the single edge has an
+        # empty core.
+        u, (v, _) = 0, de_tiny.neighbors(0)[0]
+        from repro.core.dijkstra import dijkstra_distance
+
+        if dijkstra_distance(de_tiny, u, v) == de_tiny.edge_weight(u, v):
+            assert core_disjoint_ratio(de_tiny, u, v) is None
+
+    def test_disconnected_none(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 1.0)]).freeze()
+        assert core_disjoint_ratio(g, 0, 2) is None
+
+
+class TestUpperBound:
+    def test_minimum_over_pairs(self):
+        g = cycle_graph(8)
+        bound, contributing = redundancy_upper_bound(
+            g, [(0, 4), (0, 2), (1, 5)]
+        )
+        assert bound == 1.0
+        assert contributing >= 2
+
+    def test_no_contributing_pairs(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0], [(0, 1, 1.0)]).freeze()
+        bound, contributing = redundancy_upper_bound(g, [(0, 1)])
+        assert math.isinf(bound) and contributing == 0
+
+    def test_dataset_bound_close_to_one(self, co_tiny, rng):
+        # The Table 2 observation: real(istic) road networks have
+        # delta upper bounds near 1.
+        # Most pairs in a sparse network have *no* core-disjoint
+        # alternative (their paths cross bridges) and do not
+        # contribute; the ones that do land near 1.
+        pairs = [(rng.randrange(co_tiny.n), rng.randrange(co_tiny.n))
+                 for _ in range(150)]
+        bound, contributing = redundancy_upper_bound(co_tiny, pairs)
+        assert contributing >= 2
+        assert bound < 1.8
+
+
+class TestSpaceConstant:
+    def test_diverges_at_one(self):
+        assert math.isinf(pcpd_space_constant(1.0))
+        assert math.isinf(pcpd_space_constant(0.5))
+
+    def test_monotone_decreasing(self):
+        assert pcpd_space_constant(1.1) > pcpd_space_constant(2.0) > pcpd_space_constant(10.0)
+
+    def test_known_value(self):
+        assert pcpd_space_constant(2.0) == pytest.approx(16.0)

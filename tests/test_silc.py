@@ -1,0 +1,144 @@
+"""Unit tests for SILC (§3.4)."""
+
+import math
+
+import pytest
+
+from repro.core.dijkstra import dijkstra_distance, dijkstra_sssp
+from repro.core.silc import SILC, build_silc
+from repro.core.silc.quadtree import MIXED_LEAF, compress_partition
+from repro.graph.graph import Graph
+from repro.graph.morton import MORTON_BITS
+from tests.conftest import random_pairs
+
+
+class TestPaperWalkthrough:
+    def test_partition_of_v8_has_three_classes(self, paper_graph):
+        # Figure 4: {v1, v3} via v1, {v2} via v2, {v4..v7} via v6.
+        silc = SILC.build(paper_graph)
+        classes: dict[int, list[int]] = {}
+        for t in range(7):  # every vertex but v8 (id 7)
+            classes.setdefault(silc.next_hop(7, t), []).append(t)
+        assert classes == {0: [0, 2], 1: [1], 5: [3, 4, 5, 6]}
+
+    def test_all_pairs_exact(self, paper_graph):
+        silc = SILC.build(paper_graph)
+        for s in range(8):
+            for t in range(8):
+                assert silc.distance(s, t) == dijkstra_distance(paper_graph, s, t)
+
+
+class TestQuadtree:
+    def test_uniform_input_single_interval(self):
+        codes = [1, 5, 9, 200]
+        colors = [3, 3, 3, 3]
+        intervals, exc = compress_partition(codes, colors, skip=-1)
+        assert len(intervals) == 1
+        assert not exc
+        lo, hi, color = intervals[0]
+        assert color == 3 and lo == 0 and hi == 1 << (2 * MORTON_BITS)
+
+    def test_intervals_disjoint_sorted_and_covering(self):
+        codes = list(range(0, 64, 2))
+        colors = [i % 3 for i in range(len(codes))]
+        intervals, _ = compress_partition(codes, colors, skip=-1)
+        for (a_lo, a_hi, _), (b_lo, b_hi, _) in zip(intervals, intervals[1:]):
+            assert a_hi <= b_lo
+        for code, color in zip(codes, colors):
+            hit = [c for lo, hi, c in intervals if lo <= code < hi]
+            assert hit == [color]
+
+    def test_skip_vertex_ignored(self):
+        codes = [0, 1, 2]
+        colors = [7, 99, 7]
+        intervals, _ = compress_partition(codes, colors, skip=1)
+        # Without the skipped middle vertex everything is colour 7.
+        assert all(c == 7 for _, _, c in intervals)
+
+    def test_duplicate_codes_produce_exceptions(self):
+        codes = [5, 5, 9]
+        colors = [1, 2, 1]
+        intervals, exc = compress_partition(codes, colors, skip=-1)
+        mixed = [iv for iv in intervals if iv[2] == MIXED_LEAF]
+        assert len(mixed) == 1
+        assert exc == {0: 1, 1: 2}
+
+    def test_empty_input(self):
+        intervals, exc = compress_partition([], [], skip=-1)
+        assert intervals == [] and exc == {}
+
+
+class TestQueries:
+    def test_distance_agreement(self, co_tiny, silc_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 250):
+            assert silc_co.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+
+    def test_paths_valid_and_optimal(self, co_tiny, silc_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 100):
+            d, path = silc_co.path(s, t)
+            assert path[0] == s and path[-1] == t
+            assert co_tiny.path_weight(path) == d
+            assert d == dijkstra_distance(co_tiny, s, t)
+
+    def test_next_hop_invariant(self, co_tiny, silc_co, rng):
+        # w(s, hop) + dist(hop, t) == dist(s, t): the hop is on a
+        # shortest path.
+        for s, t in random_pairs(co_tiny, rng, 40):
+            if s == t:
+                continue
+            hop = silc_co.next_hop(s, t)
+            assert (
+                co_tiny.edge_weight(s, hop) + dijkstra_distance(co_tiny, hop, t)
+                == dijkstra_distance(co_tiny, s, t)
+            )
+
+    def test_same_vertex(self, silc_co):
+        assert silc_co.distance(4, 4) == 0.0
+        assert silc_co.path(4, 4) == (0.0, [4])
+
+    def test_unreachable(self):
+        g = Graph([0.0, 1.0, 2.0, 3.0], [0.0] * 4,
+                  [(0, 1, 1.0), (2, 3, 1.0)]).freeze()
+        silc = SILC.build(g)
+        assert math.isinf(silc.distance(0, 3))
+        assert silc.path(0, 3) == (math.inf, None)
+
+    def test_duplicate_coordinates_handled(self):
+        # Two vertices on the same point force a mixed Morton leaf.
+        g = Graph([0.0, 1.0, 1.0, 2.0], [0.0, 0.0, 0.0, 0.0],
+                  [(0, 1, 1.0), (0, 2, 5.0), (1, 3, 1.0), (2, 3, 1.0)]).freeze()
+        silc = SILC.build(g)
+        assert silc.index.stats.total_exceptions > 0
+        for s in range(4):
+            for t in range(4):
+                assert silc.distance(s, t) == dijkstra_distance(g, s, t)
+
+
+class TestIndexShape:
+    def test_interval_growth_is_subquadratic(self, co_tiny, silc_co):
+        # §3.4: O(sqrt(n)) squares per vertex. Allow a loose constant.
+        per_vertex = silc_co.index.stats.intervals_per_vertex(co_tiny.n)
+        assert per_vertex <= 8 * math.sqrt(co_tiny.n)
+
+    def test_wrong_graph_rejected(self, co_tiny, de_tiny):
+        index = build_silc(de_tiny)
+        with pytest.raises(ValueError):
+            SILC(co_tiny, index)
+
+    def test_unfrozen_graph_rejected(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0], [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            build_silc(g)
+
+    def test_sssp_consistency_of_walk(self, co_tiny, silc_co, rng):
+        # Walking from s reproduces *some* shortest path tree branch:
+        # every prefix distance matches the SSSP distances from s.
+        s = rng.randrange(co_tiny.n)
+        dist, _ = dijkstra_sssp(co_tiny, s)
+        for t in random_pairs(co_tiny, rng, 20):
+            t = t[0]
+            d, path = silc_co.path(s, t)
+            acc = 0.0
+            for a, b in zip(path, path[1:]):
+                acc += co_tiny.edge_weight(a, b)
+                assert acc == dist[b]

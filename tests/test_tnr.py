@@ -1,0 +1,188 @@
+"""Unit tests for Transit Node Routing (§3.3)."""
+
+import math
+
+import pytest
+
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.core.ch import ContractionHierarchy
+from repro.core.dijkstra import dijkstra_distance
+from repro.core.tnr import TNRGrid, TransitNodeRouting, build_tnr
+from repro.core.tnr.access_nodes import correct_cell_access, flawed_cell_access
+from repro.core.tnr.grid import INNER_RADIUS, OUTER_RADIUS
+from repro.graph.generators import grid_graph
+from tests.conftest import random_pairs
+
+
+class TestGrid:
+    def test_cell_assignment(self, lattice):
+        grid = TNRGrid(lattice, 10)
+        # The 6x5 lattice's square hull has side 5; 10 cells of 0.5.
+        assert grid.cell_of_vertex[0] == grid.cell_id(0, 0)
+        assert len(grid.cell_of_vertex) == lattice.n
+
+    def test_grid_too_small_rejected(self, lattice):
+        with pytest.raises(ValueError):
+            TNRGrid(lattice, 4)
+
+    def test_cell_distance(self, lattice):
+        grid = TNRGrid(lattice, 10)
+        a, b = grid.cell_id(1, 2), grid.cell_id(4, 9)
+        assert grid.cell_distance(a, b) == 7
+        assert grid.cell_distance(a, a) == 0
+
+    def test_shell_semantics(self, lattice):
+        grid = TNRGrid(lattice, 10)
+        center = grid.cell_id(5, 5)
+        # Beyond the outer shell means cell distance >= 5.
+        assert not grid.beyond_outer_shell(center, grid.cell_id(5, 9))
+        assert grid.beyond_outer_shell(center, grid.cell_id(5, 0))
+        # Disjoint outer shells need distance > 8.
+        assert not grid.outer_shells_disjoint(center, grid.cell_id(5, 0))
+        assert grid.outer_shells_disjoint(grid.cell_id(0, 0), grid.cell_id(9, 9))
+
+    def test_members_partition_vertices(self, co_tiny):
+        grid = TNRGrid(co_tiny, 16)
+        seen = []
+        for cell in grid.nonempty_cells():
+            seen.extend(grid.vertices_in(cell))
+        assert sorted(seen) == list(range(co_tiny.n))
+
+    def test_crossing_edges_straddle(self, co_tiny):
+        grid = TNRGrid(co_tiny, 16)
+        cell = next(iter(grid.nonempty_cells()))
+        for u, v, w in grid.crossing_edges(cell, INNER_RADIUS):
+            du = grid.cell_distance(cell, grid.cell_of_vertex[u])
+            dv = grid.cell_distance(cell, grid.cell_of_vertex[v])
+            assert du <= INNER_RADIUS < dv
+            assert co_tiny.edge_weight(u, v) == w
+
+    def test_radii_constants(self):
+        # The paper's 5x5 inner / 9x9 outer blocks.
+        assert INNER_RADIUS == 2 and OUTER_RADIUS == 4
+
+
+class TestAccessNodes:
+    def test_access_nodes_on_inner_edges(self, co_tiny):
+        grid = TNRGrid(co_tiny, 16)
+        for cell in list(grid.nonempty_cells())[:10]:
+            info = correct_cell_access(co_tiny, grid, cell)
+            for a in info.access_nodes:
+                # Every access node is an endpoint of an edge that
+                # crosses the inner shell (the §3.3 requirement).
+                da = grid.cell_distance(cell, grid.cell_of_vertex[a])
+                assert da <= INNER_RADIUS
+                assert any(
+                    grid.cell_distance(cell, grid.cell_of_vertex[v]) > INNER_RADIUS
+                    for v, _ in co_tiny.neighbors(a)
+                )
+
+    def test_vertex_distances_exact(self, co_tiny):
+        grid = TNRGrid(co_tiny, 16)
+        cell = max(grid.nonempty_cells(), key=lambda c: len(grid.vertices_in(c)))
+        info = correct_cell_access(co_tiny, grid, cell)
+        for v, dists in info.vertex_distances.items():
+            for a, d in zip(info.access_nodes, dists):
+                assert d == dijkstra_distance(co_tiny, v, a)
+
+    def test_flawed_variant_also_reports_distances(self, co_tiny):
+        grid = TNRGrid(co_tiny, 16)
+        cell = next(iter(grid.nonempty_cells()))
+        info = flawed_cell_access(co_tiny, grid, cell)
+        for v, dists in info.vertex_distances.items():
+            assert len(dists) == len(info.access_nodes)
+
+
+class TestQueries:
+    def test_distance_agreement(self, co_tiny, tnr_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 250):
+            assert tnr_co.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+
+    def test_paths_valid_and_optimal(self, co_tiny, tnr_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 80):
+            d, path = tnr_co.path(s, t)
+            assert path[0] == s and path[-1] == t
+            assert co_tiny.path_weight(path) == d
+            assert d == dijkstra_distance(co_tiny, s, t)
+
+    def test_same_vertex(self, tnr_co):
+        assert tnr_co.distance(3, 3) == 0.0
+        assert tnr_co.path(3, 3) == (0.0, [3])
+
+    def test_fallback_used_for_near_pairs(self, co_tiny, tnr_co, rng):
+        tnr_co.stats.reset()
+        near = far = None
+        for s, t in random_pairs(co_tiny, rng, 300):
+            if tnr_co.index.answerable(s, t):
+                far = (s, t)
+            else:
+                near = (s, t)
+            if near and far:
+                break
+        assert near and far, "expected both near and far pairs"
+        tnr_co.stats.reset()
+        tnr_co.distance(*near)
+        assert tnr_co.stats.answered_by_fallback == 1
+        tnr_co.distance(*far)
+        assert tnr_co.stats.answered_by_table == 1
+
+    def test_dijkstra_fallback_variant(self, co_tiny, tnr_co, rng):
+        alt = TransitNodeRouting(
+            co_tiny, tnr_co.index, BidirectionalDijkstra(co_tiny)
+        )
+        for s, t in random_pairs(co_tiny, rng, 80):
+            assert alt.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+
+    def test_transit_table_symmetric(self, tnr_co):
+        import numpy as np
+
+        table = tnr_co.index.table
+        finite = np.isfinite(table)
+        assert (table[finite] >= 0).all()
+        assert np.array_equal(table, table.T)
+
+    def test_walk_steps_counted_for_far_paths(self, co_tiny, tnr_co, rng):
+        tnr_co.stats.reset()
+        for s, t in random_pairs(co_tiny, rng, 150):
+            if tnr_co.index.answerable(s, t):
+                tnr_co.path(s, t)
+        assert tnr_co.stats.walk_steps > 0
+
+
+class TestFlawedVariant:
+    def test_flawed_build_is_wrong_somewhere(self, co_tiny, ch_co, rng):
+        # The Appendix B defect: the flawed preprocessing produces
+        # incorrect answers for some answerable pairs.
+        flawed = TransitNodeRouting(
+            co_tiny, build_tnr(co_tiny, ch_co, 16, flawed=True), ch_co
+        )
+        wrong = 0
+        for s, t in random_pairs(co_tiny, rng, 250):
+            if not flawed.index.answerable(s, t):
+                continue
+            if flawed.distance(s, t) != dijkstra_distance(co_tiny, s, t):
+                wrong += 1
+        assert wrong > 0
+
+    def test_flawed_never_underestimates(self, co_tiny, ch_co, rng):
+        # Missing access nodes can only lengthen the min in Equation 1.
+        flawed = TransitNodeRouting(
+            co_tiny, build_tnr(co_tiny, ch_co, 16, flawed=True), ch_co
+        )
+        for s, t in random_pairs(co_tiny, rng, 150):
+            assert flawed.distance(s, t) >= dijkstra_distance(co_tiny, s, t)
+
+
+class TestEdgeCases:
+    def test_lattice_exactness(self):
+        # A uniform lattice has maximal shortest-path ties — the
+        # hardest case for access-node completeness.
+        g = grid_graph(30, 30)
+        ch = ContractionHierarchy.build(g)
+        tnr = TransitNodeRouting(g, build_tnr(g, ch, 10), ch)
+        import random as _random
+
+        r = _random.Random(4)
+        for _ in range(120):
+            s, t = r.randrange(g.n), r.randrange(g.n)
+            assert tnr.distance(s, t) == dijkstra_distance(g, s, t)

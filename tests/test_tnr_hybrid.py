@@ -1,0 +1,82 @@
+"""Unit tests for the hybrid two-level TNR grid (Appendix E.1)."""
+
+import pytest
+
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.core.dijkstra import dijkstra_distance
+from repro.core.tnr import HybridTNR
+from repro.core.tnr.grid import OUTER_RADIUS
+from repro.core.tnr.hybrid import FINE_KEEP_RADIUS
+from tests.conftest import random_pairs
+
+
+@pytest.fixture(scope="module")
+def hybrid_co(co_tiny, ch_co):
+    return HybridTNR.build(co_tiny, ch_co, 16, ch_co)
+
+
+class TestBuild:
+    def test_fine_grid_doubles(self, hybrid_co):
+        assert hybrid_co.fine_grid.g == 2 * hybrid_co.coarse.grid.g
+
+    def test_fine_pairs_within_keep_radius(self, hybrid_co):
+        assert FINE_KEEP_RADIUS == 2 * OUTER_RADIUS + 2
+        assert hybrid_co.build_stats.n_fine_pairs == len(hybrid_co.fine_pairs)
+        assert hybrid_co.build_stats.n_fine_transit_nodes > 0
+
+    def test_build_stats_time_components(self, hybrid_co):
+        s = hybrid_co.build_stats
+        assert s.seconds == pytest.approx(
+            s.seconds_coarse + s.seconds_fine_access + s.seconds_fine_table
+        )
+
+
+class TestQueries:
+    def test_distance_agreement(self, co_tiny, hybrid_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 250):
+            assert hybrid_co.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+
+    def test_paths_valid_and_optimal(self, co_tiny, hybrid_co, rng):
+        for s, t in random_pairs(co_tiny, rng, 60):
+            d, path = hybrid_co.path(s, t)
+            assert path[0] == s and path[-1] == t
+            assert co_tiny.path_weight(path) == d
+            assert d == dijkstra_distance(co_tiny, s, t)
+
+    def test_same_vertex(self, hybrid_co):
+        assert hybrid_co.distance(2, 2) == 0.0
+
+    def test_all_three_bands_exercised(self, co_tiny, hybrid_co, rng):
+        # Fallback band, fine band, coarse band must all occur on a
+        # spread of random pairs — otherwise the test dataset cannot
+        # validate the band routing at all.
+        bands = {"fallback": 0, "fine": 0, "coarse": 0}
+        for s, t in random_pairs(co_tiny, rng, 400):
+            fd = hybrid_co.fine_grid.vertex_cell_distance(s, t)
+            if fd <= OUTER_RADIUS:
+                bands["fallback"] += 1
+            elif fd <= FINE_KEEP_RADIUS:
+                bands["fine"] += 1
+            else:
+                bands["coarse"] += 1
+            assert hybrid_co.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+        assert all(count > 0 for count in bands.values()), bands
+
+    def test_fine_band_wider_than_coarse_answerability(self, co_tiny, hybrid_co, rng):
+        # Appendix E.1's point: pairs answerable on the fine grid but
+        # not the coarse one exist (Q5/Q6 analogues).
+        found = 0
+        for s, t in random_pairs(co_tiny, rng, 400):
+            fd = hybrid_co.fine_grid.vertex_cell_distance(s, t)
+            if OUTER_RADIUS < fd <= FINE_KEEP_RADIUS and not hybrid_co.coarse.answerable(s, t):
+                found += 1
+        assert found > 0
+
+    def test_dijkstra_fallback_variant(self, co_tiny, hybrid_co, rng):
+        original = hybrid_co.fallback
+        hybrid_co.fallback = BidirectionalDijkstra(co_tiny)
+        try:
+            for s, t in random_pairs(co_tiny, rng, 60):
+                assert hybrid_co.distance(s, t) == dijkstra_distance(co_tiny, s, t)
+        finally:
+            hybrid_co.fallback = original

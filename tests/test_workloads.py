@@ -1,0 +1,97 @@
+"""Unit tests for the workload generators (§4.2 / Appendix E.2)."""
+
+import math
+
+from repro.core.dijkstra import dijkstra_distance
+from repro.queries.workloads import (
+    N_SETS,
+    QUERY_GRID,
+    distance_query_sets,
+    estimate_max_distance,
+    linf_query_sets,
+)
+
+
+class TestQSets:
+    def test_ten_sets_with_doubling_bounds(self, co_tiny):
+        sets = linf_query_sets(co_tiny, pairs_per_set=20, seed=1)
+        assert len(sets) == N_SETS
+        cell = co_tiny.bounding_box().side / QUERY_GRID
+        for i, qs in enumerate(sets, start=1):
+            assert qs.name == f"Q{i}"
+            assert qs.lo == (2 ** (i - 1)) * cell
+            assert qs.hi == 2 * qs.lo
+
+    def test_pairs_respect_bucket(self, co_tiny):
+        for qs in linf_query_sets(co_tiny, pairs_per_set=25, seed=2):
+            for s, t in qs.pairs:
+                d = co_tiny.chebyshev_distance(s, t)
+                assert qs.lo <= d < qs.hi, (qs.name, s, t, d)
+
+    def test_deterministic(self, co_tiny):
+        a = linf_query_sets(co_tiny, pairs_per_set=15, seed=7)
+        b = linf_query_sets(co_tiny, pairs_per_set=15, seed=7)
+        assert [qs.pairs for qs in a] == [qs.pairs for qs in b]
+
+    def test_seed_matters(self, co_tiny):
+        a = linf_query_sets(co_tiny, pairs_per_set=15, seed=7)
+        b = linf_query_sets(co_tiny, pairs_per_set=15, seed=8)
+        assert any(x.pairs != y.pairs for x, y in zip(a, b))
+
+    def test_shortfall_visible_not_padded(self, co_tiny):
+        sets = linf_query_sets(co_tiny, pairs_per_set=30, seed=3)
+        for qs in sets:
+            assert qs.requested == 30
+            assert qs.shortfall == 30 - len(qs.pairs)
+            assert len(qs.pairs) <= 30
+
+    def test_far_buckets_populated(self, co_tiny):
+        # Q7..Q10 are the interesting TNR buckets; a usable dataset
+        # must populate them well.
+        sets = linf_query_sets(co_tiny, pairs_per_set=20, seed=4)
+        for qs in sets[6:]:
+            assert len(qs.pairs) >= 15, (qs.name, len(qs.pairs))
+
+
+class TestRSets:
+    def test_bounds_follow_definition(self, co_tiny):
+        ld = estimate_max_distance(co_tiny, seed=0)
+        sets = distance_query_sets(co_tiny, pairs_per_set=10, seed=1, max_distance=ld)
+        for i, rs in enumerate(sets, start=1):
+            assert rs.name == f"R{i}"
+            assert rs.lo == (2.0 ** (i - 11)) * ld
+            assert rs.hi == (2.0 ** (i - 10)) * ld
+
+    def test_pairs_respect_network_distance_bucket(self, co_tiny):
+        sets = distance_query_sets(co_tiny, pairs_per_set=8, seed=2)
+        checked = 0
+        for rs in sets:
+            for s, t in rs.pairs[:4]:
+                d = dijkstra_distance(co_tiny, s, t)
+                assert rs.lo <= d < rs.hi, (rs.name, s, t, d)
+                checked += 1
+        assert checked > 10
+
+    def test_deterministic(self, co_tiny):
+        a = distance_query_sets(co_tiny, pairs_per_set=6, seed=5)
+        b = distance_query_sets(co_tiny, pairs_per_set=6, seed=5)
+        assert [rs.pairs for rs in a] == [rs.pairs for rs in b]
+
+    def test_top_bucket_may_be_sparse_but_exists_overall(self, co_tiny):
+        sets = distance_query_sets(co_tiny, pairs_per_set=10, seed=6)
+        assert sum(len(rs.pairs) for rs in sets) > 30
+
+
+class TestDiameterEstimate:
+    def test_lower_bounds_true_eccentricity(self, de_tiny):
+        # The double-sweep value is a valid lower bound on the diameter
+        # and at least the eccentricity of some vertex.
+        ld = estimate_max_distance(de_tiny, seed=0)
+        assert ld > 0
+        some = max(
+            dijkstra_distance(de_tiny, 0, t) for t in range(de_tiny.n)
+        )
+        assert ld >= some * 0.5  # generous: double sweep is near-exact
+
+    def test_finite_on_connected(self, co_tiny):
+        assert not math.isinf(estimate_max_distance(co_tiny, seed=1))
