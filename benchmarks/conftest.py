@@ -7,7 +7,14 @@ across runs under ``.cache/repro``). Environment knobs:
 - ``REPRO_TIER`` — dataset tier (default ``small``);
 - ``REPRO_PAIRS`` — pairs per query set (default 100; benches measure
   at most ``_bench_helpers.BATCH`` of them per combination);
-- ``REPRO_CACHE`` — cache directory or ``off``.
+- ``REPRO_CACHE`` — cache directory or ``off``;
+- ``REPRO_WORKERS`` — process fan-out for the heavy build passes.
+
+The registry sits on the hardened disk cache
+(:mod:`repro.harness.cache`): corrupt or stale entries are quarantined
+and rebuilt rather than failing the session, and the hit/miss/rebuild
+counters are printed when the session ends (also available via
+``python -m repro.harness cache stats``).
 """
 
 from __future__ import annotations
@@ -19,4 +26,7 @@ from repro.harness.registry import Registry
 
 @pytest.fixture(scope="session")
 def reg() -> Registry:
-    return Registry(verbose=True)
+    registry = Registry(verbose=True)
+    yield registry
+    if registry.cache_stats is not None:
+        print(f"\n[cache] {registry.cache_stats}")

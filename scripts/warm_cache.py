@@ -40,6 +40,9 @@ def main() -> int:
         reg.hybrid_tnr(name)
 
     print(f"cache warm in {time.time() - started:.0f}s")
+    if reg.cache_stats is not None:
+        print(f"[cache] {reg.cache_stats}")
+        print("run 'python -m repro.harness cache verify' to re-check integrity")
     return 0
 
 

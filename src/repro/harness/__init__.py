@@ -3,9 +3,17 @@
 ``python -m repro.harness --experiment fig8`` prints the series of the
 paper's Figure 8 (and so on for every table/figure); the pytest-
 benchmark suites under ``benchmarks/`` use the same registry so indexes
-are built once and shared.
+are built once and shared. ``python -m repro.harness cache
+{list,verify,clear,stats}`` manages the hardened disk cache behind it.
 """
 
+from repro.harness.cache import CACHE_VERSION, CacheStats, DiskCache
 from repro.harness.registry import Registry, default_registry
 
-__all__ = ["Registry", "default_registry"]
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "DiskCache",
+    "Registry",
+    "default_registry",
+]

@@ -1,0 +1,492 @@
+"""Hardened disk cache for experiment artifacts.
+
+Every table and figure in the reproduction flows through the registry's
+disk cache — a corrupt, truncated, or stale entry used to abort the run
+with a raw ``UnpicklingError``. This module replaces the bare
+``pickle.load`` with a small, verifiable container format plus the
+operational plumbing around it:
+
+**integrity** — each entry carries a header with the cache format
+version, the repro package version, the payload's sha256, its byte
+length, and build metadata; everything is verified on load.
+
+**recovery** — *any* load failure (bad magic, truncation, checksum
+mismatch, version skew, ``AttributeError`` from a renamed class, …) is
+treated as a miss: the bad file is quarantined and the artifact is
+rebuilt transparently by the caller.
+
+**concurrency** — writes go to a unique per-process temp file and land
+via ``os.replace``; manifest updates are serialised by an advisory
+``flock`` so parallel benchmark workers and pytest sessions never
+clobber or half-read each other's entries.
+
+**introspection** — a JSON manifest records per-entry size, checksum
+and build time plus cumulative hit/miss/rebuild counters, surfaced by
+``python -m repro.harness cache {list,verify,clear,stats}``.
+
+Entry layout (format ``v2``)::
+
+    MAGIC (8 bytes)  |  header length (4 bytes, big-endian)
+    header JSON      |  pickled payload
+
+Bump :data:`CACHE_VERSION` whenever an index layout changes — entries
+live under ``<root>/v<CACHE_VERSION>/`` so a bump simply starts a fresh
+namespace and old entries are never misread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import sys
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+try:  # advisory locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+from repro.harness.timing import fmt_bytes, fmt_cache_stats, fmt_seconds
+
+MAGIC = b"RRNQCCH2"  # repro road-network query cache, container format 2
+CACHE_VERSION = 2
+MANIFEST_NAME = "manifest.json"
+_HEADER_LIMIT = 1 << 20  # a sane upper bound; headers are ~300 bytes
+_QUARANTINE_LOG_LIMIT = 50
+
+#: Sentinel returned by :meth:`DiskCache.load` when there is no usable entry.
+MISSING = object()
+
+
+class CacheIntegrityError(RuntimeError):
+    """An entry failed verification (corrupt, truncated, or stale)."""
+
+
+def _repro_version() -> str:
+    try:  # lazy: keeps this module importable mid-refactor
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover
+        return "unknown"
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def unique_tmp_path(path: str | os.PathLike) -> str:
+    """A sibling temp name no other process can collide on.
+
+    The pid + random suffix matters: a *shared* ``.tmp`` name lets two
+    concurrent writers interleave into one file before the rename.
+    """
+    return f"{os.fspath(path)}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a unique temp file + ``os.replace``."""
+    tmp = unique_tmp_path(path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# Entry format
+# ----------------------------------------------------------------------
+def write_entry(
+    path: Path,
+    value: Any,
+    key: tuple,
+    build_seconds: float,
+    cache_version: int = CACHE_VERSION,
+) -> dict:
+    """Pickle ``value`` and write a checksummed entry; returns the header."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return write_entry_payload(path, payload, key, build_seconds, cache_version)
+
+
+def write_entry_payload(
+    path: Path,
+    payload: bytes,
+    key: tuple,
+    build_seconds: float,
+    cache_version: int = CACHE_VERSION,
+) -> dict:
+    """Write already-pickled ``payload`` bytes (split out for tests)."""
+    header = {
+        "cache_version": cache_version,
+        "repro_version": _repro_version(),
+        "key": [str(part) for part in key],
+        "sha256": sha256_hex(payload),
+        "payload_bytes": len(payload),
+        "build_seconds": round(float(build_seconds), 6),
+        "built_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "writer_pid": os.getpid(),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    blob = MAGIC + len(header_bytes).to_bytes(4, "big") + header_bytes + payload
+    atomic_write_bytes(path, blob)
+    return header
+
+
+def read_header(path: Path) -> dict:
+    """Parse just the header (cheap: no payload read, no checksum)."""
+    with open(path, "rb") as fh:
+        return _read_header_fh(path, fh)
+
+
+def _read_header_fh(path: Path, fh) -> dict:
+    magic = fh.read(len(MAGIC))
+    if magic != MAGIC:
+        raise CacheIntegrityError(f"{path.name}: bad magic (not a cache entry)")
+    raw_len = fh.read(4)
+    if len(raw_len) != 4:
+        raise CacheIntegrityError(f"{path.name}: truncated header length")
+    header_len = int.from_bytes(raw_len, "big")
+    if not 0 < header_len <= _HEADER_LIMIT:
+        raise CacheIntegrityError(f"{path.name}: implausible header length {header_len}")
+    header_bytes = fh.read(header_len)
+    if len(header_bytes) != header_len:
+        raise CacheIntegrityError(f"{path.name}: truncated header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CacheIntegrityError(f"{path.name}: unparsable header ({exc})") from exc
+    if not isinstance(header, dict):
+        raise CacheIntegrityError(f"{path.name}: header is not an object")
+    return header
+
+
+def read_entry(path: Path, expected_version: int = CACHE_VERSION) -> tuple[Any, dict]:
+    """Read and fully verify one entry; raises :class:`CacheIntegrityError`.
+
+    Verification order: magic → header → cache version → payload length
+    → sha256 → unpickle. Renamed-class ``AttributeError`` and any other
+    unpickling explosion are wrapped, so callers have exactly one
+    exception type to treat as "rebuild this".
+    """
+    try:
+        with open(path, "rb") as fh:
+            header = _read_header_fh(path, fh)
+            payload = fh.read()
+    except OSError as exc:
+        raise CacheIntegrityError(f"{path.name}: unreadable ({exc})") from exc
+    version = header.get("cache_version")
+    if version != expected_version:
+        raise CacheIntegrityError(
+            f"{path.name}: cache version skew ({version} != {expected_version})"
+        )
+    if header.get("payload_bytes") != len(payload):
+        raise CacheIntegrityError(
+            f"{path.name}: truncated payload "
+            f"({len(payload)} of {header.get('payload_bytes')} bytes)"
+        )
+    if sha256_hex(payload) != header.get("sha256"):
+        raise CacheIntegrityError(f"{path.name}: payload checksum mismatch")
+    try:
+        value = pickle.loads(payload)
+    except Exception as exc:  # UnpicklingError, EOFError, AttributeError, ...
+        raise CacheIntegrityError(
+            f"{path.name}: payload does not unpickle "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    return value, header
+
+
+# ----------------------------------------------------------------------
+# Counters
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Structured hit/miss/rebuild counters for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    rebuilds: int = 0
+    writes: int = 0
+    quarantined: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def add(self, **deltas: int) -> None:
+        for name, delta in deltas.items():
+            setattr(self, name, getattr(self, name) + delta)
+
+    def __str__(self) -> str:
+        return fmt_cache_stats(self.as_dict())
+
+
+@dataclass
+class EntryInfo:
+    """One entry as seen by ``cache list`` / ``cache verify``."""
+
+    name: str
+    size: int
+    header: dict | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+@dataclass
+class DiskCache:
+    """A versioned, checksummed, multi-process-safe pickle cache.
+
+    ``root`` is the cache directory (``.cache/repro`` by default);
+    entries live under ``root/v<version>/``, corrupt files end up under
+    ``root/quarantine/``, and ``root/manifest.json`` holds per-entry
+    metadata plus cumulative counters shared across processes.
+    """
+
+    root: Path
+    version: int = CACHE_VERSION
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def entries_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def entry_path(self, key: tuple) -> Path:
+        name = "-".join(str(part) for part in key)
+        return self.entries_dir / f"{name}.pkl"
+
+    # -- locking & manifest ---------------------------------------------
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock serialising manifest read-modify-write."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / ".lock", "a+b") as fh:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    def manifest(self) -> dict:
+        """The manifest as a dict (empty skeleton if absent/corrupt)."""
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            if isinstance(data, dict):
+                data.setdefault("entries", {})
+                data.setdefault("counters", {})
+                data.setdefault("quarantine_log", [])
+                return data
+        except (OSError, ValueError):
+            pass
+        return {
+            "cache_version": self.version,
+            "entries": {},
+            "counters": {},
+            "quarantine_log": [],
+        }
+
+    def _mutate_manifest(self, mutate) -> None:
+        """Locked read-modify-write of the manifest (atomic replace)."""
+        with self._locked():
+            data = self.manifest()
+            mutate(data)
+            data["cache_version"] = self.version
+            data["updated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+            atomic_write_bytes(
+                self.manifest_path,
+                json.dumps(data, sort_keys=True, indent=1).encode("utf-8"),
+            )
+
+    def _count(self, **deltas: int) -> None:
+        """Bump in-memory counters and fold the delta into the manifest."""
+        self.stats.add(**deltas)
+
+        def mutate(data: dict) -> None:
+            counters = data["counters"]
+            for name, delta in deltas.items():
+                counters[name] = int(counters.get(name, 0)) + delta
+
+        try:
+            self._mutate_manifest(mutate)
+        except OSError as exc:  # counters are best-effort; never kill a run
+            print(f"[cache] manifest update failed: {exc}", file=sys.stderr)
+
+    # -- core operations -------------------------------------------------
+    def load(self, key: tuple) -> Any:
+        """The cached value, or :data:`MISSING`.
+
+        Never raises for a bad entry: corruption of any kind quarantines
+        the file, counts a rebuild, and reports a miss so the caller
+        rebuilds transparently.
+        """
+        path = self.entry_path(key)
+        if not path.exists():
+            self._count(misses=1)
+            return MISSING
+        try:
+            value, _header = read_entry(path, self.version)
+        except CacheIntegrityError as exc:
+            self.quarantine(path, reason=str(exc))
+            self._count(rebuilds=1, quarantined=1)
+            return MISSING
+        except Exception as exc:  # belt and braces: *any* failure is a miss
+            self.quarantine(path, reason=f"{type(exc).__name__}: {exc}")
+            self._count(rebuilds=1, quarantined=1)
+            return MISSING
+        self._count(hits=1)
+        return value
+
+    def store(self, key: tuple, value: Any, build_seconds: float = 0.0) -> None:
+        """Write an entry (best-effort: cache I/O never fails the build)."""
+        path = self.entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            header = write_entry(path, value, key, build_seconds, self.version)
+        except Exception as exc:
+            print(f"[cache] failed to store {key}: {exc}", file=sys.stderr)
+            return
+
+        def mutate(data: dict) -> None:
+            data["entries"][path.name] = {
+                "key": header["key"],
+                "bytes": len(MAGIC) + 4 + header["payload_bytes"],
+                "payload_bytes": header["payload_bytes"],
+                "sha256": header["sha256"],
+                "build_seconds": header["build_seconds"],
+                "built_at": header["built_at"],
+                "repro_version": header["repro_version"],
+            }
+
+        try:
+            self._mutate_manifest(mutate)
+        except OSError as exc:
+            print(f"[cache] manifest update failed: {exc}", file=sys.stderr)
+        self._count(writes=1)
+
+    def quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside (or drop it) so it is never read again."""
+        qname = f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.bad"
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / qname)
+        except OSError:
+            try:  # cross-device or racing quarantine: just delete
+                os.unlink(path)
+            except OSError:
+                pass
+        print(f"[cache] quarantined {path.name}: {reason}", file=sys.stderr)
+
+        def mutate(data: dict) -> None:
+            log = data["quarantine_log"]
+            log.append({"file": qname, "reason": reason,
+                        "at": time.strftime("%Y-%m-%dT%H:%M:%S")})
+            del log[:-_QUARANTINE_LOG_LIMIT]
+            data["entries"].pop(path.name, None)
+
+        try:
+            self._mutate_manifest(mutate)
+        except OSError:
+            pass
+
+    # -- introspection ---------------------------------------------------
+    def entry_files(self) -> list[Path]:
+        if not self.entries_dir.is_dir():
+            return []
+        return sorted(p for p in self.entries_dir.glob("*.pkl") if p.is_file())
+
+    def list_entries(self) -> list[EntryInfo]:
+        """Header-level view of every entry (no checksum verification)."""
+        infos = []
+        for path in self.entry_files():
+            size = path.stat().st_size
+            try:
+                infos.append(EntryInfo(path.name, size, header=read_header(path)))
+            except CacheIntegrityError as exc:
+                infos.append(EntryInfo(path.name, size, error=str(exc)))
+        return infos
+
+    def verify(self, quarantine: bool = False) -> list[EntryInfo]:
+        """Fully re-read every entry: checksum, version and unpickle.
+
+        With ``quarantine=True`` bad entries are moved aside, so the
+        next run rebuilds them and a re-verify comes back clean.
+        """
+        infos = []
+        for path in self.entry_files():
+            size = path.stat().st_size
+            try:
+                _value, header = read_entry(path, self.version)
+                infos.append(EntryInfo(path.name, size, header=header))
+            except CacheIntegrityError as exc:
+                infos.append(EntryInfo(path.name, size, error=str(exc)))
+                if quarantine:
+                    self.quarantine(path, reason=str(exc))
+                    self._count(quarantined=1)
+        return infos
+
+    def clear(self) -> int:
+        """Delete the whole cache directory; returns files removed."""
+        if not self.root.is_dir():
+            return 0
+        removed = sum(1 for p in self.root.rglob("*") if p.is_file())
+        shutil.rmtree(self.root, ignore_errors=True)
+        return removed
+
+    def totals(self) -> tuple[int, int]:
+        """(entry count, total bytes) of the live entry directory."""
+        files = self.entry_files()
+        return len(files), sum(p.stat().st_size for p in files)
+
+    def describe(self) -> str:
+        """Multi-line human summary used by ``cache stats``."""
+        count, size = self.totals()
+        counters = self.manifest().get("counters", {})
+        quarantined = len(list(self.quarantine_dir.glob("*.bad"))) \
+            if self.quarantine_dir.is_dir() else 0
+        lines = [
+            f"cache root     {self.root}",
+            f"format         v{self.version} (magic {MAGIC.decode('ascii')})",
+            f"entries        {count} ({fmt_bytes(size)})",
+            f"quarantined    {quarantined} file(s)",
+            f"lifetime       {fmt_cache_stats(counters)}",
+            f"this process   {fmt_cache_stats(self.stats.as_dict())}",
+        ]
+        build = sum(
+            e.get("build_seconds", 0.0)
+            for e in self.manifest().get("entries", {}).values()
+        )
+        lines.insert(3, f"build time     {fmt_seconds(build)} amortised in entries")
+        return "\n".join(lines)

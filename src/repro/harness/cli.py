@@ -13,6 +13,13 @@ Reproduce Figure 8 on the default (small) tier::
 Everything, with a bigger workload, on the tiny tier::
 
     repro-harness --experiment all --tier tiny --pairs 200
+
+Inspect, verify or reset the disk cache::
+
+    repro-harness cache list
+    repro-harness cache verify [--quarantine]
+    repro-harness cache stats
+    repro-harness cache clear
 """
 
 from __future__ import annotations
@@ -20,9 +27,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+from repro.harness.cache import DiskCache
 from repro.harness.experiments import all_keys, run
-from repro.harness.registry import Registry
+from repro.harness.registry import Registry, _default_cache_dir
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,6 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Regenerate the tables and figures of 'Shortest Path and "
             "Distance Queries on Road Networks: An Experimental "
             "Evaluation' (Wu et al., VLDB 2012)."
+        ),
+        epilog=(
+            "The 'cache' subcommand (repro-harness cache "
+            "{list,verify,clear,stats}) manages the disk cache."
         ),
     )
     parser.add_argument(
@@ -79,7 +92,84 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
 
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness cache",
+        description="Inspect, verify, or reset the experiment disk cache.",
+    )
+    parser.add_argument(
+        "action", choices=("list", "verify", "clear", "stats"),
+        help="list entries / re-verify checksums / delete everything / counters",
+    )
+    parser.add_argument(
+        "--cache", default=None,
+        help="cache directory (default: REPRO_CACHE or <cwd>/.cache/repro)",
+    )
+    parser.add_argument(
+        "--quarantine", action="store_true",
+        help="with 'verify': move failing entries aside so they rebuild",
+    )
+    return parser
+
+
+def _cache_main(argv: list[str]) -> int:
+    args = build_cache_parser().parse_args(argv)
+    root = Path(args.cache) if args.cache else _default_cache_dir()
+    if root is None:
+        print("disk cache is disabled (REPRO_CACHE=off); nothing to do")
+        return 0
+    cache = DiskCache(root)
+
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {root} ({removed} file(s) removed)")
+        return 0
+
+    if args.action == "stats":
+        print(cache.describe())
+        return 0
+
+    if args.action == "list":
+        infos = cache.list_entries()
+        if not infos:
+            print(f"cache at {root} is empty")
+            return 0
+        from repro.harness.timing import fmt_bytes, fmt_seconds
+
+        width = max(len(i.name) for i in infos)
+        for info in infos:
+            if info.header is not None:
+                h = info.header
+                print(f"{info.name:<{width}}  {fmt_bytes(info.size):>8}  "
+                      f"built in {fmt_seconds(h.get('build_seconds', 0.0)):>8}  "
+                      f"at {h.get('built_at', '?')}  "
+                      f"(repro {h.get('repro_version', '?')})")
+            else:  # info.error already leads with the entry name
+                print(f"{info.name:<{width}}  {fmt_bytes(info.size):>8}  "
+                      f"UNREADABLE ({info.error})")
+        count, size = cache.totals()
+        print(f"-- {count} entr{'y' if count == 1 else 'ies'}, {fmt_bytes(size)}")
+        return 0
+
+    # verify: full re-read of every entry (checksum + unpickle)
+    infos = cache.verify(quarantine=args.quarantine)
+    bad = [i for i in infos if not i.ok]
+    for info in infos:
+        if info.ok:
+            print(f"OK    {info.name}")
+        else:  # info.error already leads with the entry name
+            action = " (quarantined)" if args.quarantine else ""
+            print(f"FAIL  {info.error}{action}")
+    print(f"-- verified {len(infos)} entr{'y' if len(infos) == 1 else 'ies'}, "
+          f"{len(bad)} bad")
+    return 1 if bad else 0
+
+
 def _main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiment:
         print("available experiments:")
@@ -108,6 +198,8 @@ def _main(argv: list[str] | None = None) -> int:
         print(f"[{key} completed in {time.perf_counter() - started:.1f}s]\n")
         if args.chart:
             _print_charts(exp, registry)
+    if registry.cache_stats is not None:
+        print(f"[cache] {registry.cache_stats}")
     return 0
 
 

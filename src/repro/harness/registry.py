@@ -4,13 +4,21 @@ Every bench and harness experiment asks the registry for graphs,
 indexes and query workloads. Results are cached at two levels:
 
 - in-process (a dict), so one pytest session builds everything once;
-- on disk (pickles under ``.cache/repro``), so repeated benchmark runs
-  skip preprocessing entirely — pure-Python index builds are the
-  expensive part of reproducing the paper.
+- on disk (:class:`repro.harness.cache.DiskCache` under
+  ``.cache/repro``), so repeated benchmark runs skip preprocessing
+  entirely — pure-Python index builds are the expensive part of
+  reproducing the paper.
+
+The disk layer is hardened: entries are checksummed and versioned, any
+load failure (corruption, truncation, version skew, renamed classes)
+quarantines the file and rebuilds transparently, and writes are safe
+under parallel workers. ``python -m repro.harness cache stats`` shows
+the hit/miss/rebuild counters.
 
 Build *times* are part of the cached artifacts (each index carries its
 ``stats``), so Figure 6(b)-style preprocessing numbers survive the
-cache. Bump :data:`CACHE_VERSION` whenever an index layout changes.
+cache. Bump :data:`repro.harness.cache.CACHE_VERSION` whenever an
+index layout changes.
 
 Environment knobs (also exposed as CLI flags):
 
@@ -23,13 +31,13 @@ Environment knobs (also exposed as CLI flags):
 from __future__ import annotations
 
 import os
-import pickle
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
 from repro import datasets
+from repro.harness.cache import CACHE_VERSION, MISSING, CacheStats, DiskCache
 from repro.core.bidirectional import BidirectionalDijkstra
 from repro.core.ch import ContractionHierarchy
 from repro.core.ch.contraction import CHIndex, build_ch
@@ -42,8 +50,6 @@ from repro.queries.workloads import (
     distance_query_sets,
     linf_query_sets,
 )
-
-CACHE_VERSION = 1
 
 DEFAULT_PAIRS = int(os.environ.get("REPRO_PAIRS", "100"))
 DEFAULT_TIER = os.environ.get("REPRO_TIER", datasets.DEFAULT_TIER)
@@ -81,21 +87,25 @@ class Registry:
             self.cache_dir = None
         else:
             self.cache_dir = Path(self.cache)
+        self.disk_cache: DiskCache | None = (
+            DiskCache(self.cache_dir) if self.cache_dir is not None else None
+        )
         self._memory: dict[tuple, Any] = {}
 
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """This process's hit/miss/rebuild counters (None when cache off)."""
+        return self.disk_cache.stats if self.disk_cache is not None else None
+
     def _cached(self, key: tuple, builder: Callable[[], Any]) -> Any:
         if key in self._memory:
             return self._memory[key]
-        path: Path | None = None
-        if self.cache_dir is not None:
-            name = "-".join(str(part) for part in key)
-            path = self.cache_dir / f"v{CACHE_VERSION}" / f"{name}.pkl"
-            if path.exists():
-                with open(path, "rb") as fh:
-                    value = pickle.load(fh)
+        if self.disk_cache is not None:
+            value = self.disk_cache.load(key)
+            if value is not MISSING:
                 self._memory[key] = value
                 return value
         started = time.perf_counter()
@@ -104,12 +114,8 @@ class Registry:
         if self.verbose and elapsed > 1.0:
             print(f"[registry] built {key} in {elapsed:.1f}s")
         self._memory[key] = value
-        if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+        if self.disk_cache is not None:
+            self.disk_cache.store(key, value, build_seconds=elapsed)
         return value
 
     # ------------------------------------------------------------------

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 
 @dataclass(frozen=True)
@@ -69,3 +69,21 @@ def fmt_seconds(seconds: float) -> str:
     if seconds >= 60:
         return f"{seconds / 60:.1f}min"
     return f"{seconds:.1f}s"
+
+
+_CACHE_COUNTER_ORDER = ("hits", "misses", "rebuilds", "writes", "quarantined")
+
+
+def fmt_cache_stats(counters: Mapping[str, int]) -> str:
+    """Render hit/miss/rebuild counters, e.g. ``12 hits, 3 misses, ...``.
+
+    Shared by :class:`repro.harness.cache.CacheStats`, the benchmark
+    session summary, and the ``cache stats`` CLI so the counters read
+    identically everywhere.
+    """
+    parts = [
+        f"{int(counters.get(name, 0))} {name}" for name in _CACHE_COUNTER_ORDER
+    ]
+    extras = sorted(set(counters) - set(_CACHE_COUNTER_ORDER))
+    parts += [f"{int(counters[name])} {name}" for name in extras]
+    return ", ".join(parts)

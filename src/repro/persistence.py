@@ -7,9 +7,16 @@ or foreign files fail loudly instead of answering queries wrongly:
 
 - a magic + format-version header (refuses files from other tools or
   incompatible releases);
+- a sha256 checksum of the pickled index (refuses bit-rot and
+  truncation before unpickling anything);
 - the index class name (refuses loading a SILC index as a CH index);
 - the graph fingerprint (n, m, total weight) the index was built for
   (refuses an index built on different data).
+
+Unlike the experiment cache (:mod:`repro.harness.cache`), which
+silently rebuilds on any failure, persistence *fails loudly*: a shipped
+index has no builder to fall back on, so a bad file must be an error.
+Both share the same atomic-write and checksum primitives.
 
 >>> import repro, repro.persistence as rp
 >>> g = repro.load_dataset("DE", tier="tiny")
@@ -26,9 +33,10 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.graph.graph import Graph
+from repro.harness.cache import atomic_write_bytes, sha256_hex
 
-MAGIC = b"RRNQIDX1"  # repro road-network query index, format 1
-FORMAT_VERSION = 1
+MAGIC = b"RRNQIDX1"  # repro road-network query index
+FORMAT_VERSION = 2   # 2: header + sha256-checksummed payload
 
 
 class PersistenceError(RuntimeError):
@@ -53,23 +61,25 @@ class GraphFingerprint:
 
 
 def save_index(path: str | os.PathLike, index: Any, graph: Graph) -> str:
-    """Write an index with header + fingerprint; returns the path.
+    """Write an index with header + fingerprint + checksum; returns the path.
 
-    Atomic: writes to a sibling temp file and renames, so a crash never
-    leaves a truncated index behind.
+    Atomic: writes to a unique per-process temp file and renames, so a
+    crash (or a concurrent writer) never leaves a truncated index
+    behind.
     """
-    payload = {
+    index_bytes = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+    header = {
         "format": FORMAT_VERSION,
         "kind": type(index).__name__,
         "fingerprint": GraphFingerprint.of(graph),
-        "index": index,
+        "sha256": sha256_hex(index_bytes),
+        "payload_bytes": len(index_bytes),
     }
     path = os.fspath(path)
-    tmp = f"{path}.tmp"
-    with open(tmp, "wb") as fh:
-        fh.write(MAGIC)
-        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, path)
+    atomic_write_bytes(
+        path,
+        MAGIC + pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL) + index_bytes,
+    )
     return path
 
 
@@ -78,7 +88,7 @@ def load_index(
     graph: Graph,
     expected_kind: str | None = None,
 ) -> Any:
-    """Read an index, verifying header, kind and graph fingerprint.
+    """Read an index, verifying header, checksum, kind and fingerprint.
 
     ``expected_kind`` (e.g. ``"CHIndex"``) adds a type check on top of
     the stored kind; omit it to accept any index built for ``graph``.
@@ -88,21 +98,33 @@ def load_index(
         if magic != MAGIC:
             raise PersistenceError(f"{path}: not a repro index file")
         try:
-            payload = pickle.load(fh)
+            header = pickle.load(fh)
         except Exception as exc:  # truncated/corrupt pickle
             raise PersistenceError(f"{path}: corrupt index payload") from exc
-    if payload.get("format") != FORMAT_VERSION:
+        index_bytes = fh.read()
+    if not isinstance(header, dict) or header.get("format") != FORMAT_VERSION:
+        got = header.get("format") if isinstance(header, dict) else "?"
         raise PersistenceError(
-            f"{path}: format {payload.get('format')} unsupported "
+            f"{path}: format {got} unsupported "
             f"(this release reads {FORMAT_VERSION})"
         )
-    kind = payload.get("kind")
+    if header.get("payload_bytes") != len(index_bytes):
+        raise PersistenceError(
+            f"{path}: corrupt index payload (truncated: "
+            f"{len(index_bytes)} of {header.get('payload_bytes')} bytes)"
+        )
+    if sha256_hex(index_bytes) != header.get("sha256"):
+        raise PersistenceError(f"{path}: corrupt index payload (checksum mismatch)")
+    kind = header.get("kind")
     if expected_kind is not None and kind != expected_kind:
         raise PersistenceError(f"{path}: contains {kind}, expected {expected_kind}")
-    fingerprint = payload.get("fingerprint")
+    fingerprint = header.get("fingerprint")
     if fingerprint != GraphFingerprint.of(graph):
         raise PersistenceError(
             f"{path}: index was built for a different graph "
             f"({fingerprint} vs {GraphFingerprint.of(graph)})"
         )
-    return payload["index"]
+    try:
+        return pickle.loads(index_bytes)
+    except Exception as exc:
+        raise PersistenceError(f"{path}: corrupt index payload") from exc

@@ -1,0 +1,358 @@
+"""The cache hardening suite: corruption, concurrency, differential.
+
+The registry's disk cache sits under every table and figure of the
+reproduction, so its failure modes are the repo's worst failure modes:
+
+- a corrupt/truncated/stale entry must *never* abort a run — it is
+  quarantined and the artifact rebuilt (the corruption matrix below);
+- parallel workers writing one key must leave exactly one valid entry
+  (the concurrency tests);
+- a warm cache must answer exactly like a cold build, for all five
+  techniques (the differential test — stale-cache wrong answers are
+  the worst possible bug in an experimental evaluation).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pickle
+import random
+import sys
+import threading
+
+import pytest
+
+from repro.core.dijkstra import dijkstra_distance
+from repro.harness import cache as cache_mod
+from repro.harness.cache import (
+    CACHE_VERSION,
+    MISSING,
+    CacheIntegrityError,
+    CacheStats,
+    DiskCache,
+    read_entry,
+    read_header,
+    sha256_hex,
+    unique_tmp_path,
+    write_entry,
+    write_entry_payload,
+)
+from repro.harness.cli import main as cli_main
+from repro.harness.registry import Registry
+from repro.harness.timing import fmt_cache_stats
+
+KEY = ("graph", "tiny", "DE")
+
+
+def make_registry(cache_dir) -> Registry:
+    return Registry(tier="tiny", pairs_per_set=5, cache=str(cache_dir),
+                    verbose=False)
+
+
+def warmed_entry(cache_dir):
+    """Build one entry through the registry; returns (value, entry path)."""
+    reg = make_registry(cache_dir)
+    graph = reg.graph("DE")
+    path = reg.disk_cache.entry_path(KEY)
+    assert path.exists()
+    return graph, path
+
+
+# ----------------------------------------------------------------------
+# Entry format
+# ----------------------------------------------------------------------
+class TestEntryFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.pkl"
+        header = write_entry(path, {"answer": 42}, ("k", 1), 1.25)
+        value, read_back = read_entry(path)
+        assert value == {"answer": 42}
+        assert read_back == header
+        assert header["cache_version"] == CACHE_VERSION
+        assert header["key"] == ["k", "1"]
+        assert header["build_seconds"] == 1.25
+        assert header["sha256"] == sha256_hex(
+            pickle.dumps({"answer": 42}, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def test_read_header_is_cheap_and_consistent(self, tmp_path):
+        path = tmp_path / "x.pkl"
+        written = write_entry(path, list(range(1000)), ("big",), 0.0)
+        assert read_header(path) == written
+
+    def test_version_skew_rejected(self, tmp_path):
+        path = tmp_path / "x.pkl"
+        write_entry(path, 1, ("k",), 0.0)
+        with pytest.raises(CacheIntegrityError, match="version skew"):
+            read_entry(path, expected_version=CACHE_VERSION + 1)
+
+    def test_unique_tmp_paths_differ_and_carry_pid(self, tmp_path):
+        import os
+
+        a = unique_tmp_path(tmp_path / "e.pkl")
+        b = unique_tmp_path(tmp_path / "e.pkl")
+        assert a != b
+        assert str(os.getpid()) in a and a.endswith(".tmp")
+
+
+# ----------------------------------------------------------------------
+# The corruption matrix
+# ----------------------------------------------------------------------
+def _truncate(path):
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+
+def _empty(path):
+    path.write_bytes(b"")
+
+
+def _garbage(path):
+    path.write_bytes(b"\x05not a cache entry at all" * 8)
+
+
+def _legacy_bare_pickle(path):
+    # What the pre-hardening cache wrote: a headerless pickle.
+    path.write_bytes(pickle.dumps({"legacy": True}))
+
+
+def _version_skew(path):
+    value, _header = read_entry(path)
+    write_entry(path, value, KEY, 0.0, cache_version=CACHE_VERSION + 7)
+
+
+def _checksum_flip(path):
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip one payload bit; header stays intact
+    path.write_bytes(bytes(data))
+
+
+def _renamed_class(path):
+    # A payload whose class no longer exists (renamed between releases):
+    # header and checksum verify, but unpickling raises AttributeError.
+    mod = sys.modules[__name__]
+    cls = type("_EphemeralPayload", (), {"__module__": __name__})
+    mod._EphemeralPayload = cls
+    try:
+        payload = pickle.dumps(cls(), protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        del mod._EphemeralPayload
+    write_entry_payload(path, payload, KEY, 0.0)
+
+
+CORRUPTIONS = {
+    "truncated": _truncate,
+    "empty": _empty,
+    "garbage": _garbage,
+    "legacy-bare-pickle": _legacy_bare_pickle,
+    "version-skew": _version_skew,
+    "checksum-mismatch": _checksum_flip,
+    "renamed-class": _renamed_class,
+}
+
+
+class TestCorruptionMatrix:
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_registry_rebuilds_instead_of_raising(self, tmp_path, kind):
+        original, path = warmed_entry(tmp_path)
+        CORRUPTIONS[kind](path)
+
+        fresh = make_registry(tmp_path)
+        rebuilt = fresh.graph("DE")  # must not raise
+        assert rebuilt.n == original.n and rebuilt.m == original.m
+
+        stats = fresh.cache_stats
+        assert stats.rebuilds == 1 and stats.writes == 1 and stats.hits == 0
+        bad = list((tmp_path / "quarantine").glob("*.bad"))
+        assert len(bad) == 1
+
+        # after the rebuild the cache is clean again
+        assert cli_main(["cache", "verify", "--cache", str(tmp_path)]) == 0
+
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_disk_cache_load_reports_missing(self, tmp_path, kind):
+        _original, path = warmed_entry(tmp_path)
+        CORRUPTIONS[kind](path)
+        cache = DiskCache(tmp_path)
+        assert cache.load(KEY) is MISSING
+        assert not path.exists()  # quarantined, never re-read
+
+    def test_rebuild_is_recorded_in_persistent_counters(self, tmp_path):
+        _original, path = warmed_entry(tmp_path)
+        _garbage(path)
+        make_registry(tmp_path).graph("DE")
+        counters = DiskCache(tmp_path).manifest()["counters"]
+        assert counters["rebuilds"] == 1
+        assert counters["writes"] == 2  # original build + rebuild
+        log = DiskCache(tmp_path).manifest()["quarantine_log"]
+        assert len(log) == 1 and "magic" in log[0]["reason"]
+
+
+# ----------------------------------------------------------------------
+# Concurrency
+# ----------------------------------------------------------------------
+def _pool_build(cache_dir: str) -> tuple[int, int]:
+    reg = Registry(tier="tiny", pairs_per_set=5, cache=cache_dir, verbose=False)
+    graph = reg.graph("DE")
+    return graph.n, graph.m
+
+
+class TestConcurrency:
+    def test_two_registries_one_valid_entry(self, tmp_path):
+        reg_a = make_registry(tmp_path)
+        reg_b = make_registry(tmp_path)
+        ga, gb = reg_a.graph("DE"), reg_b.graph("DE")
+        assert (ga.n, ga.m) == (gb.n, gb.m)
+        assert reg_a.cache_stats.writes == 1
+        assert reg_b.cache_stats.hits == 1
+        cache = DiskCache(tmp_path)
+        assert [p.name for p in cache.entry_files()] == ["graph-tiny-DE.pkl"]
+        assert all(info.ok for info in cache.verify())
+
+    def test_threaded_stores_of_same_key(self, tmp_path):
+        # Many writers racing on one key: last writer wins atomically,
+        # and the surviving entry always verifies.
+        cache = DiskCache(tmp_path)
+        value = {"payload": list(range(5000))}
+        threads = [
+            threading.Thread(target=cache.store, args=(("k",), value, 0.0))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        loaded, header = read_entry(cache.entry_path(("k",)))
+        assert loaded == value
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_multiprocess_pool_same_key(self, tmp_path):
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        with ctx.Pool(4) as pool:
+            results = pool.map(_pool_build, [str(tmp_path)] * 4)
+        assert len(set(results)) == 1  # every process saw the same graph
+
+        cache = DiskCache(tmp_path)
+        assert [p.name for p in cache.entry_files()] == ["graph-tiny-DE.pkl"]
+        assert not list(tmp_path.rglob("*.tmp"))
+
+        # the surviving entry's checksum matches its payload exactly
+        path = cache.entry_path(KEY)
+        _value, header = read_entry(path)
+        raw = path.read_bytes()
+        offset = len(cache_mod.MAGIC) + 4 + int.from_bytes(
+            raw[len(cache_mod.MAGIC):len(cache_mod.MAGIC) + 4], "big"
+        )
+        assert sha256_hex(raw[offset:]) == header["sha256"]
+        # and the manifest agrees
+        manifest_entry = cache.manifest()["entries"]["graph-tiny-DE.pkl"]
+        assert manifest_entry["sha256"] == header["sha256"]
+
+
+# ----------------------------------------------------------------------
+# Differential: warm cache answers exactly like a cold build
+# ----------------------------------------------------------------------
+def _technique_distances(reg: Registry, pairs) -> dict[str, list[float]]:
+    techniques = {
+        "bidijkstra": reg.bidijkstra("DE"),
+        "ch": reg.ch("DE"),
+        "tnr": reg.tnr("DE"),
+        "silc": reg.silc("DE"),
+        "pcpd": reg.pcpd("DE"),
+    }
+    return {
+        name: [tech.distance(s, t) for s, t in pairs]
+        for name, tech in techniques.items()
+    }
+
+
+class TestDifferential:
+    def test_all_five_techniques_cold_then_warm(self, tmp_path):
+        rng = random.Random(0xD1FF)
+        cold_reg = make_registry(tmp_path)
+        graph = cold_reg.graph("DE")
+        pairs = [(rng.randrange(graph.n), rng.randrange(graph.n))
+                 for _ in range(20)]
+        truth = [dijkstra_distance(graph, s, t) for s, t in pairs]
+
+        cold = _technique_distances(cold_reg, pairs)
+        assert cold_reg.cache_stats.writes > 0
+        for name, distances in cold.items():
+            assert distances == truth, f"{name} diverges from Dijkstra (cold)"
+
+        # a brand-new registry on the same dir: everything loads from disk
+        warm_reg = make_registry(tmp_path)
+        warm = _technique_distances(warm_reg, pairs)
+        assert warm_reg.cache_stats.hits > 0
+        assert warm_reg.cache_stats.rebuilds == 0
+        assert warm_reg.cache_stats.writes == 0
+        assert warm == cold
+        for name, distances in warm.items():
+            assert distances == truth, f"{name} diverges from Dijkstra (warm)"
+
+        assert cli_main(["cache", "verify", "--cache", str(tmp_path)]) == 0
+
+
+# ----------------------------------------------------------------------
+# Introspection: counters, manifest, CLI
+# ----------------------------------------------------------------------
+class TestStats:
+    def test_counters_accumulate_across_handles(self, tmp_path):
+        warmed_entry(tmp_path)  # miss + write
+        make_registry(tmp_path).graph("DE")  # hit
+        counters = DiskCache(tmp_path).manifest()["counters"]
+        assert counters == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_cache_stats_str_uses_timing_formatter(self):
+        stats = CacheStats(hits=2, misses=1)
+        assert str(stats) == fmt_cache_stats(stats.as_dict())
+        assert "2 hits" in str(stats) and "1 misses" in str(stats)
+
+    def test_manifest_survives_corruption(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(("k",), 1)
+        cache.manifest_path.write_text("{{{ not json")
+        data = cache.manifest()
+        assert data["entries"] == {}  # reset, not raise
+        cache.store(("k2",), 2)  # and writable again
+        assert "k2.pkl" in cache.manifest()["entries"]
+
+
+class TestCacheCLI:
+    def test_stats_and_list(self, tmp_path, capsys):
+        warmed_entry(tmp_path)
+        assert cli_main(["cache", "stats", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries        1" in out and "1 writes" in out
+
+        assert cli_main(["cache", "list", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "graph-tiny-DE.pkl" in out and "1 entry" in out
+
+    def test_verify_flags_and_quarantines_bad_entries(self, tmp_path, capsys):
+        _graph, path = warmed_entry(tmp_path)
+        _checksum_flip(path)
+        assert cli_main(["cache", "verify", "--cache", str(tmp_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        assert path.exists()  # plain verify only reports
+
+        assert cli_main(["cache", "verify", "--quarantine",
+                         "--cache", str(tmp_path)]) == 1
+        assert not path.exists()  # moved aside
+        assert cli_main(["cache", "verify", "--cache", str(tmp_path)]) == 0
+
+    def test_clear(self, tmp_path, capsys):
+        warmed_entry(tmp_path)
+        assert cli_main(["cache", "clear", "--cache", str(tmp_path)]) == 0
+        assert not tmp_path.exists()
+        assert cli_main(["cache", "list", "--cache", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_off_is_a_noop(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert cli_main(["cache", "stats"]) == 0
+        assert "disabled" in capsys.readouterr().out

@@ -139,3 +139,23 @@ class TestCLI:
         ])
         assert code == 0
         assert "Delaware" in capsys.readouterr().out
+
+    def test_run_survives_corrupt_default_cache(self, capsys, tmp_path,
+                                                monkeypatch):
+        # A stale/corrupt entry in the default cache location must never
+        # abort a run — this is the exact failure the seed suite hit.
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        from repro.harness.cache import CACHE_VERSION
+
+        bad = tmp_path / f"v{CACHE_VERSION}" / "graph-tiny-DE.pkl"
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"\x05corrupt")
+        assert cli_main(["--experiment", "table1", "--tier", "tiny",
+                         "--pairs", "5"]) == 0
+        assert "Delaware" in capsys.readouterr().out
+        assert cli_main(["cache", "verify", "--cache", str(tmp_path)]) == 0
+
+    def test_cache_subcommand_stats(self, capsys, tmp_path):
+        assert cli_main(["cache", "stats", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache root" in out and "entries        0" in out

@@ -59,6 +59,21 @@ class TestValidation:
         with pytest.raises(persistence.PersistenceError, match="unsupported"):
             persistence.load_index(path, co_tiny)
 
+    def test_bitrot_payload_rejected(self, co_tiny, ch_co, tmp_path):
+        path = persistence.save_index(tmp_path / "a.idx", ch_co.index, co_tiny)
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF  # flip one payload bit; header parses fine
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(persistence.PersistenceError, match="checksum mismatch"):
+            persistence.load_index(path, co_tiny)
+
+    def test_truncated_after_header_rejected(self, co_tiny, ch_co, tmp_path):
+        path = persistence.save_index(tmp_path / "a.idx", ch_co.index, co_tiny)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-16])
+        with pytest.raises(persistence.PersistenceError, match="truncated"):
+            persistence.load_index(path, co_tiny)
+
     def test_fingerprint_equality(self, co_tiny, de_tiny):
         a = persistence.GraphFingerprint.of(co_tiny)
         assert a == persistence.GraphFingerprint.of(co_tiny)
