@@ -1,0 +1,103 @@
+"""Microbenchmarks: CSR array kernels vs the legacy Python Dijkstra.
+
+Each pair of benchmarks runs the same workload through the legacy
+pure-Python loop (``REPRO_NO_CSR=1``) and the CSR kernel
+(``REPRO_FORCE_CSR=1``), so ``pytest benchmarks/bench_kernels.py
+--benchmark-group-by=func`` shows the speedup directly. The committed
+speedup baseline lives in ``BENCH_kernels.json`` (see
+``scripts/perf_baseline.py``); these benches are for interactive
+profiling, not the CI gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dijkstra import (
+    dijkstra_distance,
+    dijkstra_sssp,
+    first_hop_tables,
+)
+from repro.graph.csr import HAVE_SCIPY
+
+pytestmark = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy unavailable")
+
+#: Dataset the kernels are profiled on (small enough that the legacy
+#: side stays interactive, large enough that per-call overhead is not
+#: the whole measurement).
+DATASET = "DE"
+
+
+@pytest.fixture
+def de(reg):
+    return reg.graph(DATASET)
+
+
+def _sources(g, count):
+    step = max(1, g.n // count)
+    return list(range(0, g.n, step))[:count]
+
+
+@pytest.fixture
+def legacy_mode(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CSR", "1")
+    monkeypatch.delenv("REPRO_FORCE_CSR", raising=False)
+
+
+@pytest.fixture
+def kernel_mode(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_CSR", raising=False)
+    monkeypatch.setenv("REPRO_FORCE_CSR", "1")
+
+
+# ---------------------------------------------------------------- SSSP
+def _run_sssp(g, sources):
+    for s in sources:
+        dijkstra_sssp(g, s)
+
+
+def test_sssp_legacy(de, legacy_mode, benchmark):
+    benchmark(_run_sssp, de, _sources(de, 4))
+
+
+def test_sssp_kernel(de, kernel_mode, benchmark):
+    benchmark(_run_sssp, de, _sources(de, 4))
+
+
+# ---------------------------------------------------- batched first hops
+def test_first_hops_legacy(de, legacy_mode, benchmark):
+    benchmark(first_hop_tables, de, _sources(de, 8))
+
+
+def test_first_hops_kernel(de, kernel_mode, benchmark):
+    benchmark(first_hop_tables, de, _sources(de, 8))
+
+
+# ------------------------------------------------- pooled point queries
+def _run_point(g, pairs):
+    for s, t in pairs:
+        dijkstra_distance(g, s, t)
+
+
+def _point_pairs(g):
+    srcs = _sources(g, 4)
+    return [(s, (s + g.n // 2) % g.n) for s in srcs]
+
+
+def test_point_distance_legacy(de, legacy_mode, benchmark):
+    benchmark(_run_point, de, _point_pairs(de))
+
+
+def test_point_distance_kernel(de, kernel_mode, benchmark):
+    benchmark(_run_point, de, _point_pairs(de))
+
+
+# ------------------------------------------------- bidirectional search
+def test_bidirectional_legacy(de, legacy_mode, benchmark, reg):
+    algo = reg.bidijkstra(DATASET)
+    benchmark(lambda: [algo.distance(s, t) for s, t in _point_pairs(de)])
+
+
+def test_bidirectional_kernel(de, kernel_mode, benchmark, reg):
+    algo = reg.bidijkstra(DATASET)
+    benchmark(lambda: [algo.distance(s, t) for s, t in _point_pairs(de)])

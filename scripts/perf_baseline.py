@@ -1,0 +1,267 @@
+"""Measure the CSR kernels against the legacy loops and gate regressions.
+
+Runs every migrated hot path twice — once with ``REPRO_NO_CSR=1``
+(legacy pure-Python Dijkstra) and once with ``REPRO_FORCE_CSR=1`` (the
+flat-array kernels of :mod:`repro.graph.csr`) — on one dataset, and
+reports per-kernel timings plus the speedup ratio. Absolute numbers
+(CH build seconds, queries/sec per technique) ride along for context
+but are not gated: only the legacy/CSR *ratio* is hardware-independent
+enough to compare across machines.
+
+Usage::
+
+    python scripts/perf_baseline.py                    # default scale
+    python scripts/perf_baseline.py --quick            # CI-sized scale
+    python scripts/perf_baseline.py --output BENCH_kernels.json
+    python scripts/perf_baseline.py --quick --check BENCH_kernels.json
+
+``--output`` merges the measured scale into the JSON baseline (other
+scales in the file are preserved). ``--check`` compares the measured
+speedups against the committed baseline for the same scale and exits
+non-zero if any kernel's measured speedup fell below *half* the
+committed one — a 2x tolerance that absorbs machine-to-machine noise
+while still catching a kernel silently falling back to the legacy
+path or an O(n) regression. See ``docs/PERFORMANCE.md`` for how to
+read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+from contextlib import contextmanager
+
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.core.ch import ContractionHierarchy
+from repro.core.dijkstra import dijkstra_sssp, first_hop_tables
+from repro.core.pcpd import PCPD
+from repro.core.pcpd.index import build_pcpd
+from repro.core.pcpd.pairs import APSPTables
+from repro.core.silc import SILC, build_silc
+from repro.core.tnr import TransitNodeRouting, build_tnr
+from repro.datasets import dataset_spec, load_dataset
+from repro.graph.csr import HAVE_SCIPY
+
+#: Scale -> (dataset, tier). The default scale is where the committed
+#: speedup targets hold (n=1200); quick is sized for a CI smoke run.
+SCALES = {
+    "default": ("DE", "medium"),
+    "quick": ("DE", "small"),
+}
+
+#: A measured speedup below committed/CHECK_TOLERANCE fails --check.
+CHECK_TOLERANCE = 2.0
+
+QUERY_PAIRS = 60
+QUERY_SEED = 20120827
+
+
+@contextmanager
+def _mode(csr: bool):
+    """Force one side of the dispatch for the duration of the block."""
+    saved = {k: os.environ.pop(k, None) for k in ("REPRO_NO_CSR", "REPRO_FORCE_CSR")}
+    os.environ["REPRO_FORCE_CSR" if csr else "REPRO_NO_CSR"] = "1"
+    try:
+        yield
+    finally:
+        for k in ("REPRO_NO_CSR", "REPRO_FORCE_CSR"):
+            os.environ.pop(k, None)
+            if saved[k] is not None:
+                os.environ[k] = saved[k]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _both_modes(fn, repeats: int = 1) -> dict:
+    with _mode(csr=False):
+        legacy = _best_of(fn, repeats)
+    with _mode(csr=True):
+        csr = _best_of(fn, repeats)
+    return {
+        "legacy_ms": round(legacy * 1e3, 3),
+        "csr_ms": round(csr * 1e3, 3),
+        "speedup": round(legacy / csr, 2) if csr > 0 else math.inf,
+    }
+
+
+def _spread_sources(n: int, count: int) -> list[int]:
+    step = max(1, n // count)
+    return list(range(0, n, step))[:count]
+
+
+def run_scale(scale: str, verbose: bool = True) -> dict:
+    name, tier = SCALES[scale]
+    spec = dataset_spec(name, tier)
+    graph = load_dataset(name, tier=tier)
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(f"  {msg}", flush=True)
+
+    say(f"{name}/{tier}: n={graph.n} m={graph.m} grid={spec.tnr_grid}")
+    kernels: dict[str, dict] = {}
+
+    # -- single-source Dijkstra: ms/call and ns/settle ----------------
+    sources = _spread_sources(graph.n, 8)
+    res = _both_modes(
+        lambda: [dijkstra_sssp(graph, s) for s in sources], repeats=3
+    )
+    with _mode(csr=True):
+        settles = sum(
+            sum(1 for d in dijkstra_sssp(graph, s)[0] if d < math.inf)
+            for s in sources
+        )
+    per_call = {
+        "legacy_ms": round(res["legacy_ms"] / len(sources), 3),
+        "csr_ms": round(res["csr_ms"] / len(sources), 3),
+        "speedup": res["speedup"],
+        "csr_ns_per_settle": round(res["csr_ms"] * 1e6 / max(1, settles), 1),
+        "legacy_ns_per_settle": round(res["legacy_ms"] * 1e6 / max(1, settles), 1),
+    }
+    kernels["dijkstra_sssp"] = per_call
+    say(f"dijkstra_sssp       {per_call['speedup']:.2f}x "
+        f"({per_call['legacy_ms']:.2f} -> {per_call['csr_ms']:.2f} ms/call, "
+        f"{per_call['csr_ns_per_settle']:.0f} ns/settle)")
+
+    # -- batched first-hop tables (the SILC inner loop) ---------------
+    hops_sources = _spread_sources(graph.n, 32)
+    res = _both_modes(lambda: first_hop_tables(graph, hops_sources), repeats=3)
+    res["legacy_ms"] = round(res["legacy_ms"] / len(hops_sources), 3)
+    res["csr_ms"] = round(res["csr_ms"] / len(hops_sources), 3)
+    kernels["first_hop_per_source"] = res
+    say(f"first_hop/source    {res['speedup']:.2f}x "
+        f"({res['legacy_ms']:.2f} -> {res['csr_ms']:.2f} ms)")
+
+    # -- end-to-end builds -------------------------------------------
+    kernels["silc_build"] = _both_modes(lambda: build_silc(graph))
+    say(f"silc_build          {kernels['silc_build']['speedup']:.2f}x")
+
+    kernels["pcpd_apsp"] = _both_modes(lambda: APSPTables.compute(graph))
+    say(f"pcpd_apsp           {kernels['pcpd_apsp']['speedup']:.2f}x")
+
+    # CH is built once, outside the gate: the witness-search rewrite is
+    # unconditional (pure Python, no scipy), so there is no legacy side
+    # to race it against. Its absolute build time is recorded below.
+    t0 = time.perf_counter()
+    ch = ContractionHierarchy.build(graph)
+    ch_build_s = time.perf_counter() - t0
+
+    kernels["tnr_preprocess"] = _both_modes(
+        lambda: build_tnr(graph, ch, spec.tnr_grid)
+    )
+    say(f"tnr_preprocess      {kernels['tnr_preprocess']['speedup']:.2f}x")
+
+    # -- absolute context: queries/sec per technique ------------------
+    rng = random.Random(QUERY_SEED)
+    pairs = [
+        (rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(QUERY_PAIRS)
+    ]
+    with _mode(csr=True):
+        techniques = {
+            "dijkstra": BidirectionalDijkstra(graph),
+            "ch": ch,
+            "tnr": TransitNodeRouting(graph, build_tnr(graph, ch, spec.tnr_grid), ch),
+            "silc": SILC(graph, build_silc(graph)),
+            "pcpd": PCPD(graph, build_pcpd(graph)),
+        }
+        queries_per_sec = {}
+        for tech_name, tech in techniques.items():
+            elapsed = _best_of(
+                lambda t=tech: [t.distance(s, u) for s, u in pairs], repeats=2
+            )
+            queries_per_sec[tech_name] = round(len(pairs) / elapsed, 1)
+    say("queries/sec         " + "  ".join(
+        f"{k}={v:g}" for k, v in queries_per_sec.items()))
+
+    return {
+        "dataset": name,
+        "tier": tier,
+        "n": graph.n,
+        "m": graph.m,
+        "kernels": kernels,
+        "absolute": {
+            "ch_build_s": round(ch_build_s, 3),
+            "queries_per_sec": queries_per_sec,
+        },
+    }
+
+
+def check_against(baseline_path: str, scale: str, measured: dict) -> int:
+    """Exit status: 0 if every measured speedup clears the baseline gate."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    committed = baseline.get("scales", {}).get(scale)
+    if committed is None:
+        print(f"--check: no committed baseline for scale '{scale}' "
+              f"in {baseline_path}", file=sys.stderr)
+        return 2
+    failures = []
+    for kernel, ref in committed["kernels"].items():
+        got = measured["kernels"].get(kernel, {}).get("speedup")
+        floor = ref["speedup"] / CHECK_TOLERANCE
+        if got is None or got < floor:
+            failures.append(
+                f"{kernel}: measured {got}x < floor {floor:.2f}x "
+                f"(committed {ref['speedup']}x / {CHECK_TOLERANCE:g})"
+            )
+    if failures:
+        print("perf check FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"perf check OK: all {len(committed['kernels'])} kernels within "
+          f"{CHECK_TOLERANCE:g}x of the committed baseline")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run the CI-sized scale instead of the default")
+    parser.add_argument("--output", metavar="JSON",
+                        help="merge this scale's results into a baseline file")
+    parser.add_argument("--check", metavar="JSON",
+                        help="compare speedups against a committed baseline; "
+                             "exit 1 on regression")
+    args = parser.parse_args(argv)
+
+    if not HAVE_SCIPY:
+        print("scipy unavailable: CSR kernels cannot run, nothing to measure",
+              file=sys.stderr)
+        return 2
+
+    scale = "quick" if args.quick else "default"
+    print(f"perf_baseline scale={scale}", flush=True)
+    result = run_scale(scale)
+
+    if args.output:
+        merged = {"scales": {}}
+        if os.path.exists(args.output):
+            with open(args.output) as fh:
+                merged = json.load(fh)
+            merged.setdefault("scales", {})
+        merged["scales"][scale] = result
+        with open(args.output, "w") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote scale '{scale}' to {args.output}")
+
+    if args.check:
+        return check_against(args.check, scale, result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from heapq import heappop, heappush
 
+from repro.graph.csr import kernel_for
 from repro.graph.graph import Graph
 
 INF = math.inf
@@ -44,13 +45,44 @@ class BidirectionalDijkstra:
     # ------------------------------------------------------------------
     def distance(self, source: int, target: int) -> float:
         """Distance query."""
-        best, _, _, _ = self._search(source, target)
-        return best
+        if source == target:
+            self.last_settled = 0
+            return 0.0
+        csr = kernel_for(self.graph, 0)
+        if csr is None:
+            best, _, _, _ = self._search(source, target)
+            return best
+        la, lb = csr.borrow_labels(), csr.borrow_labels()
+        try:
+            best, _ = self._run(source, target, la, lb)
+            return best
+        finally:
+            csr.release_labels(lb)
+            csr.release_labels(la)
 
     def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
         """Shortest path query; reconstructs from the two spanning trees."""
-        best, meet, fparent, bparent = self._search(source, target)
-        if best is INF or meet is None:
+        if source == target:
+            self.last_settled = 0
+            return 0.0, [source]
+        csr = kernel_for(self.graph, 0)
+        if csr is None:
+            best, meet, fparent, bparent = self._search(source, target)
+            return self._join(best, meet, fparent, bparent, source, target)
+        la, lb = csr.borrow_labels(), csr.borrow_labels()
+        try:
+            # Reconstruct before releasing: the parent arrays go back
+            # to the scratch pool (and are reset) on release.
+            best, meet = self._run(source, target, la, lb)
+            return self._join(best, meet, la.parent, lb.parent, source, target)
+        finally:
+            csr.release_labels(lb)
+            csr.release_labels(la)
+
+    @staticmethod
+    def _join(best, meet, fparent, bparent, source, target):
+        """Splice the two tree walks around the meeting vertex."""
+        if best == INF or meet is None:
             return INF, None
         forward: list[int] = [meet]
         node = meet
@@ -63,6 +95,67 @@ class BidirectionalDijkstra:
             node = bparent[node]
             forward.append(node)
         return best, forward
+
+    # ------------------------------------------------------------------
+    def _run(self, source: int, target: int, la, lb) -> tuple[float, int | None]:
+        """Kernel-path search over two borrowed flat label sets.
+
+        Same alternation, stop rule and relaxation order as
+        :meth:`_search`, with list labels (``inf``/-1 defaults) and the
+        ``mark`` bytes as the settled flags instead of dicts and sets —
+        so its output is identical to the legacy path, just without the
+        per-query allocations.
+        """
+        g = self.graph
+        dist = (la.dist, lb.dist)
+        parent = (la.parent, lb.parent)
+        settled = (la.mark, lb.mark)
+        touched = (la.touched, lb.touched)
+        marked = (la.marked, lb.marked)
+        dist[0][source] = 0.0
+        parent[0][source] = source
+        touched[0].append(source)
+        dist[1][target] = 0.0
+        parent[1][target] = target
+        touched[1].append(target)
+        heaps: tuple[list, list] = ([(0.0, source)], [(0.0, target)])
+
+        best = INF
+        meet: int | None = None
+        n_settled = 0
+        neighbors = g.neighbors
+
+        while heaps[0] and heaps[1]:
+            if heaps[0][0][0] + heaps[1][0][0] >= best:
+                break
+            side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+            d, u = heappop(heaps[side])
+            smark = settled[side]
+            if smark[u]:
+                continue
+            smark[u] = 1
+            marked[side].append(u)
+            n_settled += 1
+            ddist = dist[side]
+            odist = dist[1 - side]
+            sparent = parent[side]
+            stouch = touched[side]
+            sheap = heaps[side]
+            for v, w in neighbors(u):
+                nd = d + w
+                old = ddist[v]
+                if nd < old:
+                    if old == INF:
+                        stouch.append(v)
+                    ddist[v] = nd
+                    sparent[v] = u
+                    heappush(sheap, (nd, v))
+                if nd + odist[v] < best:
+                    best = nd + odist[v]
+                    meet = v
+
+        self.last_settled = n_settled
+        return best, meet
 
     # ------------------------------------------------------------------
     def _search(

@@ -27,6 +27,7 @@ from heapq import heappop, heappush
 import numpy as np
 
 from repro.core.ch.ordering import OrderingConfig, validate_fixed_order
+from repro.graph.csr import ScratchLabels
 from repro.graph.graph import Graph
 from repro.graph.pqueue import AddressableHeap
 
@@ -103,6 +104,10 @@ class _Contractor:
                 self.adj[u][v] = (w, ORIGINAL_EDGE, 1)
         self.contracted = [False] * n
         self.deleted_neighbours = [0] * n
+        # One flat label set reused by every witness search (contraction
+        # is single-threaded); dist doubles as the tentative labels and
+        # mark as the settled flags, reset in O(touched) per search.
+        self._scratch = ScratchLabels(n)
 
     # ------------------------------------------------------------------
     def witness_distances(
@@ -113,32 +118,45 @@ class _Contractor:
         Returns settled distances for the targets it reached within the
         budget and ``cutoff``; absent targets mean "no witness found".
         """
-        dist: dict[int, float] = {source: 0.0}
+        scratch = self._scratch
+        dist = scratch.dist
+        settled = scratch.mark
+        touched = scratch.touched
+        marked = scratch.marked
         found: dict[int, float] = {}
+        dist[source] = 0.0
+        touched.append(source)
         heap: list[tuple[float, int]] = [(0.0, source)]
-        settled: set[int] = set()
         budget = self.witness_settle_limit
         remaining = len(targets)
         adj = self.adj
         contracted = self.contracted
-        while heap and budget > 0 and remaining > 0:
-            d, u = heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            budget -= 1
-            self.stats.witness_settles += 1
-            if u in targets and u not in found:
-                found[u] = d
-                remaining -= 1
-            for v, (w, _, _) in adj[u].items():
-                if v == excluded or contracted[v]:
+        settles = 0
+        try:
+            while heap and budget > 0 and remaining > 0:
+                d, u = heappop(heap)
+                if settled[u]:
                     continue
-                nd = d + w
-                if nd <= cutoff and nd < dist.get(v, INF):
-                    dist[v] = nd
-                    heappush(heap, (nd, v))
-        return found
+                settled[u] = 1
+                marked.append(u)
+                budget -= 1
+                settles += 1
+                if u in targets and u not in found:
+                    found[u] = d
+                    remaining -= 1
+                for v, (w, _, _) in adj[u].items():
+                    if v == excluded or contracted[v]:
+                        continue
+                    nd = d + w
+                    if nd <= cutoff and nd < dist[v]:
+                        if dist[v] == INF:
+                            touched.append(v)
+                        dist[v] = nd
+                        heappush(heap, (nd, v))
+            return found
+        finally:
+            self.stats.witness_settles += settles
+            scratch.reset()
 
     def required_shortcuts(self, v: int) -> list[tuple[int, int, float, int]]:
         """Shortcuts contraction of ``v`` would need: ``(a, b, w, hops)``.

@@ -2,9 +2,21 @@
 
 This is the classic solution the paper measures everything against
 (§1), and also the workhorse inside the preprocessing of TNR, SILC and
-PCPD. The hot loops use :mod:`heapq` with lazy deletion — measurably
-faster in CPython than an addressable heap, and every technique shares
-these same routines ("common subroutines for similar tasks", §4.1).
+PCPD. Each public routine dispatches to one of two implementations:
+
+- **CSR kernels** (:mod:`repro.graph.csr`): flat-array labels over the
+  frozen graph's CSR backend. Full SSSP / first-hop passes run inside
+  scipy's compiled Dijkstra with parents and hops derived by exact
+  vectorised algebra; early-exit point queries keep preallocated
+  dist/parent arrays borrowed from the per-graph scratch pool instead
+  of building dicts and sets per call.
+- **Legacy pure-Python loops** (the ``_*_py`` functions): :mod:`heapq`
+  with lazy deletion and dict labels. Still used for unfrozen or tiny
+  graphs, when scipy is missing, or when ``REPRO_NO_CSR=1`` disables
+  the kernels (the differential property tests run both and compare).
+
+Returns are array-likes: the kernel paths hand back NumPy arrays, the
+legacy paths plain lists — both index and iterate identically.
 
 Tie-breaking
 ------------
@@ -14,7 +26,9 @@ edge per pair). All routines here therefore break equal-distance ties
 deterministically: a relaxation replaces the current parent only if it
 strictly improves the distance, or matches it with a smaller
 predecessor id. Any consistent rule keeps the "first hop lies on a
-shortest path" invariant those indexes rely on.
+shortest path" invariant those indexes rely on; the CSR kernels
+reproduce this exact rule (``parent[v] = min{u : dist[u] + w(u,v) ==
+dist[v]}``), verified bit-for-bit by ``tests/test_csr_kernels.py``.
 """
 
 from __future__ import annotations
@@ -23,36 +37,45 @@ import math
 from heapq import heappop, heappush
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.graph.csr import MIN_N_BATCH, MIN_N_SINGLE, kernel_for
 from repro.graph.graph import Graph
 
 INF = math.inf
 
 
-def dijkstra_sssp(g: Graph, source: int) -> tuple[list[float], list[int]]:
+# ----------------------------------------------------------------------
+# Public API (dispatching)
+# ----------------------------------------------------------------------
+def dijkstra_sssp(g: Graph, source: int):
     """Full single-source shortest paths.
 
     Returns ``(dist, parent)`` where ``parent[source] == source`` and
     ``parent[v] == -1`` for unreachable ``v``.
     """
-    n = g.n
-    dist = [INF] * n
-    parent = [-1] * n
-    dist[source] = 0.0
-    parent[source] = source
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    neighbors = g.neighbors
-    while heap:
-        d, u = heappop(heap)
-        if d > dist[u]:
-            continue
-        for v, w in neighbors(u):
-            nd = d + w
-            if nd < dist[v]:
-                dist[v] = nd
-                parent[v] = u
-                heappush(heap, (nd, v))
-            elif nd == dist[v] and u < parent[v]:
-                parent[v] = u
+    csr = kernel_for(g, MIN_N_SINGLE)
+    if csr is not None:
+        return csr.sssp(source)
+    return _sssp_py(g, source)
+
+
+def dijkstra_sssp_many(g: Graph, sources: Sequence[int]):
+    """Batched SSSP: ``(k, n)`` float64 distance / int32 parent matrices.
+
+    The batched kernel amortises call overhead across sources (one
+    compiled pass per chunk); the fallback stacks legacy rows so the
+    return type is uniform.
+    """
+    csr = kernel_for(g, MIN_N_BATCH)
+    if csr is not None:
+        return csr.sssp_many(sources)
+    dist = np.empty((len(sources), g.n), dtype=np.float64)
+    parent = np.empty((len(sources), g.n), dtype=np.int32)
+    for i, s in enumerate(sources):
+        d, p = _sssp_py(g, s)
+        dist[i] = d
+        parent[i] = p
     return dist, parent
 
 
@@ -61,25 +84,10 @@ def dijkstra_distance(g: Graph, source: int, target: int) -> float:
 
     Returns ``math.inf`` when ``target`` is unreachable.
     """
-    if source == target:
-        return 0.0
-    dist: dict[int, float] = {source: 0.0}
-    settled: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    neighbors = g.neighbors
-    while heap:
-        d, u = heappop(heap)
-        if u in settled:
-            continue
-        if u == target:
-            return d
-        settled.add(u)
-        for v, w in neighbors(u):
-            nd = d + w
-            if nd < dist.get(v, INF):
-                dist[v] = nd
-                heappush(heap, (nd, v))
-    return INF
+    csr = kernel_for(g, 0)
+    if csr is not None:
+        return _distance_kernel(g, csr, source, target)
+    return _distance_py(g, source, target)
 
 
 def dijkstra_path(g: Graph, source: int, target: int) -> tuple[float, list[int] | None]:
@@ -87,30 +95,10 @@ def dijkstra_path(g: Graph, source: int, target: int) -> tuple[float, list[int] 
 
     The path includes both endpoints; ``(inf, None)`` if unreachable.
     """
-    if source == target:
-        return 0.0, [source]
-    dist: dict[int, float] = {source: 0.0}
-    parent: dict[int, int] = {source: source}
-    settled: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    neighbors = g.neighbors
-    while heap:
-        d, u = heappop(heap)
-        if u in settled:
-            continue
-        if u == target:
-            return d, _walk_parents(parent, source, target)
-        settled.add(u)
-        for v, w in neighbors(u):
-            nd = d + w
-            old = dist.get(v, INF)
-            if nd < old:
-                dist[v] = nd
-                parent[v] = u
-                heappush(heap, (nd, v))
-            elif nd == old and v not in settled and u < parent[v]:
-                parent[v] = u
-    return INF, None
+    csr = kernel_for(g, 0)
+    if csr is not None:
+        return _path_kernel(g, csr, source, target)
+    return _path_py(g, source, target)
 
 
 def dijkstra_to_targets(
@@ -122,75 +110,36 @@ def dijkstra_to_targets(
     of TNR's access-node computation (each vertex in a cell needs its
     distances to the outer-shell vertex set, §3.3 Remarks).
     """
-    remaining = set(targets)
-    result: dict[int, float] = {}
-    if source in remaining:
-        remaining.discard(source)
-        result[source] = 0.0
-    if not remaining:
-        return result
-    dist: dict[int, float] = {source: 0.0}
-    settled: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    neighbors = g.neighbors
-    while heap and remaining:
-        d, u = heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        if u in remaining:
-            remaining.discard(u)
-            result[u] = d
-        for v, w in neighbors(u):
-            nd = d + w
-            if nd < dist.get(v, INF):
-                dist[v] = nd
-                heappush(heap, (nd, v))
-    for t in remaining:
-        result[t] = INF
-    return result
+    csr = kernel_for(g, 0)
+    if csr is not None:
+        return _to_targets_kernel(g, csr, source, targets)
+    return _to_targets_py(g, source, targets)
 
 
-def first_hop_table(g: Graph, source: int) -> list[int]:
+def first_hop_table(g: Graph, source: int):
     """First hop of the (tie-broken) shortest path from ``source``.
 
     ``hop[v]`` is the neighbour of ``source`` that starts the shortest
     path to ``v``; ``hop[source] == source``; ``-1`` for unreachable
     vertices. This is exactly the per-vertex partition SILC compresses
     (§3.4): the equivalence class of ``v`` is ``hop[v]``.
-
-    The first hop is propagated during relaxation rather than recovered
-    by parent-chasing afterwards, which keeps the whole table one
-    Dijkstra pass.
     """
-    n = g.n
-    dist = [INF] * n
-    parent = [-1] * n
-    hop = [-1] * n
-    dist[source] = 0.0
-    parent[source] = source
-    hop[source] = source
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    neighbors = g.neighbors
-    while heap:
-        d, u = heappop(heap)
-        if d > dist[u]:
-            continue
-        first = u if u == source else hop[u]
-        for v, w in neighbors(u):
-            nd = d + w
-            if nd < dist[v]:
-                dist[v] = nd
-                parent[v] = u
-                hop[v] = v if u == source else first
-                heappush(heap, (nd, v))
-            elif nd == dist[v] and u < parent[v]:
-                # Equal-distance tie: adopt the smaller predecessor (and
-                # its first hop) without re-queuing — v's distance label
-                # is unchanged, so its own relaxations stay valid.
-                parent[v] = u
-                hop[v] = v if u == source else first
-    return hop
+    csr = kernel_for(g, MIN_N_SINGLE)
+    if csr is not None:
+        return csr.first_hops_many([source])[0]
+    return _first_hop_py(g, source)
+
+
+def first_hop_tables(g: Graph, sources: Sequence[int]):
+    """Batched first-hop tables: ``(k, n)`` int32, row ``i`` for
+    ``sources[i]``. The SILC builder's hot pass."""
+    csr = kernel_for(g, MIN_N_BATCH)
+    if csr is not None:
+        return csr.first_hops_many(sources)
+    hops = np.empty((len(sources), g.n), dtype=np.int32)
+    for i, s in enumerate(sources):
+        hops[i] = _first_hop_py(g, s)
+    return hops
 
 
 def settled_count(g: Graph, source: int, target: int) -> int:
@@ -221,8 +170,272 @@ def settled_count(g: Graph, source: int, target: int) -> int:
     return len(settled)
 
 
-def _walk_parents(parent: dict[int, int], source: int, target: int) -> list[int]:
-    """Reconstruct the source→target path from a parent map."""
+# ----------------------------------------------------------------------
+# CSR kernels: early-exit point queries on pooled flat-array labels
+# ----------------------------------------------------------------------
+def _distance_kernel(g: Graph, csr, source: int, target: int) -> float:
+    if source == target:
+        return 0.0
+    labels = csr.borrow_labels()
+    try:
+        dist = labels.dist
+        touched = labels.touched
+        dist[source] = 0.0
+        touched.append(source)
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        neighbors = g.neighbors
+        while heap:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            if u == target:
+                return d
+            for v, w in neighbors(u):
+                nd = d + w
+                if nd < dist[v]:
+                    if dist[v] == INF:
+                        touched.append(v)
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        return INF
+    finally:
+        csr.release_labels(labels)
+
+
+def _path_kernel(
+    g: Graph, csr, source: int, target: int
+) -> tuple[float, list[int] | None]:
+    if source == target:
+        return 0.0, [source]
+    labels = csr.borrow_labels()
+    try:
+        dist = labels.dist
+        parent = labels.parent
+        settled = labels.mark
+        touched = labels.touched
+        marked = labels.marked
+        dist[source] = 0.0
+        parent[source] = source
+        touched.append(source)
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        neighbors = g.neighbors
+        while heap:
+            d, u = heappop(heap)
+            if settled[u]:
+                continue
+            if u == target:
+                return d, _walk_parents(parent, source, target)
+            settled[u] = 1
+            marked.append(u)
+            for v, w in neighbors(u):
+                nd = d + w
+                old = dist[v]
+                if nd < old:
+                    if old == INF:
+                        touched.append(v)
+                    dist[v] = nd
+                    parent[v] = u
+                    heappush(heap, (nd, v))
+                elif nd == old and not settled[v] and u < parent[v]:
+                    parent[v] = u
+        return INF, None
+    finally:
+        csr.release_labels(labels)
+
+
+def _to_targets_kernel(
+    g: Graph, csr, source: int, targets: Iterable[int]
+) -> dict[int, float]:
+    labels = csr.borrow_labels()
+    try:
+        mark = labels.mark
+        marked = labels.marked
+        remaining = 0
+        for t in targets:
+            if not mark[t]:
+                mark[t] = 1
+                marked.append(t)
+                remaining += 1
+        result: dict[int, float] = {}
+        if mark[source]:
+            mark[source] = 0
+            remaining -= 1
+            result[source] = 0.0
+        if remaining == 0:
+            return result
+        dist = labels.dist
+        touched = labels.touched
+        dist[source] = 0.0
+        touched.append(source)
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        neighbors = g.neighbors
+        while heap and remaining:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            if mark[u]:
+                mark[u] = 0
+                remaining -= 1
+                result[u] = d
+            for v, w in neighbors(u):
+                nd = d + w
+                if nd < dist[v]:
+                    if dist[v] == INF:
+                        touched.append(v)
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        if remaining:
+            for t in marked:
+                if mark[t]:
+                    result[t] = INF
+        return result
+    finally:
+        csr.release_labels(labels)
+
+
+# ----------------------------------------------------------------------
+# Legacy pure-Python implementations (REPRO_NO_CSR=1 / fallback path)
+# ----------------------------------------------------------------------
+def _sssp_py(g: Graph, source: int) -> tuple[list[float], list[int]]:
+    n = g.n
+    dist = [INF] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    parent[source] = source
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heappush(heap, (nd, v))
+            elif nd == dist[v] and u < parent[v]:
+                parent[v] = u
+    return dist, parent
+
+
+def _distance_py(g: Graph, source: int, target: int) -> float:
+    if source == target:
+        return 0.0
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d
+        settled.add(u)
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return INF
+
+
+def _path_py(g: Graph, source: int, target: int) -> tuple[float, list[int] | None]:
+    if source == target:
+        return 0.0, [source]
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {source: source}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d, _walk_parents(parent, source, target)
+        settled.add(u)
+        for v, w in neighbors(u):
+            nd = d + w
+            old = dist.get(v, INF)
+            if nd < old:
+                dist[v] = nd
+                parent[v] = u
+                heappush(heap, (nd, v))
+            elif nd == old and v not in settled and u < parent[v]:
+                parent[v] = u
+    return INF, None
+
+
+def _to_targets_py(
+    g: Graph, source: int, targets: Iterable[int]
+) -> dict[int, float]:
+    remaining = set(targets)
+    result: dict[int, float] = {}
+    if source in remaining:
+        remaining.discard(source)
+        result[source] = 0.0
+    if not remaining:
+        return result
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap and remaining:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u in remaining:
+            remaining.discard(u)
+            result[u] = d
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    for t in remaining:
+        result[t] = INF
+    return result
+
+
+def _first_hop_py(g: Graph, source: int) -> list[int]:
+    n = g.n
+    dist = [INF] * n
+    parent = [-1] * n
+    hop = [-1] * n
+    dist[source] = 0.0
+    parent[source] = source
+    hop[source] = source
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        first = u if u == source else hop[u]
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                hop[v] = v if u == source else first
+                heappush(heap, (nd, v))
+            elif nd == dist[v] and u < parent[v]:
+                # Equal-distance tie: adopt the smaller predecessor (and
+                # its first hop) without re-queuing — v's distance label
+                # is unchanged, so its own relaxations stay valid.
+                parent[v] = u
+                hop[v] = v if u == source else first
+    return hop
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _walk_parents(parent, source: int, target: int) -> list[int]:
+    """Reconstruct the source→target path from a parent map/array."""
     path = [target]
     node = target
     while node != source:

@@ -39,14 +39,19 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.core.dijkstra import dijkstra_sssp
+from repro.core.dijkstra import dijkstra_sssp_many
 from repro.graph.coords import BoundingBox, square_hull
 from repro.graph.graph import Graph
 from repro.parallel import map_with_context
 
-def _sssp_row(graph: Graph, source: int):
-    """One APSP row (top level for the worker pool)."""
-    return dijkstra_sssp(graph, source)
+#: APSP rows per work item — one batched kernel call per chunk, and the
+#: unit the multiprocess fan-out ships to workers.
+_CHUNK = 64
+
+
+def _sssp_rows(graph: Graph, chunk: list[int]):
+    """A block of APSP rows (top level for the worker pool)."""
+    return dijkstra_sssp_many(graph, chunk)
 
 
 #: Hard cap on quadrant recursion depth. Distinct vertices on the
@@ -72,12 +77,13 @@ class APSPTables:
         n = graph.n
         parent = np.empty((n, n), dtype=np.int32)
         dist = np.empty((n, n), dtype=np.float64)
-        rows = map_with_context(
-            _sssp_row, graph, list(range(n)), workers=workers, chunksize=32
-        )
-        for s, (d, p) in enumerate(rows):
-            dist[s] = d
-            parent[s] = p
+        chunks = [list(range(a, min(a + _CHUNK, n))) for a in range(0, n, _CHUNK)]
+        blocks = map_with_context(_sssp_rows, graph, chunks, workers=workers)
+        row = 0
+        for d, p in blocks:
+            dist[row : row + d.shape[0]] = d
+            parent[row : row + d.shape[0]] = p
+            row += d.shape[0]
         return APSPTables(parent=parent, dist=dist)
 
     def path_edges(self, source: int, target: int) -> Iterator[tuple[int, int]]:

@@ -21,12 +21,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.dijkstra import first_hop_table
+import numpy as np
+
+from repro.core.dijkstra import first_hop_tables
 from repro.core.silc.quadtree import compress_partition
 from repro.graph.coords import square_hull
 from repro.graph.graph import Graph
 from repro.graph.morton import MortonMapper
 from repro.parallel import map_with_context
+
+# Sources per work item: one batched first-hop kernel call per chunk
+# amortises the per-call overhead, and chunks (not vertices) are what
+# the multiprocess fan-out ships to workers.
+_CHUNK = 64
 
 
 @dataclass
@@ -67,18 +74,28 @@ class SILCIndex:
         return self.stats.total_intervals
 
 
-def _vertex_partition(context, v: int):
-    """One source's compressed partition (top level for the pool)."""
+def _chunk_partitions(context, chunk: list[int]):
+    """Compressed partitions for a chunk of sources (top level for the pool).
+
+    One batched first-hop kernel call covers the whole chunk; the
+    Morton reordering (``colors``) is a fancy-index gather per source.
+    """
     graph, order, codes_sorted, position = context
-    hop = first_hop_table(graph, v)
-    colors = [hop[u] for u in order]
-    intervals, exc = compress_partition(codes_sorted, colors, position[v])
-    return (
-        [a for a, _, _ in intervals],
-        [b for _, b, _ in intervals],
-        [c for _, _, c in intervals],
-        {order[i]: c for i, c in exc.items()},
-    )
+    hops = first_hop_tables(graph, chunk)
+    order_arr = np.asarray(order, dtype=np.int64)
+    out = []
+    for i, v in enumerate(chunk):
+        colors = np.asarray(hops[i])[order_arr].tolist()
+        intervals, exc = compress_partition(codes_sorted, colors, position[v])
+        out.append(
+            (
+                [a for a, _, _ in intervals],
+                [b for _, b, _ in intervals],
+                [c for _, _, c in intervals],
+                {order[j]: c for j, c in exc.items()},
+            )
+        )
+    return out
 
 
 def build_silc(graph: Graph, workers: int | None = None) -> SILCIndex:
@@ -102,12 +119,14 @@ def build_silc(graph: Graph, workers: int | None = None) -> SILCIndex:
         position[v] = i
 
     stats = SILCBuildStats()
-    results = map_with_context(
-        _vertex_partition,
+    chunks = [list(range(a, min(a + _CHUNK, n))) for a in range(0, n, _CHUNK)]
+    chunked = map_with_context(
+        _chunk_partitions,
         (graph, order, codes_sorted, position),
-        list(range(n)),
+        chunks,
         workers=workers,
     )
+    results = [r for chunk_result in chunked for r in chunk_result]
     starts = [r[0] for r in results]
     ends = [r[1] for r in results]
     colors_out = [r[2] for r in results]

@@ -49,8 +49,11 @@ import math
 from dataclasses import dataclass
 from heapq import heappop, heappush
 
+import numpy as np
+
 from repro.core.dijkstra import dijkstra_to_targets
 from repro.core.tnr.grid import INNER_RADIUS, OUTER_RADIUS, TNRGrid
+from repro.graph.csr import MIN_N_BATCH, kernel_for
 from repro.graph.graph import Graph
 from repro.parallel import map_with_context
 
@@ -126,7 +129,83 @@ def _inner_block(grid: TNRGrid, cell: int) -> set[int]:
 
 
 def correct_cell_access(graph: Graph, grid: TNRGrid, cell: int) -> CellAccess:
-    """Exact access nodes for one cell (module docstring for the why)."""
+    """Exact access nodes for one cell (module docstring for the why).
+
+    Dispatches to the vectorised CSR variant when the kernels are
+    available. Both variants return the first-crossing-DAG access set;
+    the CSR one tests DAG edges against *exact* one-to-many distances,
+    so it never admits the redundant fringe-equality nodes the legacy
+    incremental labels occasionally do — the set stays exact (it covers
+    every shortest path at its first crossing) and is never larger.
+    """
+    csr = kernel_for(graph, MIN_N_BATCH)
+    if csr is not None:
+        return _correct_cell_access_csr(graph, csr, grid, cell)
+    return _correct_cell_access_py(graph, grid, cell)
+
+
+def _correct_cell_access_csr(graph: Graph, csr, grid: TNRGrid, cell: int) -> CellAccess:
+    """Vectorised exact access nodes: block-restricted APSP + one
+    radius-limited batched one-to-many pass.
+
+    ``pure[i, p]`` ("some shortest path from member i to p stays inside
+    the block") holds iff the block-restricted distance equals the full
+    distance; a first-crossing DAG edge is an exit arc ``(p, u)`` with
+    ``dist(i, p) + w == dist(i, u)`` and ``p`` pure. The full search is
+    limited to ``max(block dist) + max(exit weight)``, which bounds
+    every distance the two tests and the output table consult.
+    """
+    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
+
+    members = grid.vertices_in(cell)
+    block_ids = np.array(sorted(_inner_block(grid, cell)), dtype=np.int64)
+    n = csr.n
+    bmask = np.zeros(n, dtype=bool)
+    bmask[block_ids] = True
+    local = np.full(n, -1, dtype=np.int64)
+    local[block_ids] = np.arange(len(block_ids))
+
+    esrc = csr.edge_sources()
+    edst = csr.indices
+    src_in = bmask[esrc]
+    inner = src_in & bmask[edst]
+    exit_arcs = src_in & ~bmask[edst]
+    pe = esrc[exit_arcs].astype(np.int64)
+    ue = edst[exit_arcs].astype(np.int64)
+    we = csr.weights[exit_arcs]
+    if len(pe) == 0:
+        # Nothing ever leaves the block: no access nodes needed.
+        return CellAccess(cell, [], {v: [] for v in members})
+
+    # Block-restricted search on the full-shape masked template: arcs
+    # leaving the block are set to inf (scipy never relaxes them), which
+    # skips building a per-cell subgraph matrix — the dominant cost when
+    # the grid is fine and cells are small.
+    mm = csr.masked_matrix()
+    mm.data[:] = INF
+    mm.data[inner] = csr.weights[inner]
+    members_arr = np.asarray(members, dtype=np.int64)
+    block_dist = _sp_dijkstra(mm, directed=True, indices=members_arr)[:, block_ids]
+
+    finite = np.isfinite(block_dist)
+    # +1 keeps boundary-equal labels on the safe side of scipy's limit
+    # cutoff; a larger radius only costs a few extra settles.
+    limit = float(block_dist[finite].max() + we.max()) + 1.0 if finite.all() else None
+    dist = csr.distances(members_arr, limit=limit)
+
+    pure = (block_dist == dist[:, block_ids]) & finite
+    crossing = (dist[:, ue] == dist[:, pe] + we) & pure[:, local[pe]]
+    access_nodes = sorted(set(pe[crossing.any(axis=0)].tolist()))
+
+    cols = np.asarray(access_nodes, dtype=np.int64)
+    vertex_distances = {
+        int(v): dist[i, cols].tolist() for i, v in enumerate(members)
+    }
+    return CellAccess(cell, access_nodes, vertex_distances)
+
+
+def _correct_cell_access_py(graph: Graph, grid: TNRGrid, cell: int) -> CellAccess:
+    """Legacy incremental-label implementation (REPRO_NO_CSR path)."""
     members = grid.vertices_in(cell)
     block = _inner_block(grid, cell)
 

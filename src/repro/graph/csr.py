@@ -1,0 +1,410 @@
+"""CSR flat-array graph backend and the batched shortest-path kernels.
+
+The paper's C++ reference implementation (Appendix D) stores adjacency
+as flat arrays — the compressed-sparse-row layout — because every
+technique it measures spends its time streaming edges. This module is
+that layout for the Python reproduction: a :class:`CSRGraph` is
+materialised once when a :class:`~repro.graph.graph.Graph` is frozen
+and shared by every kernel afterwards.
+
+Layout
+------
+``indptr`` (int32, ``n+1``) and ``indices`` (int32, ``2m``) are the
+usual CSR row pointers and column ids; ``weights`` (float64, ``2m``)
+holds the arc weights; ``xs``/``ys`` (float64, ``n``) the vertex
+coordinates. Each undirected edge is stored as two directed arcs, and
+each adjacency row is sorted by neighbour id.
+
+Kernels
+-------
+The traversal itself runs inside :func:`scipy.sparse.csgraph.dijkstra`
+(compiled C); the parts the repo's techniques need beyond distances —
+tie-broken parent trees and first-hop tables — are *derived* from the
+distance arrays with exact vectorised algebra:
+
+- the documented tie-break rule ("replace the parent only on a strict
+  improvement, or on an equal distance from a smaller predecessor id")
+  makes the final parent of ``v`` exactly
+  ``min { u : dist[u] + w(u, v) == dist[v] }``, which is computable
+  from the distance array alone;
+- the first hop of ``v`` is the child-of-source ancestor of ``v`` in
+  that parent tree, computed by pointer doubling.
+
+Both derivations are bit-identical to the legacy pure-Python loops in
+:mod:`repro.core.dijkstra` (see ``tests/test_csr_kernels.py`` for the
+differential property test).
+
+Scratch pool
+------------
+Early-exit point-to-point kernels keep their labels in preallocated
+per-graph scratch (:class:`ScratchLabels`) borrowed from a small
+free-list instead of building dicts and sets per call. Borrow/release
+is re-entrant safe (nested borrows get distinct label sets) but the
+pool is **not thread safe**; see ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+try:  # scipy ships the compiled Dijkstra; the repo degrades to the
+    # pure-Python paths without it (see kernel_for).
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+    HAVE_SCIPY = True
+except Exception:  # pragma: no cover - scipy is installed in CI
+    csr_matrix = None
+    _scipy_dijkstra = None
+    HAVE_SCIPY = False
+
+INF = float("inf")
+
+# Crossover sizes below which the pure-Python loops beat the scipy call
+# overhead (~0.15 ms per invocation, measured in bench_kernels.py).
+# REPRO_FORCE_CSR=1 overrides them so the differential tests can drive
+# the kernels on tiny graphs.
+MIN_N_SINGLE = 400
+MIN_N_BATCH = 48
+
+_POOL_CAP = 8
+
+
+def _env_set(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+class ScratchLabels:
+    """Reusable label arrays for the early-exit Python kernels.
+
+    ``dist``/``parent`` start as all-inf/-1; a kernel records every
+    index it writes in ``touched`` (and every ``mark`` byte it sets in
+    ``marked``) so :meth:`reset` restores the invariant in O(touched)
+    rather than O(n).
+    """
+
+    __slots__ = ("dist", "parent", "mark", "touched", "marked")
+
+    def __init__(self, n: int) -> None:
+        self.dist: list[float] = [INF] * n
+        self.parent: list[int] = [-1] * n
+        self.mark = bytearray(n)
+        self.touched: list[int] = []
+        self.marked: list[int] = []
+
+    def reset(self) -> None:
+        dist, parent = self.dist, self.parent
+        for v in self.touched:
+            dist[v] = INF
+            parent[v] = -1
+        self.touched.clear()
+        mark = self.mark
+        for v in self.marked:
+            mark[v] = 0
+        self.marked.clear()
+
+
+class CSRGraph:
+    """Flat-array mirror of a frozen :class:`~repro.graph.graph.Graph`.
+
+    Pickles to just the five core arrays (a fraction of the size of the
+    object graph), which is what :mod:`repro.parallel` ships to worker
+    processes.
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "indptr",
+        "indices",
+        "weights",
+        "xs",
+        "ys",
+        "_matrix",
+        "_maskm",
+        "_esrc",
+        "_revc",
+        "_pool",
+    )
+
+    def __init__(self, indptr, indices, weights, xs, ys) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int32)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self.xs = np.ascontiguousarray(xs, dtype=np.float64)
+        self.ys = np.ascontiguousarray(ys, dtype=np.float64)
+        self.n = len(self.indptr) - 1
+        self.m = len(self.indices) // 2
+        self._matrix = None
+        self._maskm = None
+        self._esrc = None
+        self._revc = None
+        self._pool: list[ScratchLabels] = []
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        adj: Sequence[Sequence[tuple[int, float]]],
+    ) -> "CSRGraph":
+        """Build from an adjacency-list graph, sorting rows by neighbour id."""
+        n = len(adj)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        for u, nbrs in enumerate(adj):
+            indptr[u + 1] = len(nbrs)
+        np.cumsum(indptr, out=indptr)
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int32)
+        weights = np.empty(nnz, dtype=np.float64)
+        for u, nbrs in enumerate(adj):
+            a = int(indptr[u])
+            for k, (v, w) in enumerate(sorted(nbrs)):
+                indices[a + k] = v
+                weights[a + k] = w
+        return cls(indptr, indices, weights, xs, ys)
+
+    # ------------------------------------------------------------------
+    # Derived views (cached)
+    # ------------------------------------------------------------------
+    def matrix(self):
+        """The scipy ``csr_matrix`` view (shares the core arrays)."""
+        if self._matrix is None:
+            if not HAVE_SCIPY:
+                raise RuntimeError("scipy is required for the CSR kernels")
+            self._matrix = csr_matrix(
+                (self.weights, self.indices, self.indptr),
+                shape=(self.n, self.n),
+                copy=False,
+            )
+        return self._matrix
+
+    def masked_matrix(self):
+        """A reusable scipy matrix for *subgraph* searches.
+
+        Same sparsity structure as :meth:`matrix` but with its own data
+        array, meant to be overwritten per use: set the arcs outside
+        the subgraph to ``inf`` (scipy's Dijkstra never relaxes an
+        ``inf`` arc, so they behave as deleted) and the rest to
+        :attr:`weights`. Reusing one template skips the per-call sparse
+        construction that otherwise dominates many-small-subgraph
+        passes like the TNR access-node build. Like the scratch pool,
+        the template is shared per graph: callers must fully rewrite
+        ``.data`` before each search and must not use it re-entrantly.
+        """
+        if self._maskm is None:
+            if not HAVE_SCIPY:
+                raise RuntimeError("scipy is required for the CSR kernels")
+            self._maskm = csr_matrix(
+                (self.weights.copy(), self.indices, self.indptr),
+                shape=(self.n, self.n),
+                copy=False,
+            )
+        return self._maskm
+
+    def edge_sources(self) -> np.ndarray:
+        """``esrc[k]`` = tail of arc ``k`` (ascending; ``indices`` is the head)."""
+        if self._esrc is None:
+            self._esrc = np.repeat(
+                np.arange(self.n, dtype=np.int32), np.diff(self.indptr)
+            )
+        return self._esrc
+
+    def _reversed_arcs(self):
+        """Reversed arc arrays + scratch buffers for the 1-source parent pass.
+
+        Reversed so that a plain boolean-mask fancy assignment writes
+        candidate parents in descending-id order — the last write (the
+        smallest id) is exactly the documented tie-break winner.
+        """
+        if self._revc is None:
+            nnz = len(self.indices)
+            self._revc = (
+                self.edge_sources()[::-1].copy(),
+                self.indices[::-1].copy(),
+                self.weights[::-1].copy(),
+                np.empty(nnz),
+                np.empty(nnz),
+                np.empty(nnz, dtype=bool),
+            )
+        return self._revc
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def sssp(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        """Single-source distances + tie-broken parents (matches legacy)."""
+        dist = _scipy_dijkstra(self.matrix(), directed=True, indices=int(source))
+        rsrc, rdst, rw, buf1, buf2, mbuf = self._reversed_arcs()
+        np.take(dist, rsrc, out=buf1)
+        np.add(buf1, rw, out=buf1)
+        np.take(dist, rdst, out=buf2)
+        np.equal(buf1, buf2, out=mbuf)
+        parent = np.full(self.n, -1, dtype=np.int32)
+        parent[rdst[mbuf]] = rsrc[mbuf]
+        if not np.isfinite(dist).all():
+            parent[np.isinf(dist)] = -1
+        parent[source] = source
+        return dist, parent
+
+    def sssp_many(
+        self, sources: Sequence[int], chunk: int = 128
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched SSSP: ``(k, n)`` distance and parent matrices.
+
+        Processes ``chunk`` sources per scipy call so the intermediate
+        ``(chunk, 2m)`` relaxation matrices stay cache-friendly.
+        """
+        src = np.asarray(sources, dtype=np.int64)
+        k = len(src)
+        dist = np.empty((k, self.n), dtype=np.float64)
+        parent = np.empty((k, self.n), dtype=np.int32)
+        mat = self.matrix()
+        for a in range(0, k, chunk):
+            b = min(a + chunk, k)
+            dc = _scipy_dijkstra(mat, directed=True, indices=src[a:b])
+            dist[a:b] = dc
+            parent[a:b] = self._derive_parents(dc, src[a:b])
+        return dist, parent
+
+    def first_hops_many(
+        self, sources: Sequence[int], chunk: int = 128
+    ) -> np.ndarray:
+        """Batched first-hop tables: ``hops[i, v]`` matches legacy
+        ``first_hop_table(g, sources[i])[v]`` exactly."""
+        src = np.asarray(sources, dtype=np.int64)
+        hops = np.empty((len(src), self.n), dtype=np.int32)
+        mat = self.matrix()
+        for a in range(0, len(src), chunk):
+            b = min(a + chunk, len(src))
+            dc = _scipy_dijkstra(mat, directed=True, indices=src[a:b])
+            pc = self._derive_parents(dc, src[a:b])
+            hops[a:b] = _hops_from_parents(pc, src[a:b])
+        return hops
+
+    def distances(self, sources, limit: float | None = None) -> np.ndarray:
+        """``(k, n)`` distance rows; ``limit`` bounds the search radius
+        (labels beyond it come back inf)."""
+        src = np.asarray(sources, dtype=np.int64)
+        if limit is not None and np.isfinite(limit):
+            return _scipy_dijkstra(
+                self.matrix(), directed=True, indices=src, limit=float(limit)
+            )
+        return _scipy_dijkstra(self.matrix(), directed=True, indices=src)
+
+    def _derive_parents(self, dist: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        """Tie-broken parents for a ``(k, n)`` distance block.
+
+        ``parent[v] = min{u : dist[u] + w(u, v) == dist[v]}``: the
+        relaxation mask is enumerated in row-major order by
+        ``np.nonzero`` with arc tails ascending, so writing it reversed
+        makes the smallest tail the last (winning) write per vertex.
+        """
+        esrc = self.edge_sources()
+        edst = self.indices
+        k = dist.shape[0]
+        parent = np.full((k, self.n), -1, dtype=np.int32)
+        mask = dist[:, esrc] + self.weights == dist[:, edst]
+        rows, cols = np.nonzero(mask)
+        rows = rows[::-1]
+        cols = cols[::-1]
+        parent[rows, edst[cols]] = esrc[cols]
+        parent[~np.isfinite(dist)] = -1
+        parent[np.arange(k), sources] = sources
+        return parent
+
+    # ------------------------------------------------------------------
+    # Scratch pool
+    # ------------------------------------------------------------------
+    def borrow_labels(self) -> ScratchLabels:
+        """Take a clean label set; pair every borrow with release_labels."""
+        if self._pool:
+            return self._pool.pop()
+        return ScratchLabels(self.n)
+
+    def release_labels(self, labels: ScratchLabels) -> None:
+        labels.reset()
+        if len(self._pool) < _POOL_CAP:
+            self._pool.append(labels)
+
+    # ------------------------------------------------------------------
+    # Pickling: core arrays only (caches and pool rebuild lazily)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "weights": self.weights,
+            "xs": self.xs,
+            "ys": self.ys,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__init__(
+            state["indptr"],
+            state["indices"],
+            state["weights"],
+            state["xs"],
+            state["ys"],
+        )
+
+    def adjacency_lists(self) -> list[list[tuple[int, float]]]:
+        """Rebuild Python adjacency lists (used when unpickling a Graph)."""
+        indptr = self.indptr.tolist()
+        indices = self.indices.tolist()
+        weights = self.weights.tolist()
+        return [
+            list(zip(indices[indptr[u] : indptr[u + 1]], weights[indptr[u] : indptr[u + 1]]))
+            for u in range(self.n)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.n}, m={self.m})"
+
+
+def _hops_from_parents(parent: np.ndarray, sources: np.ndarray) -> np.ndarray:
+    """First hops from a ``(k, n)`` parent block by pointer doubling.
+
+    ``hop[v]`` is the child-of-source ancestor of ``v``, i.e. the
+    fixpoint of following parents while remapping children of the
+    source (and unreachable vertices) to themselves. Doubling converges
+    in O(log diameter) gather passes.
+    """
+    k, n = parent.shape
+    cols = np.broadcast_to(np.arange(n, dtype=parent.dtype), parent.shape)
+    hop = parent.copy()
+    unreachable = parent < 0
+    if unreachable.any():
+        hop[unreachable] = cols[unreachable]
+    child = parent == sources[:, None]
+    hop[child] = cols[child]
+    rows = np.arange(k)[:, None]
+    while True:
+        nxt = hop[rows, hop]
+        if np.array_equal(nxt, hop):
+            break
+        hop = nxt
+    hop[unreachable] = -1
+    hop[np.arange(k), sources] = sources
+    return hop
+
+
+def kernel_for(graph, min_n: int = MIN_N_SINGLE):
+    """The graph's CSR backend when the kernels should run, else None.
+
+    None when: scipy is unavailable, ``REPRO_NO_CSR=1`` is set, the
+    graph is unfrozen (no CSR yet), or it is smaller than ``min_n``
+    (scipy's per-call overhead loses to the Python loops there) —
+    unless ``REPRO_FORCE_CSR=1`` overrides the size cutoff.
+    """
+    if not HAVE_SCIPY or _env_set("REPRO_NO_CSR"):
+        return None
+    csr = getattr(graph, "_csr", None)
+    if csr is None:
+        return None
+    if csr.n < min_n and not _env_set("REPRO_FORCE_CSR"):
+        return None
+    return csr

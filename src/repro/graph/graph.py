@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.graph.coords import BoundingBox, chebyshev, euclidean
+from repro.graph.csr import CSRGraph
 
 
 @dataclass(frozen=True)
@@ -73,7 +74,7 @@ class Graph:
     [(0, 1.0), (2, 1.0)]
     """
 
-    __slots__ = ("xs", "ys", "_adj", "_m", "_frozen", "_bbox", "_wmaps")
+    __slots__ = ("xs", "ys", "_adj", "_m", "_frozen", "_bbox", "_wmaps", "_nbr", "_csr")
 
     def __init__(
         self,
@@ -90,6 +91,11 @@ class Graph:
         self._frozen = False
         self._bbox: BoundingBox | None = None
         self._wmaps: list[dict[int, float]] | None = None
+        # Per-vertex {neighbour: position in _adj[u]} while unfrozen, so
+        # add_edge dedup is O(1) instead of an O(degree) scan (quadratic
+        # over a generator's insertion stream). Dropped on freeze().
+        self._nbr: list[dict[int, int]] | None = [{} for _ in range(len(self.xs))]
+        self._csr: CSRGraph | None = None
         for u, v, w in edges:
             self.add_edge(u, v, w)
 
@@ -111,6 +117,9 @@ class Graph:
         if existing is None:
             self._adj[u].append((v, weight))
             self._adj[v].append((u, weight))
+            if self._nbr is not None:
+                self._nbr[u][v] = len(self._adj[u]) - 1
+                self._nbr[v][u] = len(self._adj[v]) - 1
             self._m += 1
         else:
             i, j = existing
@@ -119,9 +128,24 @@ class Graph:
                 self._adj[v][j] = (u, weight)
 
     def freeze(self) -> "Graph":
-        """Mark the graph immutable; returns ``self`` for chaining."""
+        """Mark the graph immutable; returns ``self`` for chaining.
+
+        Freezing also materialises the CSR flat-array backend (see
+        :mod:`repro.graph.csr`) that the shortest-path kernels and the
+        multiprocess builders run on, and drops the construction-time
+        neighbour index.
+        """
         self._frozen = True
+        self._nbr = None
+        if self._csr is None:
+            self._csr = CSRGraph.from_adjacency(self.xs, self.ys, self._adj)
         return self
+
+    def csr(self) -> CSRGraph:
+        """The CSR backend; only frozen graphs have one."""
+        if self._csr is None:
+            raise RuntimeError("csr() requires a frozen graph")
+        return self._csr
 
     # ------------------------------------------------------------------
     # Inspection
@@ -152,14 +176,25 @@ class Graph:
         return max((len(a) for a in self._adj), default=0)
 
     def has_edge(self, u: int, v: int) -> bool:
-        return self._edge_index(u, v) is not None
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if self._nbr is not None:
+            return v in self._nbr[u]
+        return v in self.weight_map(u)
 
     def edge_weight(self, u: int, v: int) -> float:
         """Weight of edge ``(u, v)``; raises :class:`KeyError` if absent."""
-        found = self._edge_index(u, v)
-        if found is None:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if self._nbr is not None:
+            i = self._nbr[u].get(v)
+            if i is None:
+                raise KeyError(f"no edge between {u} and {v}")
+            return self._adj[u][i][1]
+        wmap = self.weight_map(u)
+        if v not in wmap:
             raise KeyError(f"no edge between {u} and {v}")
-        return self._adj[u][found[0]][1]
+        return wmap[v]
 
     def weight_map(self, u: int) -> dict[int, float]:
         """``{neighbour: weight}`` of ``u`` — O(1) weight lookups.
@@ -271,11 +306,59 @@ class Graph:
         """Positions of ``v`` in ``adj[u]`` and ``u`` in ``adj[v]``."""
         self._check_vertex(u)
         self._check_vertex(v)
+        if self._nbr is not None:
+            iu = self._nbr[u].get(v)
+            if iu is None:
+                return None
+            return (iu, self._nbr[v][u])
         iu = next((i for i, (w, _) in enumerate(self._adj[u]) if w == v), None)
         if iu is None:
             return None
         iv = next(i for i, (w, _) in enumerate(self._adj[v]) if w == u)
         return (iu, iv)
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # A frozen graph ships only its CSR arrays — this is what keeps
+        # the multiprocess builders cheap (workers rebuild adjacency
+        # locally instead of unpickling millions of tuples) and what
+        # the persistence layer's format-3 files contain.
+        if self._frozen and self._csr is not None:
+            return {"csr": self._csr}
+        return {
+            "xs": self.xs,
+            "ys": self.ys,
+            "adj": self._adj,
+            "m": self._m,
+            "frozen": self._frozen,
+        }
+
+    def __setstate__(self, state) -> None:
+        csr = state.get("csr")
+        if csr is not None:
+            self.xs = csr.xs.tolist()
+            self.ys = csr.ys.tolist()
+            self._adj = csr.adjacency_lists()
+            self._m = csr.m
+            self._frozen = True
+            self._nbr = None
+            self._csr = csr
+        else:
+            self.xs = state["xs"]
+            self.ys = state["ys"]
+            self._adj = state["adj"]
+            self._m = state["m"]
+            self._frozen = state["frozen"]
+            self._nbr = [
+                {v: i for i, (v, _) in enumerate(nbrs)} for nbrs in self._adj
+            ]
+            self._csr = None
+            if self._frozen:
+                self.freeze()
+        self._bbox = None
+        self._wmaps = None
 
     def __repr__(self) -> str:
         return f"Graph(n={self.n}, m={self.m}, frozen={self._frozen})"

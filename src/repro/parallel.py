@@ -47,6 +47,22 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def effective_chunksize(n_items: int, n_processes: int, chunksize: int) -> int:
+    """Cap the caller's ``chunksize`` so no pool process sits idle.
+
+    The cap is the ceiling of ``n_items / n_processes`` — the largest
+    chunk that still hands every process at least one chunk. (An
+    earlier floor-division version collapsed to 1 whenever
+    ``n_items < n_processes`` *or* the floor rounded below the knob,
+    shipping one item per IPC round-trip regardless of the caller's
+    setting.)
+    """
+    if n_items <= 0 or n_processes <= 0:
+        return 1
+    cap = -(-n_items // n_processes)
+    return max(1, min(chunksize, cap))
+
+
 def map_with_context(
     fn: Callable[[Any, T], R],
     context: Any,
@@ -65,13 +81,14 @@ def map_with_context(
         return [fn(context, item) for item in items]
 
     ctx = get_context()
+    n_processes = min(n_workers, len(items))
     with ctx.Pool(
-        processes=min(n_workers, len(items)),
+        processes=n_processes,
         initializer=_init_worker,
         initargs=(context,),
     ) as pool:
         return pool.map(
             _call_with_context,
             [(fn, item) for item in items],
-            chunksize=max(1, min(chunksize, len(items) // n_workers or 1)),
+            chunksize=effective_chunksize(len(items), n_processes, chunksize),
         )

@@ -36,7 +36,8 @@ from repro.graph.graph import Graph
 from repro.harness.cache import atomic_write_bytes, sha256_hex
 
 MAGIC = b"RRNQIDX1"  # repro road-network query index
-FORMAT_VERSION = 2   # 2: header + sha256-checksummed payload
+FORMAT_VERSION = 3   # 3: frozen Graphs pickle as CSR arrays
+                     # (2: header + sha256-checksummed payload)
 
 
 class PersistenceError(RuntimeError):

@@ -1,0 +1,232 @@
+"""Differential tests: CSR kernels vs the legacy pure-Python Dijkstra.
+
+The CSR kernels (:mod:`repro.graph.csr`) must be *bit-identical* to the
+legacy loops — distances, tie-broken parents, and first hops — because
+SILC and PCPD store one canonical answer per pair and the two
+implementations are interchangeable behind the ``REPRO_NO_CSR`` knob.
+These tests drive both over adversarial small graphs (duplicate-weight
+ties, disconnected components, degenerate sizes) and compare raw
+output, plus cover the dispatch knobs, the scratch pool contract, and
+the CSR-based pickle round trip.
+"""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import dijkstra as dj
+from repro.core.bidirectional import BidirectionalDijkstra
+from repro.graph.csr import HAVE_SCIPY, CSRGraph, kernel_for
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+
+pytestmark = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy unavailable")
+
+DIFF = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def small_graphs(draw):
+    """Random small graph: tie-heavy weights, sometimes disconnected."""
+    n = draw(st.integers(2, 24))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40)),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    g = Graph([c[0] for c in coords], [c[1] for c in coords])
+    for v in range(1, n):
+        # Occasionally skip the spanning edge: disconnected vertices
+        # exercise the unreachable (-1 / inf) paths of the derivations.
+        if draw(st.integers(0, 9)) < 8:
+            u = draw(st.integers(0, v - 1))
+            g.add_edge(u, v, float(draw(st.integers(1, 5))))
+    for _ in range(draw(st.integers(0, n))):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b and not g.has_edge(a, b):
+            g.add_edge(a, b, float(draw(st.integers(1, 5))))
+    return g.freeze()
+
+
+def tie_diamond() -> Graph:
+    """Two equal-length 0→3 paths; the tie-break must pick parent 1."""
+    return Graph(
+        [0.0, 1.0, 1.0, 2.0],
+        [0.0, 1.0, -1.0, 0.0],
+        [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+    ).freeze()
+
+
+class TestKernelLegacyEquivalence:
+    @DIFF
+    @given(g=small_graphs())
+    def test_sssp_distances_and_parents(self, g):
+        csr = g.csr()
+        D, P = csr.sssp_many(list(range(g.n)), chunk=5)
+        for s in range(g.n):
+            dist_py, parent_py = dj._sssp_py(g, s)
+            dist_k, parent_k = csr.sssp(s)
+            assert np.array_equal(np.asarray(dist_py), dist_k)
+            assert np.array_equal(np.asarray(parent_py), parent_k)
+            assert np.array_equal(dist_k, D[s])
+            assert np.array_equal(parent_k, P[s])
+
+    @DIFF
+    @given(g=small_graphs())
+    def test_first_hops(self, g):
+        csr = g.csr()
+        hops = csr.first_hops_many(list(range(g.n)), chunk=7)
+        for s in range(g.n):
+            assert np.array_equal(np.asarray(dj._first_hop_py(g, s)), hops[s])
+
+    @DIFF
+    @given(g=small_graphs())
+    def test_point_queries(self, g):
+        csr = g.csr()
+        targets = list(range(0, g.n, 2))
+        for s in range(g.n):
+            for t in range(g.n):
+                assert dj._distance_kernel(g, csr, s, t) == dj._distance_py(g, s, t)
+                assert dj._path_kernel(g, csr, s, t) == dj._path_py(g, s, t)
+            assert dj._to_targets_kernel(g, csr, s, targets) == dj._to_targets_py(
+                g, s, targets
+            )
+
+    def test_tie_break_prefers_smaller_predecessor(self):
+        g = tie_diamond()
+        dist_py, parent_py = dj._sssp_py(g, 0)
+        dist_k, parent_k = g.csr().sssp(0)
+        assert parent_py[3] == 1  # not 2: equal distance, smaller id wins
+        assert np.array_equal(np.asarray(parent_py), parent_k)
+        assert np.array_equal(np.asarray(dist_py), dist_k)
+        assert np.array_equal(
+            np.asarray(dj._first_hop_py(g, 0)), g.csr().first_hops_many([0])[0]
+        )
+
+    def test_bidirectional_matches_legacy_search(self, monkeypatch):
+        g = grid_graph(8, 8)  # lattices maximise equal-length ties
+        algo = BidirectionalDijkstra(g)
+        monkeypatch.setenv("REPRO_NO_CSR", "1")
+        legacy = [
+            (algo.distance(s, t), algo.path(s, t))
+            for s in range(0, g.n, 7)
+            for t in range(0, g.n, 5)
+        ]
+        monkeypatch.delenv("REPRO_NO_CSR")
+        monkeypatch.setenv("REPRO_FORCE_CSR", "1")
+        kernel = [
+            (algo.distance(s, t), algo.path(s, t))
+            for s in range(0, g.n, 7)
+            for t in range(0, g.n, 5)
+        ]
+        assert kernel == legacy
+
+
+class TestDispatch:
+    def test_no_csr_env_knob_forces_legacy(self, monkeypatch):
+        g = tie_diamond()
+        monkeypatch.setenv("REPRO_NO_CSR", "1")
+        assert kernel_for(g, 0) is None
+        dist, parent = dj.dijkstra_sssp(g, 0)
+        assert isinstance(dist, list) and isinstance(parent, list)
+
+    def test_force_csr_env_knob_uses_kernels(self, monkeypatch):
+        g = tie_diamond()
+        monkeypatch.delenv("REPRO_NO_CSR", raising=False)
+        monkeypatch.setenv("REPRO_FORCE_CSR", "1")
+        assert kernel_for(g) is g.csr()
+        dist, parent = dj.dijkstra_sssp(g, 0)
+        assert isinstance(dist, np.ndarray) and isinstance(parent, np.ndarray)
+        legacy = dj._sssp_py(g, 0)
+        assert np.array_equal(np.asarray(legacy[0]), dist)
+        assert np.array_equal(np.asarray(legacy[1]), parent)
+
+    def test_size_cutoff_keeps_tiny_graphs_on_python(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_CSR", raising=False)
+        g = tie_diamond()
+        assert kernel_for(g, 400) is None  # n=4 < cutoff
+        assert kernel_for(g, 0) is g.csr()
+
+    def test_unfrozen_graph_has_no_kernel(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0], [(0, 1, 1.0)])
+        assert kernel_for(g, 0) is None
+        with pytest.raises(RuntimeError):
+            g.csr()
+        assert dj.dijkstra_distance(g, 0, 1) == 1.0  # legacy path still works
+
+
+class TestScratchPool:
+    def test_borrow_release_recycles_clean_labels(self):
+        csr = grid_graph(5, 5).csr()
+        a = csr.borrow_labels()
+        b = csr.borrow_labels()
+        assert a is not b  # nested borrows must not alias
+        a.dist[3] = 1.0
+        a.parent[3] = 0
+        a.touched.append(3)
+        a.mark[2] = 1
+        a.marked.append(2)
+        csr.release_labels(a)
+        c = csr.borrow_labels()
+        assert c is a  # recycled, and reset:
+        assert c.dist[3] == math.inf and c.parent[3] == -1
+        assert c.mark[2] == 0 and not c.touched and not c.marked
+        csr.release_labels(c)
+        csr.release_labels(b)
+
+    def test_kernels_return_labels_clean(self):
+        g = grid_graph(4, 4)
+        csr = g.csr()
+        dj._distance_kernel(g, csr, 0, g.n - 1)
+        dj._path_kernel(g, csr, 0, g.n - 1)
+        dj._to_targets_kernel(g, csr, 0, [1, 5, g.n - 1])
+        labels = csr.borrow_labels()
+        assert all(d == math.inf for d in labels.dist)
+        assert all(p == -1 for p in labels.parent)
+        assert not any(labels.mark)
+        csr.release_labels(labels)
+
+
+class TestCSRRoundTrip:
+    def test_frozen_graph_pickles_as_csr(self):
+        g = grid_graph(6, 6)
+        state = g.__getstate__()
+        assert set(state) == {"csr"}  # compact arrays, not the object graph
+        g2 = pickle.loads(pickle.dumps(g))
+        assert g2.frozen and g2.n == g.n and g2.m == g.m
+        assert np.array_equal(g2.csr().indptr, g.csr().indptr)
+        assert np.array_equal(g2.csr().indices, g.csr().indices)
+        assert np.array_equal(g2.csr().weights, g.csr().weights)
+        for u in range(g.n):
+            assert sorted(g2.neighbors(u)) == sorted(g.neighbors(u))
+        assert dj._sssp_py(g2, 0) == dj._sssp_py(g, 0)
+
+    def test_unfrozen_graph_survives_pickling_mutable(self):
+        g = Graph([0.0, 1.0, 2.0], [0.0, 0.0, 0.0], [(0, 1, 1.0)])
+        g2 = pickle.loads(pickle.dumps(g))
+        assert not g2.frozen
+        g2.add_edge(1, 2, 2.0)  # neighbour index must have been rebuilt
+        assert g2.has_edge(1, 2) and g2.m == 2
+        g2.add_edge(0, 1, 0.5)  # parallel-edge dedup still works
+        assert g2.edge_weight(0, 1) == 0.5 and g2.m == 2
+
+    def test_persistence_format3_round_trip(self, tmp_path):
+        from repro import persistence
+        from repro.core.ch import ContractionHierarchy
+
+        g = grid_graph(5, 5)
+        ch = ContractionHierarchy.build(g)
+        path = persistence.save_index(tmp_path / "lattice.chx", ch.index, g)
+        loaded = persistence.load_index(path, g, expected_kind="CHIndex")
+        assert loaded.rank == ch.index.rank
+        assert loaded.up == ch.index.up

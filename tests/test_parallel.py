@@ -6,7 +6,7 @@ from repro.core.pcpd.pairs import APSPTables
 from repro.core.silc import build_silc
 from repro.core.tnr import TNRGrid
 from repro.core.tnr.access_nodes import compute_access_nodes
-from repro.parallel import map_with_context, resolve_workers
+from repro.parallel import effective_chunksize, map_with_context, resolve_workers
 
 
 def _double(context, item):
@@ -30,6 +30,25 @@ class TestMapWithContext:
 
     def test_single_item_stays_inline(self):
         assert map_with_context(_double, 2, [5], workers=8) == [10]
+
+    def test_chunksize_small_batches_do_not_collapse(self):
+        # Regression: floor division collapsed this to 1 (one IPC
+        # round-trip per item) whenever items // workers rounded to 0.
+        assert effective_chunksize(10, 8, 4) == 2
+
+    def test_chunksize_respects_caller_cap(self):
+        assert effective_chunksize(1000, 4, 8) == 8
+
+    def test_chunksize_fewer_items_than_processes(self):
+        assert effective_chunksize(3, 8, 8) == 1
+
+    def test_chunksize_ceil_division(self):
+        assert effective_chunksize(33, 32, 4) == 2
+        assert effective_chunksize(64, 2, 64) == 32
+
+    def test_chunksize_degenerate_inputs(self):
+        assert effective_chunksize(0, 4, 8) == 1
+        assert effective_chunksize(5, 0, 8) == 1
 
     def test_resolve_workers(self):
         assert resolve_workers(None) == 1
