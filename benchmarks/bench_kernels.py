@@ -101,3 +101,24 @@ def test_bidirectional_legacy(de, legacy_mode, benchmark, reg):
 def test_bidirectional_kernel(de, kernel_mode, benchmark, reg):
     algo = reg.bidijkstra(DATASET)
     benchmark(lambda: [algo.distance(s, t) for s, t in _point_pairs(de)])
+
+
+# --------------------------------------- many-to-many tables (TNR phase)
+def _m2m_nodes(g):
+    return _sources(g, 48)
+
+
+def test_many_to_many_legacy(de, legacy_mode, benchmark, reg):
+    from repro.core.ch import many_to_many
+
+    ch = reg.ch(DATASET)
+    nodes = _m2m_nodes(de)
+    benchmark(many_to_many, ch, nodes, nodes)
+
+
+def test_many_to_many_kernel(de, kernel_mode, benchmark, reg):
+    from repro.core.ch import many_to_many
+
+    ch = reg.ch(DATASET)
+    nodes = _m2m_nodes(de)
+    benchmark(many_to_many, ch, nodes, nodes)

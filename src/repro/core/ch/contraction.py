@@ -27,7 +27,7 @@ from heapq import heappop, heappush
 import numpy as np
 
 from repro.core.ch.ordering import OrderingConfig, validate_fixed_order
-from repro.graph.csr import ScratchLabels
+from repro.graph.csr import DirectedCSR, ScratchLabels
 from repro.graph.graph import Graph
 from repro.graph.pqueue import AddressableHeap
 
@@ -71,6 +71,9 @@ class CHIndex:
     up: list[list[tuple[int, float, int]]]
     middle: dict[tuple[int, int], int]
     stats: BuildStats = field(default_factory=BuildStats)
+    #: Lazily built flat-array view of the upward graph (not part of
+    #: the index identity; rebuilt on demand after unpickling).
+    _upward: object = field(default=None, repr=False, compare=False)
 
     @property
     def n_shortcuts(self) -> int:
@@ -86,6 +89,21 @@ class CHIndex:
         for v, r in enumerate(self.rank):
             result[r] = v
         return result
+
+    def upward_csr(self) -> DirectedCSR:
+        """The upward graph as flat directed-CSR arrays (cached).
+
+        One arc per ``up`` entry — every edge or shortcut from a vertex
+        to a higher-ranked neighbour, rows head-sorted. This is the
+        layout the flat-array many-to-many engine sweeps
+        (:mod:`repro.core.ch.many_to_many`); ``rank`` stays available
+        on the index for callers that need rank-ordered traversal.
+        """
+        if self._upward is None:
+            self._upward = DirectedCSR.from_rows(
+                [[(v, w) for v, w, _ in edges] for edges in self.up]
+            )
+        return self._upward
 
 
 class _Contractor:

@@ -12,32 +12,407 @@ bucket-based many-to-many algorithm of Knopp et al.:
    settled vertex ``v`` with distance ``d``, scan ``bucket[v]`` and
    lower ``table[s][t]`` to ``d + d_t``.
 
-On an undirected graph the two searches are the same primitive
-(:meth:`ContractionHierarchy.upward_search`). The result is exact: the
-highest vertex of the optimal up-down path appears in both searches'
-settled sets.
+On an undirected graph the two searches are the same primitive, and the
+result is exact: the highest vertex of the optimal up-down path appears
+in both searches' settled sets.
+
+Flat-array engine
+-----------------
+The default implementation runs on the upward graph's
+:class:`~repro.graph.csr.DirectedCSR` view:
+
+- all upward searches of a phase run as chunked calls into scipy's
+  compiled Dijkstra over the upward arc arrays;
+- stalling is applied as a vectorised post-filter
+  (:meth:`DirectedCSR.neighbor_min_bounds`): a settled label beaten by
+  a higher neighbour's label plus the connecting arc is dropped. A
+  stalled vertex cannot top an optimal up-down path (the §3.2 stall
+  argument), so dropping it never changes a table entry — it only
+  shrinks the buckets;
+- bucket entries ``(vertex, target, d)`` append into preallocated flat
+  arrays (:class:`_EntryStore`) that *grow geometrically* when the
+  per-target estimate is exceeded — entries are never truncated;
+- forward sweeps fold into the table per meeting vertex: the long tail
+  of small buckets as one batched ``np.minimum.at`` scatter over whole
+  settled-set rows, and the few peak vertices — whose buckets hold
+  nearly every search and dominate the candidate count — as dense
+  outer ``np.minimum`` blocks (see :func:`_fold_grouped`).
+
+The pre-rewrite pure-Python implementation is kept verbatim as the
+differential control; ``REPRO_NO_CSR=1`` (or a missing scipy) routes
+every call through it, and ``tests/test_many_to_many.py`` asserts the
+two produce bit-identical tables. Exactness of the flat engine does not
+depend on which stall filter runs: every candidate ``d_up(s,v) +
+d_up(v,t)`` is the length of a real s–t walk, and the optimal up-down
+path's peak vertex is present (and unstalled) on both sides, so the
+minimum is exactly ``dist(s, t)`` — bit-for-bit, since our integer
+travel-time weights make every float64 sum exact.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.ch.query import ContractionHierarchy
+from repro.graph.csr import HAVE_SCIPY, MIN_N_BATCH, DirectedCSR, _env_set
+
+INF = float("inf")
+
+#: Initial bucket-entry preallocation per target: the store starts at
+#: ``hint * len(targets)`` entries. Purely a sizing estimate — stores
+#: grow (doubling) when a search space overflows it; see
+#: ``tests/test_many_to_many.py::TestBucketGrowth``.
+BUCKET_CAPACITY_HINT = 48
+
+#: Minimum upward searches per scipy call. Bounds the dense scratch to
+#: ``chunk × n`` distance labels plus ``chunk × nnz`` stall candidates.
+SEARCH_CHUNK = 64
+
+#: Distance-label budget per sweep chunk (~4 MiB of float64): on small
+#: graphs the chunk widens to amortise the per-call overhead, on large
+#: graphs ``SEARCH_CHUNK`` keeps the dense scratch bounded.
+_SWEEP_BUDGET = 1 << 19
+
+#: ``np.minimum.at`` scatter block, in fold candidates.
+_FOLD_BLOCK = 1 << 20
+
+#: Per-vertex fold-candidate cutoff (``|fwd bucket| * |bwd bucket|``)
+#: between the batched ``np.minimum.at`` scatter (the long tail of
+#: small buckets) and the dense fancy-indexed fold (mid buckets).
+_DENSE_CUTOFF = 512
+
+#: Candidate fraction of the full table above which a bucket counts as
+#: a near-universal peak and folds via inf-padded row sweeps instead of
+#: fancy indexing (padding inflates the work by at most ~1/frac).
+_PEAK_FRAC = 0.16
+
+#: Table elements per row block of the dense peak fold (~512 KiB of
+#: float64 — sized so the block stays cache-resident across all peaks
+#: while keeping the per-peak call count low).
+_PEAK_BLOCK = 1 << 16
+
+
+def _flat_engine(ch: ContractionHierarchy) -> DirectedCSR | None:
+    """The upward-graph CSR view when the flat engine should run.
+
+    ``None`` (→ legacy pure-Python path) when scipy is unavailable,
+    ``REPRO_NO_CSR=1`` is set, or the graph is below the batch cutoff
+    and ``REPRO_FORCE_CSR=1`` does not override it — the same dispatch
+    contract as :func:`repro.graph.csr.kernel_for`.
+    """
+    if not HAVE_SCIPY or _env_set("REPRO_NO_CSR"):
+        return None
+    index = ch.index
+    if index.n < MIN_N_BATCH and not _env_set("REPRO_FORCE_CSR"):
+        return None
+    return index.upward_csr()
+
+
+class _EntryStore:
+    """Preallocated flat ``(vertex, search, dist)`` bucket-entry arrays.
+
+    ``append_block`` grows the arrays geometrically whenever an append
+    would overflow the current capacity. Growth — never truncation: a
+    target set whose search spaces exceed the preallocation estimate
+    must still contribute every entry (the silent-truncation hazard the
+    PR-2 ``effective_chunksize`` fix guarded against in the parallel
+    layer).
+    """
+
+    __slots__ = ("vertex", "search", "dist", "size")
+
+    def __init__(self, capacity: int) -> None:
+        cap = max(16, int(capacity))
+        self.vertex = np.empty(cap, dtype=np.int64)
+        self.search = np.empty(cap, dtype=np.int64)
+        self.dist = np.empty(cap, dtype=np.float64)
+        self.size = 0
+
+    def append_block(self, vertex, search, dist) -> None:
+        k = len(vertex)
+        need = self.size + k
+        cap = len(self.vertex)
+        if need > cap:
+            while cap < need:
+                cap *= 2
+            for name in ("vertex", "search", "dist"):
+                old = getattr(self, name)
+                new = np.empty(cap, dtype=old.dtype)
+                new[: self.size] = old[: self.size]
+                setattr(self, name, new)
+        self.vertex[self.size : need] = vertex
+        self.search[self.size : need] = search
+        self.dist[self.size : need] = dist
+        self.size = need
+
+    def views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            self.vertex[: self.size],
+            self.search[: self.size],
+            self.dist[: self.size],
+        )
+
+
+def _settled_spaces(
+    ucsr: DirectedCSR, nodes: Sequence[int], chunk: int
+) -> Iterator[tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+    """Stall-filtered upward search spaces, ``chunk`` sources at a time.
+
+    Yields ``(base, rows, verts, dists)``: search ``base + rows[k]``
+    settled vertex ``verts[k]`` at distance ``dists[k]`` (row-major, so
+    entries of one search are contiguous and searches appear in input
+    order).
+    """
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+    mat = ucsr.matrix()
+    idx = np.asarray(nodes, dtype=np.int64)
+    chunk = max(chunk, _SWEEP_BUDGET // max(1, ucsr.n))
+    for a in range(0, len(idx), chunk):
+        dist = _scipy_dijkstra(mat, directed=True, indices=idx[a : a + chunk])
+        rows, verts = np.nonzero(np.isfinite(dist))
+        labels = dist[rows, verts]
+        keep = ~ucsr.stalled_entries(dist, rows, verts, labels)
+        yield a, rows[keep], verts[keep], labels[keep]
+
+
+def _group_by_vertex(
+    vertex: np.ndarray, search: np.ndarray, dist: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group ``(vertex, search, dist)`` entries into CSR-style buckets."""
+    order = np.argsort(vertex, kind="stable")  # per-vertex: search-ordered
+    counts = np.bincount(vertex, minlength=n)
+    indptr = np.empty(n + 1, dtype=np.int64)
+    indptr[0] = 0
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, search[order], dist[order]
+
+
+def _fold_grouped(
+    table: np.ndarray,
+    fwd: tuple[np.ndarray, np.ndarray, np.ndarray],
+    bwd: tuple[np.ndarray, np.ndarray, np.ndarray],
+) -> None:
+    """Lower ``table[s, t]`` to ``d_s + d_t`` over every meeting vertex.
+
+    Both sides are vertex-grouped bucket triples from
+    :func:`_group_by_vertex`; a vertex ``v`` contributes the cross
+    product of its forward entries ``(s, d_s)`` and backward entries
+    ``(t, d_t)``. Three regimes, split per vertex by candidate count:
+
+    - the long tail of small buckets folds as one batched
+      ``np.minimum.at`` scatter over all their candidates (blocked to
+      bound the temporary index arrays);
+    - mid-sized buckets fold as dense outer blocks through flat fancy
+      indexing — within one vertex each search index appears at most
+      once, so the gathered read-modify-write block touches unique
+      cells and is exact;
+    - near-universal peaks — the top of the hierarchy sits in nearly
+      every search space, so its buckets hold ~|T| entries and dominate
+      the candidate count — fold as inf-padded row vectors (a pad entry
+      never lowers a cell) swept over the table in L2-sized row blocks:
+      the table block stays hot across all peaks, so each peak costs
+      two fused passes over cached memory instead of a strided scatter.
+
+    When both sides are the *same* grouping (the symmetric TNR table),
+    the candidate set is symmetric — ``d_i + d_j`` at ``v`` serves both
+    ``(i, j)`` and ``(j, i)`` — so every tier folds only ``i <= j`` and
+    one ``min(table, table.T)`` mirror finishes the job at half the
+    candidate volume.
+
+    The fold is a pure minimum over float64 candidate sums, so the
+    result is independent of evaluation order and tiering —
+    bit-identical to the legacy per-vertex scatter.
+    """
+    f_indptr, f_search, f_dist = fwd
+    b_indptr, b_search, b_dist = bwd
+    symmetric = fwd is bwd
+    nf = np.diff(f_indptr)
+    nb = np.diff(b_indptr)
+    active = np.flatnonzero((nf > 0) & (nb > 0))
+    if len(active) == 0:
+        return
+    prod = nf[active] * nb[active]
+    n_sources, n_targets = table.shape
+    small = active[prod <= _DENSE_CUTOFF]
+    rest = active[prod > _DENSE_CUTOFF]
+    full = rest[prod[prod > _DENSE_CUTOFF] >= _PEAK_FRAC * n_sources * n_targets]
+    mid = rest[prod[prod > _DENSE_CUTOFF] < _PEAK_FRAC * n_sources * n_targets]
+    flat_table = table.ravel()
+
+    def cross_block(sel: np.ndarray):
+        """Flat candidate (count-per-vertex, table index, value) arrays
+        for the cross products of ``sel``'s buckets, vertex-major; in
+        the symmetric case only the ``i <= j`` half is emitted."""
+        mf = nf[sel].astype(np.int64)
+        mb = nb[sel].astype(np.int64)
+        c = mf * mb
+        # Two-level repeat, no per-element division: enumerate forward
+        # positions row-major (each repeated by its vertex's backward
+        # count), then lay the backward positions out cyclically per row.
+        n_rows = int(mf.sum())
+        row_owner = np.repeat(np.arange(len(sel)), mf)
+        row_within = np.arange(n_rows, dtype=np.int64) - np.repeat(
+            np.cumsum(mf) - mf, mf
+        )
+        fpos_row = f_indptr[sel][row_owner] + row_within
+        reps = mb[row_owner]
+        total = int(c.sum())
+        owner = np.repeat(row_owner, reps)
+        fpos = np.repeat(fpos_row, reps)
+        col_within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(reps) - reps, reps
+        )
+        bpos = np.repeat(b_indptr[sel][row_owner], reps) + col_within
+        rows = f_search[fpos]
+        cols = b_search[bpos]
+        vals = f_dist[fpos] + b_dist[bpos]
+        if symmetric:
+            keep = rows <= cols
+            c = np.bincount(owner[keep], minlength=len(sel)).astype(np.int64)
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        return c, rows * np.int64(n_targets) + cols, vals
+
+    def blocks(sel: np.ndarray):
+        """Split ``sel`` into runs whose cross products stay under the
+        ``_FOLD_BLOCK`` temporary-array budget."""
+        ends = np.cumsum((nf[sel] * nb[sel]).astype(np.int64))
+        lo = 0
+        while lo < len(sel):
+            hi = int(
+                np.searchsorted(ends, (ends[lo - 1] if lo else 0) + _FOLD_BLOCK,
+                                "left")
+            ) + 1
+            hi = min(max(hi, lo + 1), len(sel))
+            yield sel[lo:hi]
+            lo = hi
+
+    # Small tier: one np.minimum.at scatter per block of candidates.
+    for sel in blocks(small):
+        _, idx, vals = cross_block(sel)
+        if len(idx):
+            np.minimum.at(flat_table, idx, vals)
+
+    # Mid tier: per vertex, a dense outer fold through flat fancy
+    # indexing — within one vertex each search index appears at most
+    # once, so the gathered read-modify-write touches unique cells.
+    if len(mid):
+        triu_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for v in mid.tolist():
+            fsl = slice(f_indptr[v], f_indptr[v + 1])
+            rows, dr = f_search[fsl], f_dist[fsl]
+            if symmetric:
+                m = len(rows)
+                iu = triu_cache.get(m)
+                if iu is None:
+                    iu = triu_cache[m] = np.triu_indices(m)
+                idx = rows[iu[0]] * n_targets + rows[iu[1]]
+                vals = dr[iu[0]] + dr[iu[1]]
+            else:
+                bsl = slice(b_indptr[v], b_indptr[v + 1])
+                cols, dc = b_search[bsl], b_dist[bsl]
+                idx = (rows[:, None] * n_targets + cols[None, :]).ravel()
+                vals = (dr[:, None] + dc[None, :]).ravel()
+            sub = flat_table[idx]
+            np.minimum(sub, vals, out=sub)
+            flat_table[idx] = sub
+
+    if len(full):
+        p = len(full)
+        df = np.full((p, n_sources), INF)
+        for k, v in enumerate(full.tolist()):
+            sl = slice(f_indptr[v], f_indptr[v + 1])
+            df[k, f_search[sl]] = f_dist[sl]
+        if symmetric:
+            db = df
+        else:
+            db = np.full((p, n_targets), INF)
+            for k, v in enumerate(full.tolist()):
+                sl = slice(b_indptr[v], b_indptr[v + 1])
+                db[k, b_search[sl]] = b_dist[sl]
+        blk = min(n_sources, max(16, _PEAK_BLOCK // max(1, n_targets)))
+        scratch = np.empty(blk * n_targets)
+        for a in range(0, n_sources, blk):
+            b = min(a + blk, n_sources)
+            cl = a if symmetric else 0  # upper-triangle blocks only
+            tblk = table[a:b, cl:]
+            sblk = scratch[: (b - a) * (n_targets - cl)].reshape(
+                b - a, n_targets - cl
+            )
+            for k in range(p):
+                np.add(df[k, a:b, None], db[k, None, cl:], out=sblk)
+                np.minimum(tblk, sblk, out=tblk)
+
+    if symmetric:
+        np.minimum(table, table.T, out=table)
+
+
+def _many_to_many_csr(
+    ch: ContractionHierarchy,
+    ucsr: DirectedCSR,
+    sources: Sequence[int],
+    targets: Sequence[int],
+    dtype,
+    chunk: int,
+) -> np.ndarray:
+    src = [int(s) for s in sources]
+    tgt = [int(t) for t in targets]
+    table = np.full((len(src), len(tgt)), INF, dtype=np.float64)
+    if not src or not tgt:
+        return table.astype(dtype)
+
+    store = _EntryStore(BUCKET_CAPACITY_HINT * len(tgt))
+    for base, rows, verts, dists in _settled_spaces(ucsr, tgt, chunk):
+        store.append_block(verts, rows + base, dists)
+    bwd = _group_by_vertex(*store.views(), ucsr.n)
+
+    if src == tgt:
+        # Symmetric (the TNR access-node table): the backward sweep's
+        # buckets double as the forward settled sets.
+        fwd = bwd
+    else:
+        fstore = _EntryStore(BUCKET_CAPACITY_HINT * len(src))
+        for base, rows, verts, dists in _settled_spaces(ucsr, src, chunk):
+            fstore.append_block(verts, rows + base, dists)
+        fwd = _group_by_vertex(*fstore.views(), ucsr.n)
+    _fold_grouped(table, fwd, bwd)
+    return table.astype(dtype)
 
 
 def many_to_many(
     ch: ContractionHierarchy,
     sources: Sequence[int],
     targets: Sequence[int],
+    dtype=np.float32,
+    chunk: int = SEARCH_CHUNK,
 ) -> np.ndarray:
     """Exact distance table ``table[i][j] = dist(sources[i], targets[j])``.
 
-    ``float32`` output (the paper's TNR tables store distances compactly;
-    our integer travel-time weights fit float32 exactly up to 2^24, and
-    the tests compare against Dijkstra at full precision before the
-    cast). Unreachable pairs hold ``inf``.
+    ``float32`` output by default (the paper's TNR tables store
+    distances compactly; our integer travel-time weights fit float32
+    exactly up to 2^24) — pass ``dtype=np.float64`` for the serve path,
+    where answers must match per-pair queries bit-for-bit at any
+    magnitude. Unreachable pairs hold ``inf``.
+
+    Runs on the flat-array engine (module docstring) unless
+    ``REPRO_NO_CSR=1`` / missing scipy routes it through the legacy
+    pure-Python buckets; both produce bit-identical tables.
+    """
+    ucsr = _flat_engine(ch)
+    if ucsr is not None:
+        return _many_to_many_csr(ch, ucsr, sources, targets, dtype, chunk)
+    return _many_to_many_py(ch, sources, targets, dtype)
+
+
+def _many_to_many_py(
+    ch: ContractionHierarchy,
+    sources: Sequence[int],
+    targets: Sequence[int],
+    dtype=np.float32,
+) -> np.ndarray:
+    """Legacy dict-bucket implementation (the differential control).
 
     When ``sources`` and ``targets`` are the same sequence (the TNR
     access-node table), each upward search is run once and reused on
@@ -79,13 +454,14 @@ def many_to_many(
                     total = d + dt
                     if total < row[j]:
                         row[j] = total
-    return table.astype(np.float32)
+    return table.astype(dtype)
 
 
 def many_to_many_sparse(
     ch: ContractionHierarchy,
     nodes: Sequence[int],
     wanted: Callable[[int, int], bool],
+    chunk: int = SEARCH_CHUNK,
 ) -> dict[tuple[int, int], float]:
     """Pairwise distances among ``nodes``, keeping only wanted pairs.
 
@@ -98,6 +474,61 @@ def many_to_many_sparse(
     Keys are ``(i, j)`` index pairs with ``wanted(i, j)`` true;
     unreachable wanted pairs are absent (treat as ``inf``).
     """
+    ucsr = _flat_engine(ch)
+    if ucsr is not None:
+        return _many_to_many_sparse_csr(ch, ucsr, nodes, wanted, chunk)
+    return _many_to_many_sparse_py(ch, nodes, wanted)
+
+
+def _many_to_many_sparse_csr(
+    ch: ContractionHierarchy,
+    ucsr: DirectedCSR,
+    nodes: Sequence[int],
+    wanted: Callable[[int, int], bool],
+    chunk: int,
+) -> dict[tuple[int, int], float]:
+    """Flat-engine sparse variant: fold in row blocks, filter, discard.
+
+    Never materialises the dense ``k × k`` table — row blocks are
+    folded, their finite wanted entries copied out, and the block
+    dropped, keeping peak memory at ``O(block × k)``.
+    """
+    ids = [int(v) for v in nodes]
+    result: dict[tuple[int, int], float] = {}
+    k = len(ids)
+    if k == 0:
+        return result
+
+    store = _EntryStore(BUCKET_CAPACITY_HINT * k)
+    for base, rows, verts, dists in _settled_spaces(ucsr, ids, chunk):
+        store.append_block(verts, rows + base, dists)
+    bwd = _group_by_vertex(*store.views(), ucsr.n)
+
+    verts, searches, dists = store.views()  # searches are non-decreasing
+    block = max(1, min(k, (1 << 21) // k))
+    for lo in range(0, k, block):
+        hi = min(lo + block, k)
+        a = int(np.searchsorted(searches, lo, "left"))
+        b = int(np.searchsorted(searches, hi, "left"))
+        sub = np.full((hi - lo, k), INF, dtype=np.float64)
+        fwd = _group_by_vertex(
+            verts[a:b], searches[a:b] - lo, dists[a:b], ucsr.n
+        )
+        _fold_grouped(sub, fwd, bwd)
+        for i in range(lo, hi):
+            row = sub[i - lo]
+            for j in np.flatnonzero(np.isfinite(row)).tolist():
+                if wanted(i, j):
+                    result[(i, j)] = float(row[j])
+    return result
+
+
+def _many_to_many_sparse_py(
+    ch: ContractionHierarchy,
+    nodes: Sequence[int],
+    wanted: Callable[[int, int], bool],
+) -> dict[tuple[int, int], float]:
+    """Legacy dict-bucket sparse variant (the differential control)."""
     buckets: dict[int, list[tuple[int, float]]] = {}
     for j, t in enumerate(nodes):
         for v, d in ch.upward_search(t).items():

@@ -74,6 +74,20 @@ class ContractionHierarchy:
         best, _, _, _ = self._search(source, target)
         return best
 
+    def distance_table(self, sources, targets) -> "np.ndarray":
+        """Batched distances: ``table[i][j] = dist(sources[i], targets[j])``.
+
+        Runs the bucket-based many-to-many algorithm (one upward sweep
+        per endpoint instead of one bidirectional search per pair) in
+        float64, so every entry equals the per-pair :meth:`distance`
+        answer exactly. Unreachable pairs hold ``inf``.
+        """
+        import numpy as np
+
+        from repro.core.ch.many_to_many import many_to_many
+
+        return many_to_many(self, sources, targets, dtype=np.float64)
+
     def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
         """Shortest path query: upward search, then shortcut expansion."""
         best, meet, fparent, bparent = self._search(source, target)

@@ -342,6 +342,15 @@ def flawed_cell_access(graph: Graph, grid: TNRGrid, cell: int) -> CellAccess:
     return CellAccess(cell, access_nodes, vertex_distances)
 
 
+def transit_nodes(cell_access: dict[int, CellAccess]) -> list[int]:
+    """Sorted union of every cell's access nodes — the global transit
+    node set of §3.3, i.e. the row/column order of the ``I1`` table."""
+    transit: set[int] = set()
+    for info in cell_access.values():
+        transit.update(info.access_nodes)
+    return sorted(transit)
+
+
 def _cell_job(context, cell: int) -> CellAccess:
     """One cell's access computation (top level for the worker pool)."""
     graph, grid, flawed = context

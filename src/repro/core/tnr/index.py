@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.core.ch.many_to_many import many_to_many
 from repro.core.ch.query import ContractionHierarchy
-from repro.core.tnr.access_nodes import CellAccess, compute_access_nodes
+from repro.core.tnr.access_nodes import (
+    CellAccess,
+    compute_access_nodes,
+    transit_nodes as collect_transit_nodes,
+)
 from repro.core.tnr.grid import TNRGrid
 from repro.graph.graph import Graph
 
@@ -103,10 +107,7 @@ def build_tnr(
     )
     stats.seconds_access_nodes = time.perf_counter() - start
 
-    transit: set[int] = set()
-    for info in cell_access.values():
-        transit.update(info.access_nodes)
-    transit_nodes = sorted(transit)
+    transit_nodes = collect_transit_nodes(cell_access)
     t_index = {v: i for i, v in enumerate(transit_nodes)}
     stats.n_transit_nodes = len(transit_nodes)
     nonempty = [info for info in cell_access.values() if info.access_nodes]
@@ -116,7 +117,7 @@ def build_tnr(
         ) / len(nonempty)
 
     start = time.perf_counter()
-    table = many_to_many(ch, transit_nodes, transit_nodes)
+    table = many_to_many(ch, transit_nodes, transit_nodes, dtype=np.float32)
     stats.seconds_table = time.perf_counter() - start
 
     empty_idx = np.empty(0, dtype=np.int32)

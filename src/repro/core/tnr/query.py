@@ -133,6 +133,47 @@ class TransitNodeRouting:
         self.stats.answered_by_table += 1
         return self._table_distance(source, target)
 
+    def distance_table(self, sources, targets) -> np.ndarray:
+        """Batched distances ``table[i][j] = dist(sources[i], targets[j])``.
+
+        Answerable pairs (Equation 1) read the transit table directly;
+        the rest are delegated to the fallback *in one batch* — its
+        ``distance_table`` over the distinct unanswerable sources ×
+        targets when it has one, per-pair queries otherwise. Entries
+        equal the per-pair :meth:`distance` answers exactly.
+        """
+        src = [int(s) for s in sources]
+        tgt = [int(t) for t in targets]
+        out = np.empty((len(src), len(tgt)), dtype=np.float64)
+        pending: list[tuple[int, int]] = []
+        for i, s in enumerate(src):
+            row = out[i]
+            for j, t in enumerate(tgt):
+                if s == t:
+                    row[j] = 0.0
+                elif self.index.answerable(s, t):
+                    self.stats.answered_by_table += 1
+                    row[j] = self._table_distance(s, t)
+                else:
+                    self.stats.answered_by_fallback += 1
+                    pending.append((i, j))
+        if pending:
+            f_src = sorted({src[i] for i, _ in pending})
+            f_tgt = sorted({tgt[j] for _, j in pending})
+            table_fn = getattr(self.fallback, "distance_table", None)
+            if table_fn is not None:
+                sub = np.asarray(table_fn(f_src, f_tgt), dtype=np.float64)
+            else:
+                sub = np.array(
+                    [[self.fallback.distance(a, b) for b in f_tgt] for a in f_src],
+                    dtype=np.float64,
+                )
+            si = {v: k for k, v in enumerate(f_src)}
+            ti = {v: k for k, v in enumerate(f_tgt)}
+            for i, j in pending:
+                out[i, j] = sub[si[src[i]], ti[tgt[j]]]
+        return out
+
     def path(self, source: int, target: int) -> tuple[float, list[int] | None]:
         """Shortest path query by greedy neighbour walking (§3.3)."""
         grid = self.index.grid

@@ -295,6 +295,19 @@ class CSRGraph:
             )
         return _scipy_dijkstra(self.matrix(), directed=True, indices=src)
 
+    def distance_table(self, sources, targets) -> np.ndarray:
+        """``(len(sources), len(targets))`` exact distance matrix.
+
+        The batched serve primitive for the index-free baseline: one
+        compiled multi-source sweep, then a column gather. Unreachable
+        pairs hold ``inf``.
+        """
+        src = np.asarray(sources, dtype=np.int64)
+        tgt = np.asarray(targets, dtype=np.int64)
+        if len(src) == 0 or len(tgt) == 0:
+            return np.empty((len(src), len(tgt)), dtype=np.float64)
+        return self.distances(src)[:, tgt]
+
     def _derive_parents(self, dist: np.ndarray, sources: np.ndarray) -> np.ndarray:
         """Tie-broken parents for a ``(k, n)`` distance block.
 
@@ -363,6 +376,137 @@ class CSRGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CSRGraph(n={self.n}, m={self.m})"
+
+
+class DirectedCSR:
+    """Flat arc arrays of a *directed* graph.
+
+    The road network itself is undirected (each edge stored as two
+    arcs inside :class:`CSRGraph`); this is the same layout for graphs
+    that are genuinely one-way — most importantly the CH *upward*
+    graph, whose arcs only lead to higher-ranked vertices. The
+    many-to-many engine (:mod:`repro.core.ch.many_to_many`) runs its
+    bucketed sweeps on this view.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "weights", "_matrix", "_rstarts", "_rempty")
+
+    def __init__(self, indptr, indices, weights) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int32)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self.n = len(self.indptr) - 1
+        self._matrix = None
+        self._rstarts = None
+        self._rempty = None
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Sequence[tuple[int, float]]]
+    ) -> "DirectedCSR":
+        """Build from per-vertex ``(head, weight)`` lists, head-sorted."""
+        n = len(rows)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        for u, arcs in enumerate(rows):
+            indptr[u + 1] = len(arcs)
+        np.cumsum(indptr, out=indptr)
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int32)
+        weights = np.empty(nnz, dtype=np.float64)
+        for u, arcs in enumerate(rows):
+            a = int(indptr[u])
+            for k, (v, w) in enumerate(sorted(arcs)):
+                indices[a + k] = v
+                weights[a + k] = w
+        return cls(indptr, indices, weights)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    def matrix(self):
+        """The scipy ``csr_matrix`` view (shares the arc arrays)."""
+        if self._matrix is None:
+            if not HAVE_SCIPY:
+                raise RuntimeError("scipy is required for the CSR kernels")
+            self._matrix = csr_matrix(
+                (self.weights, self.indices, self.indptr),
+                shape=(self.n, self.n),
+                copy=False,
+            )
+        return self._matrix
+
+    def neighbor_min_bounds(self, dist: np.ndarray) -> np.ndarray:
+        """``bound[i, u] = min over arcs (u, v, w) of dist[i, v] + w``.
+
+        The vectorised form of the stall-on-demand test: a settled
+        label ``dist[i, u]`` is *stalled* when ``bound[i, u]`` beats it
+        — some neighbour reaches ``u`` cheaper than the label claims,
+        so ``u`` cannot top an optimal up-down path. Vertices without
+        outgoing arcs get ``inf`` (never stalled).
+        """
+        out = np.full_like(dist, INF)
+        if self.nnz == 0:
+            return out
+        if self._rstarts is None:
+            nonempty = self.indptr[:-1] < self.indptr[1:]
+            self._rempty = ~nonempty
+            self._rstarts = self.indptr[:-1][nonempty].astype(np.intp)
+        cand = dist[:, self.indices] + self.weights
+        out[:, ~self._rempty] = np.minimum.reduceat(cand, self._rstarts, axis=1)
+        return out
+
+    def stalled_entries(
+        self,
+        dist: np.ndarray,
+        rows: np.ndarray,
+        verts: np.ndarray,
+        labels: np.ndarray,
+    ) -> np.ndarray:
+        """Per settled label ``(rows[k], verts[k])``: is it *stalled* —
+        does some arc ``(verts[k], v, w)`` have
+        ``dist[rows[k], v] + w < labels[k]``?
+
+        Same predicate as ``neighbor_min_bounds(dist) < dist`` but
+        evaluated only at the settled entries: the arc fan-out of each
+        entry is expanded flat (``O(sum of settled degrees)`` work)
+        instead of densely over every ``(search, vertex)`` cell, whose
+        unreachable-label comparisons and per-segment ``reduceat``
+        overhead dominate sparse search spaces like the CH upward
+        sweeps.
+        """
+        out = np.zeros(len(verts), dtype=bool)
+        if self.nnz == 0 or len(verts) == 0:
+            return out
+        deg = (self.indptr[verts + 1] - self.indptr[verts]).astype(np.intp)
+        total = int(deg.sum())
+        if total == 0:
+            return out
+        e = np.repeat(np.arange(len(verts), dtype=np.intp), deg)
+        within = np.arange(total, dtype=np.intp) - np.repeat(
+            np.cumsum(deg) - deg, deg
+        )
+        arc = self.indptr[verts].astype(np.intp)[e] + within
+        beat = (
+            dist[rows[e], self.indices[arc]] + self.weights[arc] < labels[e]
+        )
+        out[e[beat]] = True
+        return out
+
+    # Pickle the three arc arrays only (the scipy view and reduceat
+    # scratch rebuild lazily, same policy as CSRGraph).
+    def __getstate__(self):
+        return {
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "weights": self.weights,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__init__(state["indptr"], state["indices"], state["weights"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DirectedCSR(n={self.n}, nnz={self.nnz})"
 
 
 def _hops_from_parents(parent: np.ndarray, sources: np.ndarray) -> np.ndarray:

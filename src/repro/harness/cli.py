@@ -20,6 +20,11 @@ Inspect, verify or reset the disk cache::
     repro-harness cache verify [--quarantine]
     repro-harness cache stats
     repro-harness cache clear
+
+Serve a workload of distance queries in batches of 64 (the batched
+distance endpoint; see docs/PERFORMANCE.md)::
+
+    repro-harness serve --technique ch --dataset DE --pairs 512
 """
 
 from __future__ import annotations
@@ -165,11 +170,89 @@ def _cache_main(argv: list[str]) -> int:
     return 1 if bad else 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness serve",
+        description=(
+            "Answer a workload of distance queries through the batched "
+            "endpoint (repro.harness.experiments.batched_distances)."
+        ),
+    )
+    parser.add_argument(
+        "--technique", default="ch", choices=("ch", "tnr", "dijkstra"),
+        help="which technique serves the batch (default: ch)",
+    )
+    parser.add_argument("--dataset", default="DE", help="dataset name (default: DE)")
+    parser.add_argument("--tier", default=None, help="dataset tier (tiny/small/medium)")
+    parser.add_argument(
+        "--pairs", type=int, default=512,
+        help="how many query pairs to serve (drawn from the Q-sets)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None,
+        help="pairs per batch (default: 64); 1 degrades to per-pair serving",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="re-answer every pair per-pair and assert exact agreement",
+    )
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    from repro.harness.experiments import DEFAULT_BATCH, batched_distances
+
+    kwargs = {}
+    if args.tier:
+        kwargs["tier"] = args.tier
+    registry = Registry(**kwargs)
+    technique = {
+        "ch": registry.ch,
+        "tnr": registry.tnr,
+        "dijkstra": registry.bidijkstra,
+    }[args.technique](args.dataset)
+
+    pairs = [p for qset in registry.q_sets(args.dataset) for p in qset.pairs]
+    if not pairs:
+        print("no query pairs available for this dataset/tier")
+        return 1
+    while len(pairs) < args.pairs:
+        pairs = pairs + pairs
+    pairs = pairs[: args.pairs]
+
+    batch = args.batch if args.batch else DEFAULT_BATCH
+    started = time.perf_counter()
+    distances = batched_distances(technique, pairs, batch_size=batch)
+    elapsed = time.perf_counter() - started
+    finite = distances[distances < float("inf")]
+    print(
+        f"served {len(pairs)} pairs through {technique.name} "
+        f"in batches of {batch}: {elapsed:.3f}s "
+        f"({len(pairs) / elapsed:.0f} pairs/s)"
+    )
+    print(
+        f"  reachable {len(finite)}/{len(pairs)}, "
+        f"mean distance {finite.mean():.1f}" if len(finite)
+        else f"  reachable 0/{len(pairs)}"
+    )
+    if args.check:
+        for (s, t), d in zip(pairs, distances.tolist()):
+            expect = technique.distance(s, t)
+            if d != expect:
+                print(f"MISMATCH ({s}, {t}): batched {d} != per-pair {expect}")
+                return 1
+        print(f"  per-pair check: all {len(pairs)} answers identical")
+    return 0
+
+
 def _main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiment:
         print("available experiments:")

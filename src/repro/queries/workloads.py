@@ -18,11 +18,21 @@ R-sets — bucketed by network distance:
 Sampling strategy: uniform rejection sampling is hopeless for the
 narrow buckets (Q1 accepts pairs within ~0.1% of the map side), so we
 sample a source uniformly and pick a partner from the set of vertices
-whose metric value lands in the bucket — for Q-sets via a KD-tree ring
-query, for R-sets via a Dijkstra ball from the source. A bucket that a
-dataset simply cannot populate (e.g. no vertex pairs that close) yields
-fewer pairs; the per-set ``requested`` vs ``len(pairs)`` counts make
-that visible rather than silently padding.
+whose metric value lands in the bucket — for Q-sets via one vectorised
+Chebyshev scan of the coordinate arrays per source (replacing the old
+KD-tree ring query plus per-candidate Python filter, whose filter pass
+dominated on the wide Q8–Q10 rings), for R-sets via a Dijkstra ball
+from the source (CSR SSSP kernel when available) bucketed with one
+``searchsorted`` over the bound edges. A bucket that a dataset simply
+cannot populate (e.g. no vertex pairs that close) yields fewer pairs;
+the per-set ``requested`` vs ``len(pairs)`` counts make that visible
+rather than silently padding.
+
+Both generators are deterministic in ``seed`` alone: the Q-set sampler
+is pure coordinate arithmetic, and the R-set sampler consumes distances
+that are bit-identical between the CSR and legacy SSSP paths, so
+``REPRO_NO_CSR`` / ``REPRO_FORCE_CSR`` do not change the emitted sets
+(``tests/test_workloads.py`` locks this in).
 """
 
 from __future__ import annotations
@@ -32,8 +42,8 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 
 import numpy as np
-from scipy.spatial import cKDTree
 
+from repro.graph.csr import MIN_N_SINGLE, kernel_for
 from repro.graph.graph import Graph
 
 #: The paper's workload-grid resolution (§4.2).
@@ -77,13 +87,13 @@ def linf_query_sets(
     rng = np.random.default_rng(seed)
     box = graph.bounding_box()
     cell = (box.side or 1.0) / grid
-    points = np.column_stack([graph.xs, graph.ys])
-    tree = cKDTree(points, balanced_tree=True)
+    xs = np.asarray(graph.xs, dtype=np.float64)
+    ys = np.asarray(graph.ys, dtype=np.float64)
 
     sets: list[QuerySet] = []
     for i in range(1, N_SETS + 1):
         lo, hi = (2 ** (i - 1)) * cell, (2**i) * cell
-        pairs = _sample_linf_pairs(graph, tree, points, lo, hi, pairs_per_set, rng)
+        pairs = _sample_linf_pairs(xs, ys, lo, hi, pairs_per_set, rng)
         sets.append(
             QuerySet(
                 name=f"Q{i}", index=i, lo=lo, hi=hi,
@@ -94,9 +104,8 @@ def linf_query_sets(
 
 
 def _sample_linf_pairs(
-    graph: Graph,
-    tree: cKDTree,
-    points: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
     lo: float,
     hi: float,
     count: int,
@@ -104,23 +113,22 @@ def _sample_linf_pairs(
 ) -> list[tuple[int, int]]:
     """Pairs with L∞ distance in ``[lo, hi)``.
 
-    For a random source, candidate partners are found with a Chebyshev
-    (p=∞) KD-tree ring query; sources whose ring is empty are skipped.
+    For a random source, one vectorised Chebyshev scan of the
+    coordinate arrays yields every partner in the ring at once; sources
+    with an empty ring are skipped (and consume no partner draw, so the
+    emitted sets depend on the seed alone). The source itself can never
+    be drawn: its own Chebyshev distance is 0 < ``lo``.
     """
-    n = graph.n
+    n = len(xs)
     pairs: list[tuple[int, int]] = []
     attempts = 0
     max_attempts = 60 * count
     while len(pairs) < count and attempts < max_attempts:
         attempts += 1
         s = int(rng.integers(n))
-        ring = tree.query_ball_point(points[s], hi, p=np.inf)
-        candidates = [
-            t
-            for t in ring
-            if t != s and graph.chebyshev_distance(s, t) >= lo
-        ]
-        if not candidates:
+        cheb = np.maximum(np.abs(xs - xs[s]), np.abs(ys - ys[s]))
+        candidates = np.flatnonzero((cheb >= lo) & (cheb < hi))
+        if len(candidates) == 0:
             continue
         t = candidates[int(rng.integers(len(candidates)))]
         pairs.append((s, int(t)))
@@ -138,10 +146,9 @@ def estimate_max_distance(graph: Graph, seed: int = 0, sweeps: int = 4) -> float
     start = int(rng.integers(graph.n))
     for _ in range(sweeps):
         dist = _sssp_distances(graph, start)
-        far, far_d = max(
-            ((v, d) for v, d in enumerate(dist) if not math.isinf(d)),
-            key=lambda item: item[1],
-        )
+        reach = np.flatnonzero(np.isfinite(dist))
+        far = int(reach[np.argmax(dist[reach])])
+        far_d = float(dist[far])
         if far_d > best:
             best = far_d
         start = far
@@ -164,6 +171,11 @@ def distance_query_sets(
     rng = np.random.default_rng(seed)
     ld = max_distance if max_distance is not None else estimate_max_distance(graph, seed)
     bounds = [((2.0 ** (i - 11)) * ld, (2.0 ** (i - 10)) * ld) for i in range(1, N_SETS + 1)]
+    # The bucket boundaries as one sorted edge array: vertex v lands in
+    # bucket searchsorted(edges, d, 'right') - 1, which realises the
+    # half-open invariant lo <= d < hi directly (no log2 rounding at
+    # the bucket edges).
+    edges = np.array([lo for lo, _ in bounds] + [bounds[-1][1]])
 
     buckets: list[list[tuple[int, int]]] = [[] for _ in range(N_SETS)]
     attempts = 0
@@ -174,16 +186,14 @@ def distance_query_sets(
         attempts += 1
         s = int(rng.integers(graph.n))
         dist = _sssp_distances(graph, s)
-        per_bucket: list[list[int]] = [[] for _ in range(N_SETS)]
-        for v, d in enumerate(dist):
-            if v == s or math.isinf(d) or d <= 0:
+        which = np.searchsorted(edges, dist, side="right") - 1
+        usable = np.isfinite(dist) & (dist > 0)
+        for k in range(N_SETS):
+            if len(buckets[k]) >= pairs_per_set:
                 continue
-            k = _bucket_index(d, ld)
-            if k is not None:
-                per_bucket[k].append(v)
-        for k, members in enumerate(per_bucket):
-            if members and len(buckets[k]) < pairs_per_set:
-                t = members[int(rng.integers(len(members)))]
+            members = np.flatnonzero(usable & (which == k))
+            if len(members):
+                t = int(members[int(rng.integers(len(members)))])
                 buckets[k].append((s, t))
     return [
         QuerySet(
@@ -194,20 +204,18 @@ def distance_query_sets(
     ]
 
 
-def _bucket_index(d: float, ld: float) -> int | None:
-    """R-bucket of network distance ``d``, or None when out of range."""
-    # Ri covers [2^(i-11) ld, 2^(i-10) ld) for i in 1..10.
-    ratio = d / ld
-    if ratio <= 0:
-        return None
-    k = math.floor(math.log2(ratio)) + 10  # i - 1
-    if 0 <= k < N_SETS:
-        return k
-    return None
+def _sssp_distances(graph: Graph, source: int) -> np.ndarray:
+    """Distance-only SSSP as a float64 array.
 
-
-def _sssp_distances(graph: Graph, source: int) -> list[float]:
-    """Distance-only SSSP (local copy keeps this module dependency-light)."""
+    Dispatches to the CSR kernel when available; the legacy heap loop
+    below is the fallback. Both return bit-identical distances (the
+    PR-2 kernel guarantee), which is what keeps the R-set sampler's
+    RNG draws — and hence the emitted sets — independent of the
+    ``REPRO_NO_CSR`` / ``REPRO_FORCE_CSR`` knobs.
+    """
+    csr = kernel_for(graph, MIN_N_SINGLE)
+    if csr is not None:
+        return csr.distances(np.array([source], dtype=np.int64))[0]
     n = graph.n
     dist = [math.inf] * n
     dist[source] = 0.0
@@ -222,4 +230,4 @@ def _sssp_distances(graph: Graph, source: int) -> list[float]:
             if nd < dist[v]:
                 dist[v] = nd
                 heappush(heap, (nd, v))
-    return dist
+    return np.asarray(dist, dtype=np.float64)

@@ -8,6 +8,7 @@ the interface contract of :class:`~repro.core.base.QueryTechnique`.
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -130,6 +131,68 @@ class TestProtocol:
         assert {t.name for t in (ch_co, tnr_co, silc_co, bidij_co, pcpd_de)} == {
             "CH", "TNR", "SILC", "Dijkstra", "PCPD"
         }
+
+
+class TestDESmallWorkloadRegression:
+    """TNR rebuilt on DE tier ``small``: every Q/R-set answer must match
+    bidirectional Dijkstra, per-pair and through the batched serve path.
+
+    This is the regression guard for the flat-array many-to-many
+    rewrite: the TNR table is built by ``many_to_many``, so a wrong
+    table entry surfaces here as a workload answer that disagrees with
+    the baseline.
+    """
+
+    @pytest.fixture(scope="class")
+    def registry(self):
+        from repro.harness.registry import Registry
+
+        return Registry(tier="small", pairs_per_set=20, cache="off")
+
+    @pytest.fixture(scope="class")
+    def tnr_small(self, registry):
+        return registry.tnr("DE")
+
+    @pytest.fixture(scope="class")
+    def baseline(self, registry):
+        return registry.bidijkstra("DE")
+
+    @pytest.fixture(scope="class")
+    def workload(self, registry):
+        return [
+            pair
+            for qset in registry.q_sets("DE") + registry.r_sets("DE")
+            for pair in qset.pairs
+        ]
+
+    def test_every_workload_answer_matches_dijkstra(
+        self, workload, tnr_small, baseline
+    ):
+        assert len(workload) > 100
+        for s, t in workload:
+            assert tnr_small.distance(s, t) == baseline.distance(s, t), (s, t)
+
+    def test_batched_serve_matches_per_pair_for_all_techniques(
+        self, registry, workload, tnr_small, baseline
+    ):
+        from repro.harness.experiments import batched_distances
+
+        pairs = workload[:192]
+        for tech in (tnr_small, registry.ch("DE"), baseline):
+            served = batched_distances(tech, pairs)
+            for (s, t), d in zip(pairs, served.tolist()):
+                assert d == tech.distance(s, t), (tech.name, s, t)
+
+    def test_distance_table_grids_agree_across_techniques(
+        self, registry, workload, tnr_small, baseline
+    ):
+        from repro.harness.experiments import distance_table
+
+        sources = sorted({s for s, _ in workload[:40]})
+        targets = sorted({t for _, t in workload[:40]})
+        expect = distance_table(baseline, sources, targets)
+        for tech in (tnr_small, registry.ch("DE")):
+            assert np.array_equal(distance_table(tech, sources, targets), expect)
 
 
 class TestSymmetry:

@@ -1,0 +1,221 @@
+"""Differential tests for the flat-array many-to-many CH engine.
+
+The CSR bucket engine (:mod:`repro.core.ch.many_to_many`) must produce
+tables *bit-identical* to the legacy dict-bucket implementation — and
+both must equal plain Dijkstra — because TNR stores the table verbatim
+and the two implementations are interchangeable behind ``REPRO_NO_CSR``.
+These tests drive both over adversarial small graphs × random
+source/target set shapes (overlapping, disjoint, symmetric, empty,
+singleton, unreachable components), cover the float32 cast boundary,
+and pin the bucket stores' grow-don't-truncate contract.
+"""
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import importlib
+
+# The ch package re-exports the many_to_many *function*, which shadows
+# the submodule in plain `import ... as` syntax.
+m2m = importlib.import_module("repro.core.ch.many_to_many")
+
+from repro.core.ch.contraction import build_ch  # noqa: E402
+from repro.core.ch.query import ContractionHierarchy
+from repro.core.dijkstra import dijkstra_distance
+from repro.graph.csr import HAVE_SCIPY
+from repro.graph.graph import Graph
+
+pytestmark = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy unavailable")
+
+DIFF = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@contextmanager
+def _mode(csr: bool):
+    """Pin the engine choice via the env knobs (restores on exit).
+
+    A plain contextmanager instead of monkeypatch: hypothesis @given
+    bodies run many times per test invocation, and both modes are
+    needed *inside* one example.
+    """
+    set_key = "REPRO_FORCE_CSR" if csr else "REPRO_NO_CSR"
+    saved = {k: os.environ.pop(k, None) for k in ("REPRO_FORCE_CSR", "REPRO_NO_CSR")}
+    os.environ[set_key] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop(set_key, None)
+        for k, v in saved.items():
+            if v is not None:
+                os.environ[k] = v
+
+
+@st.composite
+def graph_and_sets(draw):
+    """Random small CH plus a (sources, targets) pair of index sets.
+
+    The set shapes deliberately cover the tricky cases: either side may
+    be empty or a singleton, the sides may be disjoint, overlap, or be
+    the *same list* (the symmetric fast path), vertices repeat, and the
+    graph is sometimes disconnected so unreachable (inf) entries occur.
+    """
+    n = draw(st.integers(2, 20))
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40)),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    g = Graph([c[0] for c in coords], [c[1] for c in coords])
+    for v in range(1, n):
+        if draw(st.integers(0, 9)) < 8:  # sometimes disconnected
+            u = draw(st.integers(0, v - 1))
+            g.add_edge(u, v, float(draw(st.integers(1, 5))))
+    for _ in range(draw(st.integers(0, n))):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b and not g.has_edge(a, b):
+            g.add_edge(a, b, float(draw(st.integers(1, 5))))
+    g.freeze()
+
+    vertex = st.integers(0, n - 1)
+    sources = draw(st.lists(vertex, min_size=0, max_size=8))
+    if draw(st.booleans()):  # symmetric: the TNR table shape
+        targets = list(sources)
+    else:
+        targets = draw(st.lists(vertex, min_size=0, max_size=8))
+    return g, sources, targets
+
+
+class TestDifferential:
+    @DIFF
+    @given(case=graph_and_sets())
+    def test_csr_matches_legacy_and_dijkstra(self, case):
+        g, sources, targets = case
+        ch = ContractionHierarchy(g, build_ch(g))
+        for dtype in (np.float32, np.float64):
+            with _mode(csr=True):
+                flat = m2m.many_to_many(ch, sources, targets, dtype=dtype)
+            with _mode(csr=False):
+                legacy = m2m.many_to_many(ch, sources, targets, dtype=dtype)
+            assert flat.dtype == legacy.dtype == dtype
+            assert np.array_equal(flat, legacy)  # bit-for-bit, inf included
+        for i, s in enumerate(sources):
+            for j, t in enumerate(targets):
+                assert flat[i, j] == dijkstra_distance(g, s, t)
+
+    @DIFF
+    @given(case=graph_and_sets())
+    def test_sparse_csr_matches_legacy(self, case):
+        g, sources, _ = case
+        ch = ContractionHierarchy(g, build_ch(g))
+        def wanted(i, j):
+            return (i + j) % 2 == 0
+
+        with _mode(csr=True):
+            flat = m2m.many_to_many_sparse(ch, sources, wanted)
+        with _mode(csr=False):
+            legacy = m2m.many_to_many_sparse(ch, sources, wanted)
+        assert flat == legacy
+        for (i, j), d in flat.items():
+            assert wanted(i, j)
+            assert d == dijkstra_distance(g, sources[i], sources[j])
+
+    def test_distance_table_endpoint_matches_per_pair(self, co_tiny, ch_co, rng):
+        sources = [rng.randrange(co_tiny.n) for _ in range(9)]
+        targets = [rng.randrange(co_tiny.n) for _ in range(13)]
+        table = ch_co.distance_table(sources, targets)
+        assert table.dtype == np.float64
+        for i, s in enumerate(sources):
+            for j, t in enumerate(targets):
+                assert table[i, j] == ch_co.distance(s, t)
+
+
+class TestFloat32Boundary:
+    def test_cast_boundary_is_bit_identical_across_engines(self):
+        # Path weights near and beyond 2^24: float32 rounds there, and
+        # both engines must round identically (cast from the same
+        # float64 sums). 2^24 + 3 is not float32-representable.
+        big = float(2**24)
+        weights = [big / 2, big / 2, 3.0, 5.0]
+        xs = [float(i) for i in range(5)]
+        g = Graph(xs, [0.0] * 5, [(i, i + 1, w) for i, w in enumerate(weights)])
+        g.freeze()
+        ch = ContractionHierarchy(g, build_ch(g))
+        nodes = list(range(5))
+        with _mode(csr=True):
+            flat32 = m2m.many_to_many(ch, nodes, nodes, dtype=np.float32)
+            flat64 = m2m.many_to_many(ch, nodes, nodes, dtype=np.float64)
+        with _mode(csr=False):
+            legacy32 = m2m.many_to_many(ch, nodes, nodes, dtype=np.float32)
+            legacy64 = m2m.many_to_many(ch, nodes, nodes, dtype=np.float64)
+        assert np.array_equal(flat32, legacy32)
+        assert np.array_equal(flat64, legacy64)
+        # The float64 tables are exact; the float32 cast genuinely
+        # rounded somewhere past 2^24 — the boundary is being exercised.
+        assert flat64[0, 3] == big + 3.0
+        assert float(flat32[0, 3]) != flat64[0, 3]  # the cast rounded
+        assert flat32[0, 3] == np.float32(flat64[0, 3])
+
+
+class TestBucketGrowth:
+    def test_entry_store_grows_instead_of_truncating(self):
+        store = m2m._EntryStore(capacity=4)
+        blocks = [
+            (np.arange(3), np.zeros(3, dtype=np.int64), np.full(3, 1.5)),
+            (np.arange(7), np.ones(7, dtype=np.int64), np.full(7, 2.5)),
+            (np.arange(40), np.full(40, 2, dtype=np.int64), np.full(40, 3.5)),
+        ]
+        for v, s, d in blocks:
+            store.append_block(v, s, d)
+        vertex, search, dist = store.views()
+        assert store.size == len(vertex) == 50  # nothing dropped
+        expect_v = np.concatenate([b[0] for b in blocks])
+        expect_s = np.concatenate([b[1] for b in blocks])
+        expect_d = np.concatenate([b[2] for b in blocks])
+        assert np.array_equal(vertex, expect_v)
+        assert np.array_equal(search, expect_s)
+        assert np.array_equal(dist, expect_d)
+
+    def test_overflowing_preallocation_estimate_loses_no_entries(
+        self, co_tiny, ch_co, rng, monkeypatch
+    ):
+        # With the per-target estimate forced to one entry, every real
+        # search space overflows the preallocation immediately; the
+        # table must still match the legacy engine exactly.
+        sources = [rng.randrange(co_tiny.n) for _ in range(12)]
+        with _mode(csr=False):
+            legacy = m2m.many_to_many(ch_co, sources, sources)
+        monkeypatch.setattr(m2m, "BUCKET_CAPACITY_HINT", 1)
+        with _mode(csr=True):
+            flat = m2m.many_to_many(ch_co, sources, sources)
+        assert np.array_equal(flat, legacy)
+
+
+class TestDispatch:
+    def test_env_knobs_select_engine(self, monkeypatch):
+        g = Graph([0.0, 1.0, 2.0], [0.0] * 3, [(0, 1, 2.0), (1, 2, 3.0)])
+        g.freeze()
+        ch = ContractionHierarchy(g, build_ch(g))
+        monkeypatch.setenv("REPRO_NO_CSR", "1")
+        assert m2m._flat_engine(ch) is None
+        monkeypatch.delenv("REPRO_NO_CSR")
+        # n=3 is below the batch cutoff: legacy unless forced.
+        assert m2m._flat_engine(ch) is None
+        monkeypatch.setenv("REPRO_FORCE_CSR", "1")
+        engine = m2m._flat_engine(ch)
+        assert engine is not None
+        assert engine is ch.index.upward_csr()  # cached, not rebuilt
+
+    def test_default_engine_runs_flat_on_batch_sized_graphs(self, co_tiny, ch_co):
+        assert co_tiny.n >= 48
+        assert m2m._flat_engine(ch_co) is not None

@@ -1,6 +1,8 @@
 """Unit tests for the workload generators (§4.2 / Appendix E.2)."""
 
 import math
+import os
+from contextlib import contextmanager
 
 from repro.core.dijkstra import dijkstra_distance
 from repro.queries.workloads import (
@@ -10,6 +12,21 @@ from repro.queries.workloads import (
     estimate_max_distance,
     linf_query_sets,
 )
+
+
+@contextmanager
+def _mode(csr: bool):
+    """Pin the SSSP engine choice via the env knobs (restores on exit)."""
+    set_key = "REPRO_FORCE_CSR" if csr else "REPRO_NO_CSR"
+    saved = {k: os.environ.pop(k, None) for k in ("REPRO_FORCE_CSR", "REPRO_NO_CSR")}
+    os.environ[set_key] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop(set_key, None)
+        for k, v in saved.items():
+            if v is not None:
+                os.environ[k] = v
 
 
 class TestQSets:
@@ -80,6 +97,53 @@ class TestRSets:
     def test_top_bucket_may_be_sparse_but_exists_overall(self, co_tiny):
         sets = distance_query_sets(co_tiny, pairs_per_set=10, seed=6)
         assert sum(len(rs.pairs) for rs in sets) > 30
+
+
+class TestBucketInvariant:
+    """Every emitted pair satisfies ``lo <= metric < hi`` — no self
+    pairs, no boundary leakage at either end of any bucket."""
+
+    def test_every_q_pair_in_its_bucket(self, co_tiny):
+        for qs in linf_query_sets(co_tiny, pairs_per_set=20, seed=11):
+            for s, t in qs.pairs:
+                assert s != t
+                d = co_tiny.chebyshev_distance(s, t)
+                assert qs.lo <= d < qs.hi, (qs.name, s, t, d)
+
+    def test_every_r_pair_in_its_bucket(self, co_tiny):
+        for rs in distance_query_sets(co_tiny, pairs_per_set=6, seed=11):
+            for s, t in rs.pairs:
+                assert s != t
+                d = dijkstra_distance(co_tiny, s, t)
+                assert rs.lo <= d < rs.hi, (rs.name, s, t, d)
+
+
+class TestModeEquivalence:
+    """The emitted workloads must not depend on which SSSP engine runs:
+    the Q sampler is pure coordinate arithmetic and the R sampler
+    consumes bit-identical distances, so ``REPRO_NO_CSR`` vs
+    ``REPRO_FORCE_CSR`` yield the same sets draw for draw."""
+
+    def test_q_sets_identical_across_engines(self, co_tiny):
+        with _mode(csr=True):
+            a = [qs.pairs for qs in linf_query_sets(co_tiny, pairs_per_set=12, seed=3)]
+        with _mode(csr=False):
+            b = [qs.pairs for qs in linf_query_sets(co_tiny, pairs_per_set=12, seed=3)]
+        assert a == b
+
+    def test_r_sets_identical_across_engines(self, co_tiny):
+        with _mode(csr=True):
+            a = [rs.pairs for rs in distance_query_sets(co_tiny, pairs_per_set=6, seed=3)]
+        with _mode(csr=False):
+            b = [rs.pairs for rs in distance_query_sets(co_tiny, pairs_per_set=6, seed=3)]
+        assert a == b
+
+    def test_diameter_estimate_identical_across_engines(self, co_tiny):
+        with _mode(csr=True):
+            a = estimate_max_distance(co_tiny, seed=2)
+        with _mode(csr=False):
+            b = estimate_max_distance(co_tiny, seed=2)
+        assert a == b
 
 
 class TestDiameterEstimate:
