@@ -1,0 +1,139 @@
+"""Gate the disabled-instrumentation cost of the point-query hot path.
+
+The observability layer promises a **no-op fast path**: with
+``REPRO_OBS`` off (the default), the only cost on the Dijkstra
+point-query path is one module-attribute load + branch in
+``dijkstra_distance``. This script measures that promise directly:
+
+- **measured** — the public ``dijkstra_distance`` with instrumentation
+  disabled (dispatch includes the ``obs.ENABLED`` check);
+- **control** — the same dispatch hand-inlined against the
+  uninstrumented ``_distance_kernel`` / ``_distance_py`` bodies, i.e.
+  exactly what the call looked like before the obs layer existed.
+
+Both sides run the identical workload best-of-N in the same process,
+so the ratio is robust where absolute milliseconds are not. Exits 1
+if measured/control exceeds ``1 + --tolerance`` (default 2%) in either
+kernel mode. Used by the CI overhead-smoke step (see
+docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import random
+import sys
+import time
+from contextlib import contextmanager
+
+from repro import obs
+from repro.core.dijkstra import _distance_kernel, _distance_py, dijkstra_distance
+from repro.datasets import load_dataset
+from repro.graph.csr import kernel_for
+
+SEED = 20120827
+
+
+@contextmanager
+def _mode(csr: bool):
+    """Force one side of the CSR dispatch (mirrors perf_baseline.py)."""
+    saved = {k: os.environ.pop(k, None) for k in ("REPRO_NO_CSR", "REPRO_FORCE_CSR")}
+    os.environ["REPRO_FORCE_CSR" if csr else "REPRO_NO_CSR"] = "1"
+    try:
+        yield
+    finally:
+        for k in ("REPRO_NO_CSR", "REPRO_FORCE_CSR"):
+            os.environ.pop(k, None)
+            if saved[k] is not None:
+                os.environ[k] = saved[k]
+
+
+def _control(g, source: int, target: int) -> float:
+    """The pre-obs dispatch: kernel_for probe, no ENABLED check."""
+    csr = kernel_for(g, 0)
+    if csr is not None:
+        return _distance_kernel(g, csr, source, target)
+    return _distance_py(g, source, target)
+
+
+def _best_of(fn, pairs, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            fn(s, t)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_mode(graph, pairs, repeats: int) -> dict:
+    """Interleaved best-of-N of measured vs control on one dispatch side."""
+    measured = math.inf
+    control = math.inf
+    # Interleave the two sides so frequency scaling and cache state hit
+    # both equally; one warmup round is discarded.
+    for side_fn, _ in ((dijkstra_distance, 0), (_control, 1)):
+        for s, t in pairs[:8]:
+            side_fn(graph, s, t)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            dijkstra_distance(graph, s, t)
+        measured = min(measured, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            _control(graph, s, t)
+        control = min(control, time.perf_counter() - t0)
+    return {
+        "measured_ms": round(measured * 1e3, 3),
+        "control_ms": round(control * 1e3, 3),
+        "ratio": round(measured / control, 4) if control > 0 else math.inf,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="DE")
+    parser.add_argument("--tier", default="small")
+    parser.add_argument("--pairs", type=int, default=300)
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="best-of-N rounds per side (default: 7)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="maximum allowed overhead fraction (default: 0.02)")
+    args = parser.parse_args(argv)
+
+    obs.set_enabled(False)  # the whole point: measure the disabled path
+
+    graph = load_dataset(args.dataset, tier=args.tier)
+    rng = random.Random(SEED)
+    pairs = [
+        (rng.randrange(graph.n), rng.randrange(graph.n))
+        for _ in range(args.pairs)
+    ]
+    print(f"obs_overhead {args.dataset}/{args.tier}: n={graph.n} "
+          f"pairs={len(pairs)} repeats={args.repeats} "
+          f"tolerance={args.tolerance:.0%}", flush=True)
+
+    failed = False
+    for label, csr in (("csr", True), ("legacy", False)):
+        with _mode(csr=csr):
+            res = measure_mode(graph, pairs, args.repeats)
+        limit = 1.0 + args.tolerance
+        verdict = "OK" if res["ratio"] <= limit else "FAIL"
+        if verdict == "FAIL":
+            failed = True
+        print(f"  {label:<7} measured {res['measured_ms']:8.2f}ms  "
+              f"control {res['control_ms']:8.2f}ms  "
+              f"ratio {res['ratio']:.4f} (limit {limit:.2f})  {verdict}")
+    if failed:
+        print("overhead check FAILED: disabled instrumentation costs more "
+              "than the tolerance on the point-query path", file=sys.stderr)
+        return 1
+    print("overhead check OK: disabled instrumentation is within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from repro.core.silc import SILC, build_silc
 from repro.core.tnr import TransitNodeRouting, build_tnr
 from repro.core.tnr.access_nodes import compute_access_nodes, transit_nodes
 from repro.core.tnr.grid import TNRGrid
+from repro import obs
 from repro.datasets import dataset_spec, load_dataset
 from repro.graph.csr import HAVE_SCIPY
 from repro.harness.experiments import batched_distances
@@ -273,6 +274,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", metavar="JSON",
                         help="compare speedups against a committed baseline; "
                              "exit 1 on regression")
+    parser.add_argument("--trace", metavar="JSONL",
+                        help="write a run trace and attach its per-phase "
+                             "rollup to the scale result as 'trace_summary'")
     args = parser.parse_args(argv)
 
     if not HAVE_SCIPY:
@@ -282,7 +286,18 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = "quick" if args.quick else "default"
     print(f"perf_baseline scale={scale}", flush=True)
+    if args.trace:
+        obs.start_trace(args.trace)
     result = run_scale(scale)
+    if args.trace:
+        # Note for baseline readers: traced runs carry instrumentation
+        # overhead, so their absolute numbers skew slightly high.
+        obs.stop_trace()
+        result["trace_summary"] = obs.tree_summary(
+            obs.rollup(obs.read_trace(args.trace))
+        )
+        result["traced"] = True
+        print(f"trace written to {args.trace}")
 
     if args.output:
         merged = {"scales": {}}

@@ -21,6 +21,7 @@ from heapq import heappop, heappush
 
 import numpy as np
 
+from repro import obs
 from repro.graph.csr import MIN_N_BATCH, kernel_for
 from repro.graph.graph import Graph
 
@@ -39,10 +40,13 @@ class BidirectionalDijkstra:
     name = "Dijkstra"
 
     def __init__(self, graph: Graph) -> None:
-        self.graph = graph
-        #: Vertices settled by the last query (both directions) — the
-        #: paper's "search space" notion, exposed for analysis.
-        self.last_settled = 0
+        # The only "preprocessing" the baseline has: probing the CSR
+        # dispatch (which may freeze-borrow label scratch on first use).
+        with obs.span("bidijkstra.setup"):
+            self.graph = graph
+            #: Vertices settled by the last query (both directions) — the
+            #: paper's "search space" notion, exposed for analysis.
+            self.last_settled = 0
 
     # ------------------------------------------------------------------
     def distance(self, source: int, target: int) -> float:
@@ -174,6 +178,10 @@ class BidirectionalDijkstra:
                     meet = v
 
         self.last_settled = n_settled
+        if obs.ENABLED:
+            reg = obs.registry()
+            reg.counter("bidijkstra.queries").inc()
+            reg.counter("bidijkstra.settled").inc(n_settled)
         return best, meet
 
     # ------------------------------------------------------------------
@@ -223,6 +231,10 @@ class BidirectionalDijkstra:
                     meet = v
 
         self.last_settled = len(settled[0]) + len(settled[1])
+        if obs.ENABLED:
+            reg = obs.registry()
+            reg.counter("bidijkstra.queries").inc()
+            reg.counter("bidijkstra.settled").inc(self.last_settled)
         if best is INF:
             return INF, None, parent[0], parent[1]
         return best, meet, parent[0], parent[1]

@@ -26,6 +26,7 @@ from heapq import heappop, heappush
 
 import numpy as np
 
+from repro import obs
 from repro.core.ch.ordering import OrderingConfig, validate_fixed_order
 from repro.graph.csr import DirectedCSR, ScratchLabels
 from repro.graph.graph import Graph
@@ -277,46 +278,61 @@ def build_ch(
     config = config or OrderingConfig()
     start = time.perf_counter()
     n = graph.n
-    contractor = _Contractor(graph, config, witness_settle_limit)
+    with obs.span("ch.build"):
+        contractor = _Contractor(graph, config, witness_settle_limit)
 
-    rank = [0] * n
-    up: list[list[tuple[int, float, int]]] = [[] for _ in range(n)]
+        rank = [0] * n
+        up: list[list[tuple[int, float, int]]] = [[] for _ in range(n)]
 
-    if config.strategy == "fixed":
-        order = validate_fixed_order(config.fixed_order or (), n)
-        for position, v in enumerate(order):
-            rank[v] = position
-            up[v] = contractor.frozen_up_edges(v)
-            contractor.contract(v)
-    else:
-        rng = np.random.default_rng(config.seed)
-        heap: AddressableHeap[int] = AddressableHeap()
-        if config.is_lazy():
-            for v in range(n):
-                heap.push(v, contractor.priority(v))
+        if config.strategy == "fixed":
+            with obs.span("ch.contract"):
+                order = validate_fixed_order(config.fixed_order or (), n)
+                for position, v in enumerate(order):
+                    rank[v] = position
+                    up[v] = contractor.frozen_up_edges(v)
+                    contractor.contract(v)
         else:
-            for v in range(n):
-                heap.push(v, config.initial_priority(v, n, rng))
-        position = 0
-        while heap:
-            v, prio = heap.pop()
-            if config.is_lazy() and heap:
-                fresh = contractor.priority(v)
-                if fresh > heap.peek()[1]:
-                    heap.push(v, fresh)
-                    continue
-            rank[v] = position
-            position += 1
-            up[v] = contractor.frozen_up_edges(v)
-            neighbours = contractor.contract(v)
-            if config.is_lazy():
-                for u in neighbours:
-                    heap.update(u, contractor.priority(u))
+            rng = np.random.default_rng(config.seed)
+            heap: AddressableHeap[int] = AddressableHeap()
+            with obs.span("ch.order_init"):
+                if config.is_lazy():
+                    for v in range(n):
+                        heap.push(v, contractor.priority(v))
+                else:
+                    for v in range(n):
+                        heap.push(v, config.initial_priority(v, n, rng))
+            with obs.span("ch.contract"):
+                position = 0
+                while heap:
+                    v, prio = heap.pop()
+                    if config.is_lazy() and heap:
+                        fresh = contractor.priority(v)
+                        if fresh > heap.peek()[1]:
+                            heap.push(v, fresh)
+                            continue
+                    rank[v] = position
+                    position += 1
+                    up[v] = contractor.frozen_up_edges(v)
+                    neighbours = contractor.contract(v)
+                    if config.is_lazy():
+                        for u in neighbours:
+                            heap.update(u, contractor.priority(u))
 
-    middle: dict[tuple[int, int], int] = {}
-    for v in range(n):
-        for u, w, via in up[v]:
-            middle[(v, u) if v < u else (u, v)] = via
+        with obs.span("ch.shortcut_tags"):
+            middle: dict[tuple[int, int], int] = {}
+            for v in range(n):
+                for u, w, via in up[v]:
+                    middle[(v, u) if v < u else (u, v)] = via
 
     contractor.stats.seconds = time.perf_counter() - start
+    if obs.ENABLED:
+        obs.registry().add_counters(
+            "ch.build",
+            {
+                "runs": 1,
+                "shortcuts_added": contractor.stats.shortcuts_added,
+                "witness_settles": contractor.stats.witness_settles,
+                "priority_recomputations": contractor.stats.priority_recomputations,
+            },
+        )
     return CHIndex(n=n, rank=rank, up=up, middle=middle, stats=contractor.stats)

@@ -55,6 +55,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.ch.query import ContractionHierarchy
 from repro.graph.csr import HAVE_SCIPY, MIN_N_BATCH, DirectedCSR, _env_set
 
@@ -242,6 +243,20 @@ def _fold_grouped(
     mid = rest[prod[prod > _DENSE_CUTOFF] < _PEAK_FRAC * n_sources * n_targets]
     flat_table = table.ravel()
 
+    if obs.ENABLED:
+        # The three-regime split is the whole point of the fold; the
+        # tallies explain where candidate volume went on a given table.
+        obs.registry().add_counters(
+            "m2m.fold",
+            {
+                "folds": 1,
+                "small_vertices": len(small),
+                "mid_vertices": len(mid),
+                "peak_vertices": len(full),
+                "candidates": int(prod.sum()),
+            },
+        )
+
     def cross_block(sel: np.ndarray):
         """Flat candidate (count-per-vertex, table index, value) arrays
         for the cross products of ``sel``'s buckets, vertex-major; in
@@ -363,21 +378,30 @@ def _many_to_many_csr(
     if not src or not tgt:
         return table.astype(dtype)
 
-    store = _EntryStore(BUCKET_CAPACITY_HINT * len(tgt))
-    for base, rows, verts, dists in _settled_spaces(ucsr, tgt, chunk):
-        store.append_block(verts, rows + base, dists)
-    bwd = _group_by_vertex(*store.views(), ucsr.n)
+    with obs.span("m2m.sweep_backward"):
+        store = _EntryStore(BUCKET_CAPACITY_HINT * len(tgt))
+        for base, rows, verts, dists in _settled_spaces(ucsr, tgt, chunk):
+            store.append_block(verts, rows + base, dists)
+        bwd = _group_by_vertex(*store.views(), ucsr.n)
+    bucket_entries = store.size
 
     if src == tgt:
         # Symmetric (the TNR access-node table): the backward sweep's
         # buckets double as the forward settled sets.
         fwd = bwd
     else:
-        fstore = _EntryStore(BUCKET_CAPACITY_HINT * len(src))
-        for base, rows, verts, dists in _settled_spaces(ucsr, src, chunk):
-            fstore.append_block(verts, rows + base, dists)
-        fwd = _group_by_vertex(*fstore.views(), ucsr.n)
-    _fold_grouped(table, fwd, bwd)
+        with obs.span("m2m.sweep_forward"):
+            fstore = _EntryStore(BUCKET_CAPACITY_HINT * len(src))
+            for base, rows, verts, dists in _settled_spaces(ucsr, src, chunk):
+                fstore.append_block(verts, rows + base, dists)
+            fwd = _group_by_vertex(*fstore.views(), ucsr.n)
+        bucket_entries += fstore.size
+    with obs.span("m2m.fold"):
+        _fold_grouped(table, fwd, bwd)
+    if obs.ENABLED:
+        obs.registry().add_counters(
+            "m2m", {"tables": 1, "bucket_entries": bucket_entries}
+        )
     return table.astype(dtype)
 
 
@@ -403,7 +427,8 @@ def many_to_many(
     ucsr = _flat_engine(ch)
     if ucsr is not None:
         return _many_to_many_csr(ch, ucsr, sources, targets, dtype, chunk)
-    return _many_to_many_py(ch, sources, targets, dtype)
+    with obs.span("m2m.legacy"):
+        return _many_to_many_py(ch, sources, targets, dtype)
 
 
 def _many_to_many_py(

@@ -20,6 +20,7 @@ import math
 import time
 from heapq import heappop, heappush
 
+from repro import obs
 from repro.core.ch.contraction import ORIGINAL_EDGE, CHIndex, build_ch
 from repro.core.ch.ordering import OrderingConfig
 from repro.graph.graph import Graph
@@ -173,6 +174,8 @@ class ContractionHierarchy:
             return 0.0, source, {source: source}, {target: target}
         up = self.index.up
         stalling = self.use_stalling
+        counting = obs.ENABLED  # one check per query, not per settle
+        n_stalls = 0
 
         dist = ({source: 0.0}, {target: 0.0})
         parent = ({source: source}, {target: target})
@@ -209,6 +212,8 @@ class ContractionHierarchy:
                         stalled = True
                         break
                 if stalled:
+                    if counting:
+                        n_stalls += 1
                     continue
             for v, w, _ in edges:
                 nd = d + w
@@ -218,6 +223,15 @@ class ContractionHierarchy:
                     heappush(heaps[side], (nd, v))
 
         self.last_settled = len(settled[0]) + len(settled[1])
+        if counting:
+            obs.registry().add_counters(
+                "ch.query",
+                {
+                    "queries": 1,
+                    "settled": self.last_settled,
+                    "stalls": n_stalls,
+                },
+            )
         if best is INF:
             return INF, None, parent[0], parent[1]
         return best, meet, parent[0], parent[1]

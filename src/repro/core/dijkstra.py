@@ -39,6 +39,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.graph.csr import MIN_N_BATCH, MIN_N_SINGLE, kernel_for
 from repro.graph.graph import Graph
 
@@ -85,6 +86,14 @@ def dijkstra_distance(g: Graph, source: int, target: int) -> float:
     Returns ``math.inf`` when ``target`` is unreachable.
     """
     csr = kernel_for(g, 0)
+    if obs.ENABLED:
+        # Instrumented twins: same loops plus settled/heap-push
+        # counters. The plain bodies below stay untouched so the
+        # disabled path costs exactly this one flag check
+        # (scripts/obs_overhead.py gates it below 2%).
+        if csr is not None:
+            return _distance_kernel_obs(g, csr, source, target)
+        return _distance_py_obs(g, source, target)
     if csr is not None:
         return _distance_kernel(g, csr, source, target)
     return _distance_py(g, source, target)
@@ -429,6 +438,92 @@ def _first_hop_py(g: Graph, source: int) -> list[int]:
                 parent[v] = u
                 hop[v] = v if u == source else first
     return hop
+
+
+# ----------------------------------------------------------------------
+# Instrumented point-query twins (obs.ENABLED dispatch)
+# ----------------------------------------------------------------------
+# Same loops as _distance_kernel / _distance_py plus two algorithmic
+# counters, with identical semantics on both implementations so the
+# differential suite (tests/test_obs.py) can assert parity:
+#
+# - ``settled``: pops that pass the stale/settled check (including the
+#   target's final pop). Relaxations only push on a *strict* distance
+#   improvement, so each vertex carries at most one heap entry with its
+#   final label — both loops therefore count exactly the distinct
+#   vertices whose label was finalised.
+# - ``heap_pushes``: successful relaxations (the initial source push is
+#   not counted). The relaxation rule is identical on both sides.
+def _record_point_query(settled: int, pushes: int) -> None:
+    reg = obs.registry()
+    reg.counter("dijkstra.point.queries").inc()
+    reg.counter("dijkstra.point.settled").inc(settled)
+    reg.counter("dijkstra.point.heap_pushes").inc(pushes)
+
+
+def _distance_kernel_obs(g: Graph, csr, source: int, target: int) -> float:
+    if source == target:
+        _record_point_query(0, 0)
+        return 0.0
+    labels = csr.borrow_labels()
+    n_settled = 0
+    n_pushes = 0
+    try:
+        dist = labels.dist
+        touched = labels.touched
+        dist[source] = 0.0
+        touched.append(source)
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        neighbors = g.neighbors
+        while heap:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            n_settled += 1
+            if u == target:
+                return d
+            for v, w in neighbors(u):
+                nd = d + w
+                if nd < dist[v]:
+                    if dist[v] == INF:
+                        touched.append(v)
+                    dist[v] = nd
+                    n_pushes += 1
+                    heappush(heap, (nd, v))
+        return INF
+    finally:
+        _record_point_query(n_settled, n_pushes)
+        csr.release_labels(labels)
+
+
+def _distance_py_obs(g: Graph, source: int, target: int) -> float:
+    if source == target:
+        _record_point_query(0, 0)
+        return 0.0
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    n_settled = 0
+    n_pushes = 0
+    try:
+        while heap:
+            d, u = heappop(heap)
+            if u in settled:
+                continue
+            n_settled += 1
+            if u == target:
+                return d
+            settled.add(u)
+            for v, w in neighbors(u):
+                nd = d + w
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    n_pushes += 1
+                    heappush(heap, (nd, v))
+        return INF
+    finally:
+        _record_point_query(n_settled, n_pushes)
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.pcpd.pairs import APSPTables, PCPNode, build_pair_tree, quadrant_of
 from repro.graph.coords import BoundingBox
 from repro.graph.graph import Graph
@@ -82,13 +83,20 @@ def build_pcpd(graph: Graph, workers: int | None = None) -> PCPDIndex:
         raise ValueError("freeze() the graph before building an index")
     stats = PCPDBuildStats()
 
-    start = time.perf_counter()
-    tables = APSPTables.compute(graph, workers=workers)
-    stats.seconds_apsp = time.perf_counter() - start
+    with obs.span("pcpd.build"):
+        start = time.perf_counter()
+        with obs.span("pcpd.apsp"):
+            tables = APSPTables.compute(graph, workers=workers)
+        stats.seconds_apsp = time.perf_counter() - start
 
-    start = time.perf_counter()
-    root, hull = build_pair_tree(graph, tables)
-    stats.seconds_pairs = time.perf_counter() - start
-    stats.n_pairs = root.count_pairs()
+        start = time.perf_counter()
+        with obs.span("pcpd.pairs"):
+            root, hull = build_pair_tree(graph, tables)
+        stats.seconds_pairs = time.perf_counter() - start
+        stats.n_pairs = root.count_pairs()
 
+    if obs.ENABLED:
+        obs.registry().add_counters(
+            "pcpd.build", {"runs": 1, "pairs": stats.n_pairs}
+        )
     return PCPDIndex(graph=graph, root=root, hull=hull, stats=stats)

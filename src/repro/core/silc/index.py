@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.dijkstra import first_hop_tables
 from repro.core.silc.quadtree import compress_partition
 from repro.graph.coords import square_hull
@@ -109,32 +110,44 @@ def build_silc(graph: Graph, workers: int | None = None) -> SILCIndex:
         raise ValueError("freeze() the graph before building an index")
     start_time = time.perf_counter()
     n = graph.n
-    mapper = MortonMapper(square_hull(graph.bounding_box()))
-    codes = [mapper.encode(graph.xs[v], graph.ys[v]) for v in range(n)]
+    with obs.span("silc.build"):
+        with obs.span("silc.morton"):
+            mapper = MortonMapper(square_hull(graph.bounding_box()))
+            codes = [mapper.encode(graph.xs[v], graph.ys[v]) for v in range(n)]
 
-    order = sorted(range(n), key=codes.__getitem__)
-    codes_sorted = [codes[v] for v in order]
-    position = [0] * n
-    for i, v in enumerate(order):
-        position[v] = i
+            order = sorted(range(n), key=codes.__getitem__)
+            codes_sorted = [codes[v] for v in order]
+            position = [0] * n
+            for i, v in enumerate(order):
+                position[v] = i
 
-    stats = SILCBuildStats()
-    chunks = [list(range(a, min(a + _CHUNK, n))) for a in range(0, n, _CHUNK)]
-    chunked = map_with_context(
-        _chunk_partitions,
-        (graph, order, codes_sorted, position),
-        chunks,
-        workers=workers,
-    )
-    results = [r for chunk_result in chunked for r in chunk_result]
-    starts = [r[0] for r in results]
-    ends = [r[1] for r in results]
-    colors_out = [r[2] for r in results]
-    exceptions = [r[3] for r in results]
-    stats.total_intervals = sum(len(r[0]) for r in results)
-    stats.total_exceptions = sum(len(r[3]) for r in results)
+        stats = SILCBuildStats()
+        with obs.span("silc.partitions"):
+            chunks = [list(range(a, min(a + _CHUNK, n))) for a in range(0, n, _CHUNK)]
+            chunked = map_with_context(
+                _chunk_partitions,
+                (graph, order, codes_sorted, position),
+                chunks,
+                workers=workers,
+            )
+            results = [r for chunk_result in chunked for r in chunk_result]
+            starts = [r[0] for r in results]
+            ends = [r[1] for r in results]
+            colors_out = [r[2] for r in results]
+            exceptions = [r[3] for r in results]
+            stats.total_intervals = sum(len(r[0]) for r in results)
+            stats.total_exceptions = sum(len(r[3]) for r in results)
 
     stats.seconds = time.perf_counter() - start_time
+    if obs.ENABLED:
+        obs.registry().add_counters(
+            "silc.build",
+            {
+                "runs": 1,
+                "intervals": stats.total_intervals,
+                "exceptions": stats.total_exceptions,
+            },
+        )
     return SILCIndex(
         n=n,
         codes=codes,

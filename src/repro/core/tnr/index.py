@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.ch.many_to_many import many_to_many
 from repro.core.ch.query import ContractionHierarchy
 from repro.core.tnr.access_nodes import (
@@ -100,11 +101,14 @@ def build_tnr(
     """
     grid = TNRGrid(graph, grid_g)
     stats = TNRBuildStats(flawed=flawed)
+    build_span = obs.span("tnr.build")
+    build_span.__enter__()
 
     start = time.perf_counter()
-    cell_access: dict[int, CellAccess] = compute_access_nodes(
-        graph, grid, flawed, workers=workers
-    )
+    with obs.span("tnr.access_nodes"):
+        cell_access: dict[int, CellAccess] = compute_access_nodes(
+            graph, grid, flawed, workers=workers
+        )
     stats.seconds_access_nodes = time.perf_counter() - start
 
     transit_nodes = collect_transit_nodes(cell_access)
@@ -117,18 +121,27 @@ def build_tnr(
         ) / len(nonempty)
 
     start = time.perf_counter()
-    table = many_to_many(ch, transit_nodes, transit_nodes, dtype=np.float32)
+    with obs.span("tnr.table"):
+        table = many_to_many(ch, transit_nodes, transit_nodes, dtype=np.float32)
     stats.seconds_table = time.perf_counter() - start
 
-    empty_idx = np.empty(0, dtype=np.int32)
-    empty_dist = np.empty(0, dtype=np.float64)
-    vertex_access: list[np.ndarray] = [empty_idx] * graph.n
-    vertex_access_dist: list[np.ndarray] = [empty_dist] * graph.n
-    for info in cell_access.values():
-        idx = np.array([t_index[a] for a in info.access_nodes], dtype=np.int32)
-        for v, dists in info.vertex_distances.items():
-            vertex_access[v] = idx
-            vertex_access_dist[v] = np.array(dists, dtype=np.float64)
+    with obs.span("tnr.vertex_tables"):
+        empty_idx = np.empty(0, dtype=np.int32)
+        empty_dist = np.empty(0, dtype=np.float64)
+        vertex_access: list[np.ndarray] = [empty_idx] * graph.n
+        vertex_access_dist: list[np.ndarray] = [empty_dist] * graph.n
+        for info in cell_access.values():
+            idx = np.array([t_index[a] for a in info.access_nodes], dtype=np.int32)
+            for v, dists in info.vertex_distances.items():
+                vertex_access[v] = idx
+                vertex_access_dist[v] = np.array(dists, dtype=np.float64)
+
+    build_span.__exit__(None, None, None)
+    if obs.ENABLED:
+        reg = obs.registry()
+        reg.counter("tnr.build.runs").inc()
+        reg.gauge("tnr.build.transit_nodes").set(stats.n_transit_nodes)
+        reg.gauge("tnr.build.mean_access_per_cell").set(stats.mean_access_per_cell)
 
     return TNRIndex(
         grid=grid,

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import QueryTechnique
 from repro.core.tnr.index import TNRIndex
 from repro.graph.graph import Graph
@@ -87,6 +88,8 @@ def greedy_path(
             # index (Appendix B) can — degrade gracefully.
             break
         stats.walk_steps += 1
+        if obs.ENABLED:
+            obs.registry().counter("tnr.walk_steps").inc()
         path.append(best_v)
         remaining -= graph.edge_weight(current, best_v)
         current = best_v
@@ -129,8 +132,12 @@ class TransitNodeRouting:
             return 0.0
         if not self.index.answerable(source, target):
             self.stats.answered_by_fallback += 1
+            if obs.ENABLED:
+                obs.registry().counter("tnr.locality.fallback").inc()
             return self.fallback.distance(source, target)
         self.stats.answered_by_table += 1
+        if obs.ENABLED:
+            obs.registry().counter("tnr.locality.table_hits").inc()
         return self._table_distance(source, target)
 
     def distance_table(self, sources, targets) -> np.ndarray:
@@ -145,6 +152,8 @@ class TransitNodeRouting:
         src = [int(s) for s in sources]
         tgt = [int(t) for t in targets]
         out = np.empty((len(src), len(tgt)), dtype=np.float64)
+        n_table_before = self.stats.answered_by_table
+        n_fallback_before = self.stats.answered_by_fallback
         pending: list[tuple[int, int]] = []
         for i, s in enumerate(src):
             row = out[i]
@@ -172,6 +181,14 @@ class TransitNodeRouting:
             ti = {v: k for k, v in enumerate(f_tgt)}
             for i, j in pending:
                 out[i, j] = sub[si[src[i]], ti[tgt[j]]]
+        if obs.ENABLED:
+            obs.registry().add_counters(
+                "tnr.locality",
+                {
+                    "table_hits": self.stats.answered_by_table - n_table_before,
+                    "fallback": self.stats.answered_by_fallback - n_fallback_before,
+                },
+            )
         return out
 
     def path(self, source: int, target: int) -> tuple[float, list[int] | None]:

@@ -54,6 +54,7 @@ try:  # advisory locking is POSIX-only; degrade gracefully elsewhere
 except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
+from repro import obs
 from repro.harness.timing import fmt_bytes, fmt_cache_stats, fmt_seconds
 
 MAGIC = b"RRNQCCH2"  # repro road-network query cache, container format 2
@@ -215,7 +216,12 @@ def read_entry(path: Path, expected_version: int = CACHE_VERSION) -> tuple[Any, 
 # ----------------------------------------------------------------------
 @dataclass
 class CacheStats:
-    """Structured hit/miss/rebuild counters for one cache handle."""
+    """Structured hit/miss/rebuild counters for one cache handle.
+
+    Deltas are mirrored into the process-wide metrics registry under
+    ``cache.<name>`` (when observability is on), so ``repro-harness
+    stats`` and :func:`fmt_cache_stats` read from one source of truth.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -229,6 +235,8 @@ class CacheStats:
     def add(self, **deltas: int) -> None:
         for name, delta in deltas.items():
             setattr(self, name, getattr(self, name) + delta)
+        if obs.ENABLED:
+            obs.registry().add_counters("cache", deltas)
 
     def __str__(self) -> str:
         return fmt_cache_stats(self.as_dict())

@@ -25,15 +25,23 @@ Serve a workload of distance queries in batches of 64 (the batched
 distance endpoint; see docs/PERFORMANCE.md)::
 
     repro-harness serve --technique ch --dataset DE --pairs 512
+
+Observability (docs/OBSERVABILITY.md)::
+
+    repro-harness --experiment fig8 --trace run.jsonl
+    repro-harness stats [--json] [--trace run.jsonl]
+    repro-harness trace run.jsonl [--json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.harness.cache import DiskCache
 from repro.harness.experiments import all_keys, run
 from repro.harness.registry import Registry, _default_cache_dir
@@ -48,8 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Evaluation' (Wu et al., VLDB 2012)."
         ),
         epilog=(
-            "The 'cache' subcommand (repro-harness cache "
-            "{list,verify,clear,stats}) manages the disk cache."
+            "Subcommands: 'cache {list,verify,clear,stats}' manages the "
+            "disk cache; 'serve' runs the batched distance endpoint; "
+            "'stats' dumps the metrics registry; 'trace <run.jsonl>' "
+            "renders a run trace's phase tree."
         ),
     )
     parser.add_argument(
@@ -67,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--chart", action="store_true",
         help="render the figure's log-log series as ASCII plots",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="enable instrumentation and write a JSON-lines run trace to FILE",
     )
     return parser
 
@@ -170,6 +184,9 @@ def _cache_main(argv: list[str]) -> int:
     return 1 if bad else 0
 
 
+_SERVE_TECHNIQUES = ("ch", "tnr", "dijkstra")
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-harness serve",
@@ -179,14 +196,20 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--technique", default="ch", choices=("ch", "tnr", "dijkstra"),
-        help="which technique serves the batch (default: ch)",
+        "--technique", default="ch",
+        help=f"which technique serves the batch: {'/'.join(_SERVE_TECHNIQUES)} "
+             "(default: ch)",
     )
     parser.add_argument("--dataset", default="DE", help="dataset name (default: DE)")
     parser.add_argument("--tier", default=None, help="dataset tier (tiny/small/medium)")
     parser.add_argument(
         "--pairs", type=int, default=512,
         help="how many query pairs to serve (drawn from the Q-sets)",
+    )
+    parser.add_argument(
+        "--pair-file", default=None, metavar="FILE",
+        help="serve exactly the 'source target' pairs listed in FILE "
+             "(one pair per line, '#' comments) instead of Q-set sampling",
     )
     parser.add_argument(
         "--batch", type=int, default=None,
@@ -196,30 +219,91 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="re-answer every pair per-pair and assert exact agreement",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="enable instrumentation and write a JSON-lines run trace to FILE",
+    )
     return parser
+
+
+def _read_pair_file(path: str) -> list[tuple[int, int]]:
+    """Parse a ``source target`` pair file; ValueError carries a one-line
+    ``file:line: reason`` diagnostic for the CLI to print."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"cannot read pair file {path}: {exc.strerror or exc}")
+    pairs: list[tuple[int, int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected 'source target', got {raw.strip()!r}"
+            )
+        try:
+            pairs.append((int(parts[0]), int(parts[1])))
+        except ValueError:
+            raise ValueError(
+                f"{path}:{lineno}: non-integer vertex id in {raw.strip()!r}"
+            ) from None
+    return pairs
 
 
 def _serve_main(argv: list[str]) -> int:
     args = build_serve_parser().parse_args(argv)
     from repro.harness.experiments import DEFAULT_BATCH, batched_distances
 
+    if args.technique not in _SERVE_TECHNIQUES:
+        print(
+            f"error: unknown technique {args.technique!r} "
+            f"(choose from {', '.join(_SERVE_TECHNIQUES)})",
+            file=sys.stderr,
+        )
+        return 2
+
     kwargs = {}
     if args.tier:
         kwargs["tier"] = args.tier
-    registry = Registry(**kwargs)
+    try:
+        registry = Registry(**kwargs)
+        graph = registry.graph(args.dataset)
+    except KeyError as exc:
+        print(f"error: unknown dataset or tier: {exc}", file=sys.stderr)
+        return 2
+
+    if args.pair_file is not None:
+        try:
+            pairs = _read_pair_file(args.pair_file)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for s, t in pairs:
+            if not (0 <= s < graph.n and 0 <= t < graph.n):
+                print(
+                    f"error: {args.pair_file}: pair ({s}, {t}) out of range "
+                    f"for {args.dataset} (n={graph.n})",
+                    file=sys.stderr,
+                )
+                return 2
+    else:
+        pairs = [p for qset in registry.q_sets(args.dataset) for p in qset.pairs]
+        while pairs and len(pairs) < args.pairs:
+            pairs = pairs + pairs
+        pairs = pairs[: max(args.pairs, 0)]
+    if not pairs:
+        print("error: no query pairs to serve (empty batch)", file=sys.stderr)
+        return 1
+
+    if args.trace:
+        obs.start_trace(args.trace)
     technique = {
         "ch": registry.ch,
         "tnr": registry.tnr,
         "dijkstra": registry.bidijkstra,
     }[args.technique](args.dataset)
-
-    pairs = [p for qset in registry.q_sets(args.dataset) for p in qset.pairs]
-    if not pairs:
-        print("no query pairs available for this dataset/tier")
-        return 1
-    while len(pairs) < args.pairs:
-        pairs = pairs + pairs
-    pairs = pairs[: args.pairs]
 
     batch = args.batch if args.batch else DEFAULT_BATCH
     started = time.perf_counter()
@@ -243,6 +327,97 @@ def _serve_main(argv: list[str]) -> int:
                 print(f"MISMATCH ({s}, {t}): batched {d} != per-pair {expect}")
                 return 1
         print(f"  per-pair check: all {len(pairs)} answers identical")
+    if args.trace:
+        print(f"[trace] {obs.stop_trace()}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Observability subcommands
+# ----------------------------------------------------------------------
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness stats",
+        description=(
+            "Dump the metrics registry (counters, gauges, latency "
+            "histograms) as an aligned table or JSON."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the raw snapshot as JSON"
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="read the metrics snapshot embedded in a trace file instead "
+             "of the (empty, in a fresh process) live registry",
+    )
+    parser.add_argument(
+        "--cache", default=None,
+        help="cache directory whose lifetime counters to fold in "
+             "(default: REPRO_CACHE or <cwd>/.cache/repro)",
+    )
+    return parser
+
+
+def _stats_main(argv: list[str]) -> int:
+    args = build_stats_parser().parse_args(argv)
+    if args.trace:
+        try:
+            events = obs.read_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        snapshot = obs.trace_metrics(events)
+        if snapshot is None:
+            print(
+                f"error: {args.trace}: no metrics snapshot "
+                "(trace from a crashed or still-running process?)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        snapshot = obs.registry().snapshot()
+        # Fold the disk-cache manifest's cross-process lifetime counters
+        # in, so `stats` shows cache behaviour even in a fresh process.
+        root = Path(args.cache) if args.cache else _default_cache_dir()
+        if root is not None and root.is_dir():
+            lifetime = DiskCache(root).manifest().get("counters", {})
+            for name in sorted(lifetime):
+                snapshot["counters"][f"cache.lifetime.{name}"] = int(lifetime[name])
+    if args.json:
+        print(json.dumps(snapshot, indent=1, sort_keys=True))
+    else:
+        print(obs.render_snapshot(snapshot))
+    return 0
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness trace",
+        description=(
+            "Render the per-phase rollup tree (with self/total times) "
+            "of a JSON-lines run trace."
+        ),
+    )
+    parser.add_argument("trace", help="trace file written via --trace/REPRO_TRACE")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the rollup as JSON"
+    )
+    return parser
+
+
+def _trace_main(argv: list[str]) -> int:
+    args = build_trace_parser().parse_args(argv)
+    try:
+        events = obs.read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    root = obs.rollup(events)
+    if args.json:
+        print(json.dumps(obs.tree_summary(root), indent=1, sort_keys=True))
+    else:
+        print(obs.render_tree(root))
     return 0
 
 
@@ -253,6 +428,10 @@ def _main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiment:
         print("available experiments:")
@@ -273,6 +452,8 @@ def _main(argv: list[str] | None = None) -> int:
     if args.datasets:
         run_kwargs["names"] = tuple(args.datasets.split(","))
 
+    if args.trace:
+        obs.start_trace(args.trace)
     keys = all_keys() if args.experiment == "all" else [args.experiment]
     for key in keys:
         started = time.perf_counter()
@@ -283,6 +464,8 @@ def _main(argv: list[str] | None = None) -> int:
             _print_charts(exp, registry)
     if registry.cache_stats is not None:
         print(f"[cache] {registry.cache_stats}")
+    if args.trace:
+        print(f"[trace] {obs.stop_trace()}")
     return 0
 
 

@@ -14,11 +14,13 @@ technique can be served through the same entry points.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.harness.registry import Registry
 
 #: key -> runner, populated by the @experiment decorator in figures.py.
@@ -64,21 +66,49 @@ def batched_distances(
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    out = np.empty(len(pairs), dtype=np.float64)
-    native = getattr(technique, "distance_table", None)
-    if native is None:
-        for k, (s, t) in enumerate(pairs):
-            out[k] = technique.distance(s, t)
-        return out
-    for a in range(0, len(pairs), batch_size):
-        chunk = pairs[a : a + batch_size]
-        srcs = sorted({int(s) for s, _ in chunk})
-        tgts = sorted({int(t) for _, t in chunk})
-        table = distance_table(technique, srcs, tgts)
-        si = {v: k for k, v in enumerate(srcs)}
-        ti = {v: k for k, v in enumerate(tgts)}
-        for k, (s, t) in enumerate(chunk):
-            out[a + k] = table[si[int(s)], ti[int(t)]]
+    with obs.span("serve.batched"):
+        out = np.empty(len(pairs), dtype=np.float64)
+        counting = obs.ENABLED
+        native = getattr(technique, "distance_table", None)
+        if native is None:
+            start = time.perf_counter() if counting else 0.0
+            for k, (s, t) in enumerate(pairs):
+                out[k] = technique.distance(s, t)
+            if counting and len(pairs):
+                elapsed_us = (time.perf_counter() - start) * 1e6
+                reg = obs.registry()
+                reg.counter("serve.pairs").inc(len(pairs))
+                reg.histogram("serve.request_us").observe(
+                    elapsed_us / len(pairs), n=len(pairs)
+                )
+            return out
+        dedup_saved = 0
+        for a in range(0, len(pairs), batch_size):
+            start = time.perf_counter() if counting else 0.0
+            chunk = pairs[a : a + batch_size]
+            srcs = sorted({int(s) for s, _ in chunk})
+            tgts = sorted({int(t) for _, t in chunk})
+            table = distance_table(technique, srcs, tgts)
+            si = {v: k for k, v in enumerate(srcs)}
+            ti = {v: k for k, v in enumerate(tgts)}
+            for k, (s, t) in enumerate(chunk):
+                out[a + k] = table[si[int(s)], ti[int(t)]]
+            if counting:
+                # A batch of p pairs costs one sweep per *distinct*
+                # endpoint; the saving is the per-side duplicate count.
+                dedup_saved += 2 * len(chunk) - len(srcs) - len(tgts)
+                elapsed_us = (time.perf_counter() - start) * 1e6
+                reg = obs.registry()
+                reg.counter("serve.batches").inc()
+                reg.counter("serve.pairs").inc(len(chunk))
+                reg.counter("serve.distinct_sources").inc(len(srcs))
+                reg.counter("serve.distinct_targets").inc(len(tgts))
+                reg.histogram("serve.batch_us").observe(elapsed_us)
+                reg.histogram("serve.request_us").observe(
+                    elapsed_us / len(chunk), n=len(chunk)
+                )
+        if counting:
+            obs.registry().counter("serve.dedup_saved").inc(dedup_saved)
     return out
 
 

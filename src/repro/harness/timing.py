@@ -10,32 +10,94 @@ from typing import Callable, Mapping, Sequence
 
 @dataclass(frozen=True)
 class Timing:
-    """Average per-query wall time over a workload."""
+    """Per-query wall time over a workload.
+
+    The percentile fields are ``nan`` unless the run recorded
+    per-query samples (``time_queries(..., percentiles=True)``) —
+    the default loop times the workload in one block to keep the
+    per-query clock overhead out of the mean.
+    """
 
     micros_per_query: float
     queries: int
+    p50: float = math.nan
+    p90: float = math.nan
+    p99: float = math.nan
 
     def __str__(self) -> str:
-        return f"{self.micros_per_query:.1f} us over {self.queries} queries"
+        base = f"{self.micros_per_query:.1f} us over {self.queries} queries"
+        if math.isnan(self.p50):
+            return base
+        return (
+            f"{base} (p50 {fmt_micros(self.p50)}, "
+            f"p90 {fmt_micros(self.p90)}, p99 {fmt_micros(self.p99)})"
+        )
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile of sorted samples."""
+    if not samples:
+        return math.nan
+    if len(samples) == 1:
+        return samples[0]
+    pos = q * (len(samples) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(samples) - 1)
+    frac = pos - lo
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac
+
+
+def subsample_evenly(n: int, max_items: int) -> list[int]:
+    """``max_items`` distinct, evenly spread indices into ``range(n)``.
+
+    Exact integer arithmetic (``i * n // max_items``): for
+    ``max_items <= n`` consecutive picks differ by at least
+    ``n // max_items >= 1``, so no index ever repeats — unlike
+    ``int(i * (n / max_items))``, where float rounding can collapse
+    neighbouring picks for large ``n``.
+    """
+    if max_items >= n:
+        return list(range(n))
+    return [i * n // max_items for i in range(max_items)]
 
 
 def time_queries(
     fn: Callable[[int, int], object],
     pairs: Sequence[tuple[int, int]],
     max_pairs: int | None = None,
+    percentiles: bool = False,
 ) -> Timing:
     """Average wall-clock time of ``fn(s, t)`` over the pairs.
 
     ``max_pairs`` subsamples evenly (used to keep the Dijkstra baseline
     affordable on the long-range sets; the paper ran 10,000 queries per
-    set on C++, we scale down for pure Python).
+    set on C++, we scale down for pure Python). With ``percentiles``,
+    every query is timed individually and the returned ``Timing``
+    carries p50/p90/p99 alongside the mean (at the cost of one extra
+    clock read per query).
     """
     work = list(pairs)
     if max_pairs is not None and len(work) > max_pairs:
-        step = len(work) / max_pairs
-        work = [work[int(i * step)] for i in range(max_pairs)]
+        work = [work[i] for i in subsample_evenly(len(work), max_pairs)]
     if not work:
         return Timing(micros_per_query=math.nan, queries=0)
+    if percentiles:
+        samples: list[float] = []
+        total = 0.0
+        for s, t in work:
+            start = time.perf_counter()
+            fn(s, t)
+            elapsed = time.perf_counter() - start
+            total += elapsed
+            samples.append(elapsed * 1e6)
+        samples.sort()
+        return Timing(
+            micros_per_query=total / len(work) * 1e6,
+            queries=len(work),
+            p50=_percentile(samples, 0.50),
+            p90=_percentile(samples, 0.90),
+            p99=_percentile(samples, 0.99),
+        )
     start = time.perf_counter()
     for s, t in work:
         fn(s, t)

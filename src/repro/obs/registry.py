@@ -1,0 +1,247 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+The paper is an *experimental evaluation*: its claims are tables of
+preprocessing times, index sizes and query times. Reproducing those
+numbers is only half the job — explaining them needs the algorithmic
+counters underneath (vertices settled, locality-filter hits, fold-regime
+tallies), which is what this registry collects. Design constraints:
+
+- **no samples stored** — latency histograms use fixed log-spaced
+  buckets, so p50/p90/p99 are derivable by interpolation at O(buckets)
+  memory regardless of how many observations land;
+- **cheap when idle** — a counter increment is one dict-free attribute
+  add; instruments are created once and cached by name;
+- **JSON-able** — :meth:`MetricsRegistry.snapshot` emits a
+  schema-versioned dict that the trace writer embeds verbatim and the
+  ``repro-harness stats`` CLI renders.
+
+Everything here is stdlib-only so the hot core modules can import it
+without dragging in numpy/scipy (or the rest of the package).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterator
+
+#: Version of the snapshot dict layout (bump on incompatible change).
+METRICS_SCHEMA = 1
+
+#: Histogram bucket boundaries: eight per decade from 1e-2 to 1e8 —
+#: a 1.33x ratio, so interpolated quantiles carry at most ~15% relative
+#: error, plenty for latency distributions spanning microseconds to
+#: minutes. Values are unit-agnostic; span timers record microseconds.
+_DECADES = range(-2, 8)
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (d + i / 8.0) for d in _DECADES for i in range(8)
+) + (10.0 ** _DECADES.stop,)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    ``observe(v, n)`` folds ``n`` observations of value ``v`` in O(1);
+    quantiles interpolate linearly inside the containing bucket, clamped
+    by the exact min/max, so single-observation histograms report the
+    exact value and heavy-tailed ones stay within the bucket ratio.
+    """
+
+    __slots__ = ("counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float, n: int = 1) -> None:
+        self.counts[bisect_right(BUCKET_BOUNDS, value)] += n
+        self.count += n
+        self.total += value * n
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile in [0, 1]; NaN when empty."""
+        if self.count == 0:
+            return math.nan
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= rank:
+                lo = BUCKET_BOUNDS[i - 1] if i > 0 else 0.0
+                hi = (
+                    BUCKET_BOUNDS[i]
+                    if i < len(BUCKET_BOUNDS)
+                    else max(self.vmax, lo)
+                )
+                frac = (rank - seen) / c
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.vmin), self.vmax)
+            seen += c
+        return self.vmax
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "mean": self.mean if self.count else None,
+            "p50": self.p50 if self.count else None,
+            "p90": self.p90 if self.count else None,
+            "p99": self.p99 if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and cached forever.
+
+    Names are dotted paths (``tnr.locality.table_hits``); the renderers
+    sort by name so related instruments group naturally.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors (create-or-get) ---------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # -- bulk operations -------------------------------------------------
+    def add_counters(self, prefix: str, values: dict[str, int]) -> None:
+        """Fold a ``{name: delta}`` mapping under ``prefix.``."""
+        for name, delta in values.items():
+            self.counter(f"{prefix}.{name}").inc(int(delta))
+
+    def counter_values(self, prefix: str = "") -> dict[str, int]:
+        """``{name: value}`` of every counter under ``prefix``."""
+        return {
+            name: c.value
+            for name, c in self.counters.items()
+            if name.startswith(prefix)
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    # -- output ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able dump of every instrument (schema-versioned)."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {k: self.counters[k].value for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k].value for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].as_dict() for k in sorted(self.histograms)
+            },
+        }
+
+    def render(self) -> str:
+        """Aligned ASCII table of the registry (``repro-harness stats``)."""
+        return render_snapshot(self.snapshot())
+
+
+def _fmt(value: float | None) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def _rows(snapshot: dict) -> Iterator[tuple[str, str, str]]:
+    for name, value in snapshot.get("counters", {}).items():
+        yield name, "counter", _fmt(value)
+    for name, value in snapshot.get("gauges", {}).items():
+        yield name, "gauge", _fmt(value)
+    for name, h in snapshot.get("histograms", {}).items():
+        detail = (
+            f"count={h['count']} mean={_fmt(h.get('mean'))} "
+            f"p50={_fmt(h.get('p50'))} p90={_fmt(h.get('p90'))} "
+            f"p99={_fmt(h.get('p99'))} max={_fmt(h.get('max'))}"
+        )
+        yield name, "histogram", detail
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as an ASCII table."""
+    rows = list(_rows(snapshot))
+    if not rows:
+        return "(registry is empty)"
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    return "\n".join(
+        f"{name:<{name_w}}  {kind:<{kind_w}}  {detail}"
+        for name, kind, detail in rows
+    )

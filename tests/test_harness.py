@@ -5,7 +5,14 @@ import pytest
 from repro.harness.cli import main as cli_main
 from repro.harness.experiments import Experiment, all_keys, run
 from repro.harness.registry import Registry
-from repro.harness.timing import Timing, fmt_bytes, fmt_micros, fmt_seconds, time_queries
+from repro.harness.timing import (
+    Timing,
+    fmt_bytes,
+    fmt_micros,
+    fmt_seconds,
+    subsample_evenly,
+    time_queries,
+)
 
 
 @pytest.fixture(scope="module")
@@ -102,11 +109,39 @@ class TestTiming:
                      max_pairs=10)
         assert len(calls) == 10
 
+    def test_subsampling_never_duplicates(self):
+        # Exact integer arithmetic: every subsample is max_pairs
+        # *distinct* indices, including sizes where float stepping
+        # (int(i * step)) could collapse neighbouring picks.
+        for n, k in [(100, 10), (7, 3), (10**6, 9999), (12345, 12344),
+                     (3, 3), (5, 1)]:
+            picked = subsample_evenly(n, k)
+            assert len(picked) == min(n, k)
+            assert len(set(picked)) == len(picked), (n, k)
+            assert picked == sorted(picked)
+            assert all(0 <= i < n for i in picked)
+
     def test_empty_pairs(self):
         import math
 
         t = time_queries(lambda s, t_: None, [])
         assert t.queries == 0 and math.isnan(t.micros_per_query)
+        assert math.isnan(t.p50) and math.isnan(t.p99)
+        t = time_queries(lambda s, t_: None, [], percentiles=True)
+        assert t.queries == 0 and math.isnan(t.p50)
+
+    def test_percentiles_recorded(self):
+        import math
+
+        t = time_queries(lambda s, t_: None, [(i, i) for i in range(50)],
+                         percentiles=True)
+        assert t.queries == 50
+        assert not math.isnan(t.p50)
+        assert t.p50 <= t.p90 <= t.p99
+        assert "p50" in str(t) and "p99" in str(t)
+        # The default (block-timed) loop leaves percentiles unset.
+        t2 = time_queries(lambda s, t_: None, [(1, 2)])
+        assert math.isnan(t2.p50) and "p50" not in str(t2)
 
     def test_timing_str(self):
         assert "us over" in str(Timing(12.5, 10))

@@ -1,0 +1,423 @@
+"""The observability layer: registry, spans, traces, and counter parity.
+
+The differential suite at the bottom is the load-bearing part: the CSR
+kernels and the legacy ``_*_py`` loops must not only agree on answers
+(tests/test_csr_kernels.py) but on the *algorithmic counters* — settled
+vertices and heap pushes — so instrumented runs are comparable across
+dispatch modes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.core.dijkstra import dijkstra_distance
+from repro.harness.cli import main as cli_main
+from repro.obs.registry import BUCKET_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.trace import read_trace, rollup, render_tree, tree_summary
+
+from tests.conftest import random_pairs
+
+
+@pytest.fixture()
+def obs_on():
+    """Enable instrumentation on a clean registry; restore after."""
+    was = obs.ENABLED
+    obs.reset()
+    obs.set_enabled(True)
+    yield obs.registry()
+    obs.set_enabled(was)
+    obs.reset()
+
+
+class TestRegistry:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(4)
+        reg.gauge("g").set(2.5)
+        assert reg.counter("a.b").value == 5
+        assert reg.gauge("g").value == 2.5
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_add_counters_and_prefix_query(self):
+        reg = MetricsRegistry()
+        reg.add_counters("ch.query", {"settled": 7, "stalls": 2})
+        reg.add_counters("ch.query", {"settled": 3})
+        assert reg.counter_values("ch.query") == {
+            "ch.query.settled": 10,
+            "ch.query.stalls": 2,
+        }
+
+    def test_histogram_exact_single_observation(self):
+        h = Histogram()
+        h.observe(42.0)
+        assert h.count == 1
+        assert h.mean == 42.0
+        # min/max clamping makes a single observation exact at every q.
+        assert h.p50 == h.p90 == h.p99 == 42.0
+
+    def test_histogram_quantiles_within_bucket_ratio(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        # True p50 is ~50; buckets are 1.33x wide so the interpolated
+        # estimate must land within one bucket ratio of the truth.
+        assert 50 / 1.34 <= h.quantile(0.5) <= 50 * 1.34
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.0) >= 1.0
+
+    def test_histogram_empty_is_nan(self):
+        h = Histogram()
+        assert math.isnan(h.mean)
+        assert math.isnan(h.p50)
+        assert h.as_dict()["min"] is None
+
+    def test_histogram_weighted_observe(self):
+        h = Histogram()
+        h.observe(10.0, n=5)
+        assert h.count == 5 and h.total == 50.0
+
+    def test_bucket_bounds_monotonic(self):
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+        assert len(set(BUCKET_BOUNDS)) == len(BUCKET_BOUNDS)
+
+    def test_snapshot_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(5.0)
+        snap = reg.snapshot()
+        assert snap["schema"] == 1
+        assert snap["counters"] == {"c": 3}
+        json.dumps(snap)  # snapshot must be JSON-able as-is
+        rendered = reg.render()
+        assert "c" in rendered and "histogram" in rendered
+        assert MetricsRegistry().render() == "(registry is empty)"
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        obs.set_enabled(False)
+        s1 = obs.span("a")
+        s2 = obs.span("b")
+        assert s1 is s2  # the shared no-op singleton: zero allocation
+
+    def test_span_rolls_up_into_registry(self, obs_on):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert obs_on.histogram("span.outer").count == 1
+        assert obs_on.histogram("span.inner").count == 1
+
+    def test_nesting_paths(self, obs_on, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        obs.start_trace(trace_file)
+        with obs.span("build"):
+            with obs.span("phase"):
+                pass
+            with obs.span("phase"):
+                pass
+        obs.stop_trace()
+        events = read_trace(trace_file)
+        spans = [e for e in events if e["t"] == "span"]
+        # Children exit before the parent; same-path spans both recorded.
+        assert [s["path"] for s in spans] == [
+            "build/phase", "build/phase", "build",
+        ]
+        assert spans[0]["depth"] == 1 and spans[-1]["depth"] == 0
+
+
+class TestTrace:
+    def _write_trace(self, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        obs.start_trace(trace_file)
+        obs.registry().counter("demo.counter").inc(9)
+        with obs.span("build"):
+            with obs.span("contract"):
+                pass
+        with obs.span("serve"):
+            pass
+        obs.stop_trace()
+        return trace_file
+
+    def test_roundtrip_with_metrics(self, obs_on, tmp_path):
+        trace_file = self._write_trace(tmp_path)
+        events = read_trace(trace_file)
+        assert events[0]["t"] == "header" and events[0]["schema"] == 1
+        from repro.obs.trace import trace_metrics
+
+        snapshot = trace_metrics(events)
+        assert snapshot["counters"]["demo.counter"] == 9
+
+    def test_rollup_tree(self, obs_on, tmp_path):
+        events = read_trace(self._write_trace(tmp_path))
+        root = rollup(events)
+        assert set(root.children) == {"build", "serve"}
+        build = root.children["build"]
+        assert set(build.children) == {"contract"}
+        assert build.self_us >= 0.0
+        assert build.total_us >= build.children["contract"].total_us
+        rendered = render_tree(root)
+        assert "contract" in rendered and "self" in rendered
+        summary = tree_summary(root)
+        assert summary["build"]["children"]["contract"]["count"] == 1
+        json.dumps(summary)
+
+    def test_torn_tail_is_skipped(self, obs_on, tmp_path):
+        trace_file = self._write_trace(tmp_path)
+        with open(trace_file, "a", encoding="utf-8") as fh:
+            fh.write('{"t": "span", "name": "torn')  # crashed writer
+        events = read_trace(trace_file)
+        assert all("torn" not in str(e.get("name", "")) for e in events)
+
+    def test_rejects_non_trace_files(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        with pytest.raises(ValueError, match="bad header"):
+            read_trace(bad)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(empty)
+        skewed = tmp_path / "skew.jsonl"
+        skewed.write_text('{"t": "header", "schema": 999}\n')
+        with pytest.raises(ValueError, match="schema"):
+            read_trace(skewed)
+
+
+class TestCounterParity:
+    """Settled/heap-push counts must agree between CSR and legacy paths.
+
+    Pushes happen only on strict distance improvement on both sides, so
+    every vertex carries at most one heap entry with its final label —
+    the kernel's lazy-deletion pops and the legacy settled-set pops
+    then biject (ROADMAP: the differential control checks counters,
+    not just answers).
+    """
+
+    def _point_counters(self, monkeypatch, mode_env, graph, pairs):
+        monkeypatch.setenv(mode_env, "1")
+        obs.reset()
+        obs.set_enabled(True)
+        results = [dijkstra_distance(graph, s, t) for s, t in pairs]
+        counters = obs.registry().counter_values("dijkstra.point")
+        monkeypatch.delenv(mode_env)
+        return results, counters
+
+    def test_point_query_parity(self, monkeypatch, co_tiny, rng):
+        pairs = random_pairs(co_tiny, rng, 25) + [(0, 0), (1, 1)]
+        try:
+            d_csr, c_csr = self._point_counters(
+                monkeypatch, "REPRO_FORCE_CSR", co_tiny, pairs
+            )
+            d_py, c_py = self._point_counters(
+                monkeypatch, "REPRO_NO_CSR", co_tiny, pairs
+            )
+        finally:
+            obs.set_enabled(False)
+            obs.reset()
+        assert d_csr == d_py
+        assert c_csr["dijkstra.point.queries"] == len(pairs)
+        assert c_csr == c_py  # settled AND heap_pushes, exactly
+        assert c_csr["dijkstra.point.settled"] > 0
+        assert c_csr["dijkstra.point.heap_pushes"] > 0
+
+    def test_disabled_records_nothing(self, monkeypatch, co_tiny):
+        obs.reset()
+        obs.set_enabled(False)
+        dijkstra_distance(co_tiny, 0, co_tiny.n - 1)
+        assert obs.registry().counter_values("dijkstra.point") == {}
+
+
+class TestWiring:
+    """Spot-checks that build/query layers actually feed the registry."""
+
+    def test_ch_query_counters(self, obs_on, ch_co):
+        ch_co.distance(0, ch_co.graph.n - 1)
+        values = obs_on.counter_values("ch.query")
+        assert values["ch.query.queries"] == 1
+        assert values["ch.query.settled"] == ch_co.last_settled > 0
+
+    def test_bidijkstra_counters(self, obs_on, bidij_co):
+        bidij_co.distance(1, bidij_co.graph.n - 2)
+        values = obs_on.counter_values("bidijkstra")
+        assert values["bidijkstra.queries"] == 1
+        assert values["bidijkstra.settled"] == bidij_co.last_settled > 0
+
+    def test_tnr_locality_counters(self, obs_on, tnr_co):
+        n = tnr_co.graph.n
+        for s, t in [(0, n - 1), (1, n - 2), (2, 3)]:
+            tnr_co.distance(s, t)
+        values = obs_on.counter_values("tnr.locality")
+        assert sum(values.values()) == 3
+        assert values.get("tnr.locality.table_hits", 0) >= 1  # (0, n-1) is far
+        assert values.get("tnr.locality.fallback", 0) >= 1    # (2, 3) is near
+
+    def test_build_spans_cover_five_techniques(self, obs_on, de_tiny, tmp_path):
+        from repro.core.bidirectional import BidirectionalDijkstra
+        from repro.core.ch import ContractionHierarchy
+        from repro.core.pcpd.index import build_pcpd
+        from repro.core.silc import build_silc
+        from repro.core.tnr import build_tnr
+
+        trace_file = tmp_path / "pipeline.jsonl"
+        obs.start_trace(trace_file)
+        BidirectionalDijkstra(de_tiny)
+        ch = ContractionHierarchy.build(de_tiny)
+        build_tnr(de_tiny, ch, 8)
+        build_silc(de_tiny, workers=0)
+        build_pcpd(de_tiny, workers=0)
+        obs.stop_trace()
+
+        root = rollup(read_trace(trace_file))
+        top = set(root.children)
+        for phase in ("bidijkstra.setup", "ch.build", "tnr.build",
+                      "silc.build", "pcpd.build"):
+            assert phase in top, f"missing build span {phase}"
+        assert "tnr.table" in root.children["tnr.build"].children
+        assert "pcpd.apsp" in root.children["pcpd.build"].children
+        counters = obs_on.counter_values("")
+        assert counters["ch.build.runs"] == 1
+        assert counters["silc.build.runs"] == 1
+        assert counters["pcpd.build.pairs"] > 0
+
+    def test_serve_histograms(self, obs_on, ch_co):
+        from repro.harness.experiments import batched_distances
+
+        pairs = [(0, 5), (1, 5), (0, 7), (2, 9)]
+        batched_distances(ch_co, pairs, batch_size=2)
+        reg = obs_on
+        assert reg.counter("serve.pairs").value == 4
+        assert reg.counter("serve.batches").value == 2
+        assert reg.histogram("serve.batch_us").count == 2
+        assert reg.histogram("serve.request_us").count == 4
+        # Batch 1 repeats source 0: one source sweep saved.
+        assert reg.counter("serve.dedup_saved").value >= 1
+
+    def test_cache_counters_mirrored(self, obs_on, tmp_path):
+        from repro.harness.cache import MISSING, DiskCache
+
+        cache = DiskCache(tmp_path / "c")
+        assert cache.load(("k",)) is MISSING
+        cache.store(("k",), {"v": 1})
+        assert cache.load(("k",)) == {"v": 1}
+        values = obs_on.counter_values("cache")
+        assert values["cache.misses"] == 1
+        assert values["cache.hits"] == 1
+        assert values["cache.writes"] == 1
+
+
+class TestObsCLI:
+    @pytest.fixture()
+    def trace_file(self, obs_on, tmp_path, ch_co):
+        from repro.harness.experiments import batched_distances
+
+        path = tmp_path / "run.jsonl"
+        obs.start_trace(path)
+        batched_distances(ch_co, [(0, 5), (1, 7)])
+        obs.stop_trace()
+        return path
+
+    def test_trace_subcommand_renders_tree(self, trace_file, capsys):
+        assert cli_main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.batched" in out and "self" in out
+
+    def test_trace_subcommand_json(self, trace_file, capsys):
+        assert cli_main(["trace", str(trace_file), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["serve.batched"]["count"] == 1
+
+    def test_trace_subcommand_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "nope.jsonl"
+        bad.write_text("garbage\n")
+        assert cli_main(["trace", str(bad)]) == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:") and len(err.splitlines()) == 1
+
+    def test_stats_from_trace(self, trace_file, capsys):
+        assert cli_main(["stats", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.pairs" in out
+        assert cli_main(["stats", "--trace", str(trace_file), "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["serve.pairs"] == 2
+
+    def test_stats_live_registry(self, obs_on, tmp_path, capsys):
+        obs.registry().counter("demo.live").inc(3)
+        assert cli_main(["stats", "--cache", str(tmp_path / "none")]) == 0
+        assert "demo.live" in capsys.readouterr().out
+
+
+class TestServeErrorPaths:
+    """`repro-harness serve` must fail with one-line diagnostics."""
+
+    def _err_lines(self, capsys):
+        err = capsys.readouterr().err.strip()
+        return err.splitlines()
+
+    def test_unknown_technique(self, capsys):
+        assert cli_main(["serve", "--technique", "warp"]) == 2
+        lines = self._err_lines(capsys)
+        assert len(lines) == 1
+        assert "unknown technique 'warp'" in lines[0]
+
+    def test_unknown_dataset(self, capsys):
+        assert cli_main(["serve", "--dataset", "Atlantis",
+                         "--tier", "tiny"]) == 2
+        lines = self._err_lines(capsys)
+        assert len(lines) == 1 and "unknown dataset" in lines[0]
+
+    def test_malformed_pair_file(self, tmp_path, capsys):
+        bad = tmp_path / "pairs.txt"
+        bad.write_text("1 2\n3 four\n")
+        assert cli_main(["serve", "--tier", "tiny",
+                         "--pair-file", str(bad)]) == 2
+        lines = self._err_lines(capsys)
+        assert len(lines) == 1
+        assert f"{bad}:2" in lines[0] and "non-integer" in lines[0]
+
+    def test_pair_file_wrong_arity(self, tmp_path, capsys):
+        bad = tmp_path / "pairs.txt"
+        bad.write_text("1 2 3\n")
+        assert cli_main(["serve", "--tier", "tiny",
+                         "--pair-file", str(bad)]) == 2
+        assert "expected 'source target'" in self._err_lines(capsys)[0]
+
+    def test_missing_pair_file(self, tmp_path, capsys):
+        assert cli_main(["serve", "--tier", "tiny",
+                         "--pair-file", str(tmp_path / "nope.txt")]) == 2
+        assert "cannot read pair file" in self._err_lines(capsys)[0]
+
+    def test_empty_batch(self, tmp_path, capsys):
+        empty = tmp_path / "pairs.txt"
+        empty.write_text("# nothing but comments\n\n")
+        assert cli_main(["serve", "--tier", "tiny",
+                         "--pair-file", str(empty)]) == 1
+        lines = self._err_lines(capsys)
+        assert len(lines) == 1 and "empty batch" in lines[0]
+
+    def test_out_of_range_pair(self, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 999999\n")
+        assert cli_main(["serve", "--tier", "tiny",
+                         "--pair-file", str(pairs)]) == 2
+        assert "out of range" in self._err_lines(capsys)[0]
+
+    def test_pair_file_happy_path(self, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 5\n1 3  # comment\n0 5\n")
+        assert cli_main(["serve", "--tier", "tiny",
+                         "--pair-file", str(pairs), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "served 3 pairs" in out and "answers identical" in out
