@@ -1,0 +1,118 @@
+"""Benchmark the query service against single-process serving.
+
+Measures, per technique, over the same Q-set workload split into
+client-sized requests (see ``repro.serve.service.bench_serving``):
+
+- ``qps_inprocess_batched`` — one process, one big batched call
+  (the coalescing ceiling, no service overhead);
+- ``qps_single``            — one process answering each request
+  individually (what a naive service does);
+- ``qps_service_1w/2w``     — the full service (shared-memory
+  segments + worker pool + micro-batching scheduler);
+- ``speedup_2w``            — ``qps_service_2w / qps_single``; the
+  acceptance gate requires >= 1.5 on CH. On a single-core box this
+  gain is pure request coalescing; with real cores, worker
+  parallelism stacks on top.
+
+``bit_identical`` confirms every service answer equals the in-process
+batched answer bit for bit.
+
+Usage::
+
+    python scripts/serve_bench.py                          # print only
+    python scripts/serve_bench.py --output BENCH_serve.json
+    python scripts/serve_bench.py --check BENCH_serve.json # gate CI
+
+``--check`` re-measures and exits non-zero if CH's ``speedup_2w``
+fell below half the committed value (machine-noise tolerance), if it
+is below the 1.5x acceptance threshold, or if any technique's answers
+stopped being bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness.registry import Registry
+from repro.serve.service import bench_serving
+
+THRESHOLD_2W = 1.5
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the multi-worker query service."
+    )
+    parser.add_argument("--dataset", default="DE")
+    parser.add_argument("--tier", default="small")
+    parser.add_argument(
+        "--techniques", default="ch,tnr,dijkstra",
+        help="comma-separated techniques to bench (default: ch,tnr,dijkstra)",
+    )
+    parser.add_argument("--pairs", type=int, default=2000)
+    parser.add_argument("--request-size", type=int, default=8)
+    parser.add_argument("--batch", type=int, default=256)
+    parser.add_argument("--output", default=None, metavar="FILE")
+    parser.add_argument("--check", default=None, metavar="FILE")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = Registry(tier=args.tier, verbose=False)
+    techniques = tuple(
+        t.strip() for t in args.techniques.split(",") if t.strip()
+    )
+    report = bench_serving(
+        registry,
+        args.dataset,
+        techniques,
+        n_pairs=args.pairs,
+        request_size=args.request_size,
+        max_batch=args.batch,
+    )
+    report["measured_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    for tech, entry in report["techniques"].items():
+        print(f"{tech}:")
+        for key, value in entry.items():
+            print(f"  {key:<22} {value}")
+
+    failures: list[str] = []
+    ch = report["techniques"].get("ch")
+    if ch is not None and ch["speedup_2w"] < THRESHOLD_2W:
+        failures.append(
+            f"ch speedup_2w {ch['speedup_2w']} below the "
+            f"{THRESHOLD_2W}x acceptance threshold"
+        )
+    for tech, entry in report["techniques"].items():
+        if entry.get("bit_identical") is False:
+            failures.append(f"{tech}: service answers not bit-identical")
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        base_ch = baseline.get("techniques", {}).get("ch")
+        if ch is not None and base_ch is not None:
+            floor = base_ch["speedup_2w"] / 2.0
+            if ch["speedup_2w"] < floor:
+                failures.append(
+                    f"ch speedup_2w {ch['speedup_2w']} fell below half the "
+                    f"committed baseline ({base_ch['speedup_2w']})"
+                )
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

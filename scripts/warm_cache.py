@@ -4,10 +4,18 @@ Resumable: everything lands in the disk cache, so re-running after an
 interruption continues where it stopped. Usage:
 
     python scripts/warm_cache.py [tier]
+    python scripts/warm_cache.py small --techniques ch,tnr
+
+``--techniques`` restricts the warm-up to a comma-separated subset of
+{ch, tnr, silc, pcpd} — handy before starting the query service
+(docs/SERVING.md), which only needs the techniques it will publish.
+Graphs and query workloads are always warmed; the TNR grid-sweep
+variants are only built when ``tnr`` is included.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -15,10 +23,42 @@ from repro.datasets import DATASET_NAMES
 from repro.harness.figures import GRID_SWEEP_DATASETS, TNR_VARIANT_DATASETS
 from repro.harness.registry import Registry
 
+ALL_TECHNIQUES = ("ch", "tnr", "silc", "pcpd")
 
-def main() -> int:
-    tier = sys.argv[1] if len(sys.argv) > 1 else None
-    reg = Registry(**({"tier": tier} if tier else {}))
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Pre-build indexes and workloads into the disk cache."
+    )
+    parser.add_argument(
+        "tier", nargs="?", default=None,
+        help="dataset tier (tiny/small/medium; default: REPRO_TIER)",
+    )
+    parser.add_argument(
+        "--techniques", default=None, metavar="LIST",
+        help=f"comma-separated subset of {{{','.join(ALL_TECHNIQUES)}}} "
+             "to warm (default: all)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.techniques is None:
+        techniques = set(ALL_TECHNIQUES)
+    else:
+        techniques = {
+            t.strip().lower() for t in args.techniques.split(",") if t.strip()
+        }
+        unknown = techniques - set(ALL_TECHNIQUES)
+        if unknown:
+            print(
+                f"error: unknown technique(s) {sorted(unknown)} "
+                f"(choose from {', '.join(ALL_TECHNIQUES)})",
+                file=sys.stderr,
+            )
+            return 2
+    reg = Registry(**({"tier": args.tier} if args.tier else {}))
     started = time.time()
 
     for name in DATASET_NAMES:
@@ -26,18 +66,23 @@ def main() -> int:
         reg.graph(name)
         reg.q_sets(name)
         reg.r_sets(name)
-        reg.ch(name)
-        reg.tnr(name)
+        if "ch" in techniques or "tnr" in techniques:
+            reg.ch(name)  # also TNR's fallback
+        if "tnr" in techniques:
+            reg.tnr(name)
         if reg.spec(name).allows_spatial_methods:
-            reg.silc(name)
-            reg.pcpd(name)
+            if "silc" in techniques:
+                reg.silc(name)
+            if "pcpd" in techniques:
+                reg.pcpd(name)
 
-    for name in GRID_SWEEP_DATASETS:
-        print(f"--- grids {name} {time.time() - started:.0f}s elapsed", flush=True)
-        reg.tnr(name, grid=2 * reg.spec(name).tnr_grid)
-        reg.hybrid_tnr(name)
-    for name in TNR_VARIANT_DATASETS:
-        reg.hybrid_tnr(name)
+    if "tnr" in techniques:
+        for name in GRID_SWEEP_DATASETS:
+            print(f"--- grids {name} {time.time() - started:.0f}s elapsed", flush=True)
+            reg.tnr(name, grid=2 * reg.spec(name).tnr_grid)
+            reg.hybrid_tnr(name)
+        for name in TNR_VARIANT_DATASETS:
+            reg.hybrid_tnr(name)
 
     print(f"cache warm in {time.time() - started:.0f}s")
     if reg.cache_stats is not None:

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.dijkstra import first_hop_tables
-from repro.core.silc.quadtree import compress_partition
+from repro.core.silc.quadtree import compress_partitions
 from repro.graph.coords import square_hull
 from repro.graph.graph import Graph
 from repro.graph.morton import MortonMapper
@@ -78,16 +78,19 @@ class SILCIndex:
 def _chunk_partitions(context, chunk: list[int]):
     """Compressed partitions for a chunk of sources (top level for the pool).
 
-    One batched first-hop kernel call covers the whole chunk; the
-    Morton reordering (``colors``) is a fancy-index gather per source.
+    One batched first-hop kernel call covers the whole chunk, one
+    fancy-index gather reorders every row into Morton order at once,
+    and one shared quadtree descent
+    (:func:`repro.core.silc.quadtree.compress_partitions`) compresses
+    the whole chunk — no per-vertex Python loop anywhere in the pass.
     """
     graph, order, codes_sorted, position = context
     hops = first_hop_tables(graph, chunk)
     order_arr = np.asarray(order, dtype=np.int64)
+    colors = np.asarray(hops, dtype=np.int64)[:, order_arr]
+    skips = [position[v] for v in chunk]
     out = []
-    for i, v in enumerate(chunk):
-        colors = np.asarray(hops[i])[order_arr].tolist()
-        intervals, exc = compress_partition(codes_sorted, colors, position[v])
+    for intervals, exc in compress_partitions(codes_sorted, colors, skips):
         out.append(
             (
                 [a for a, _, _ in intervals],

@@ -19,6 +19,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Sequence
 
+import numpy as np
+
 from repro.graph.morton import MORTON_BITS
 
 #: Colour marking a cell that cannot be split further yet stays mixed
@@ -100,3 +102,90 @@ def compress_partition(
             if c_lo < c_hi:
                 stack.append((c_lo, c_hi, base + k * quarter, quarter))
     return intervals, exceptions
+
+
+def compress_partitions(
+    codes_sorted: Sequence[int],
+    colors: np.ndarray,
+    skips: Sequence[int],
+) -> list[tuple[list[tuple[int, int, int]], dict[int, int]]]:
+    """Compress many sources' colourings in one shared quadtree descent.
+
+    The batched counterpart of :func:`compress_partition`:
+    ``colors[r, i]`` is source ``r``'s colour for the ``i``-th vertex in
+    Morton order, ``skips[r]`` that source's own position. Every source
+    shares the same quadtree geometry (the cells are slices of the one
+    sorted code list), so one descent serves the whole batch: a cell is
+    visited once, carrying the subset of rows still unresolved there,
+    and the per-cell uniformity test is a vectorised compare over a
+    ``rows x cell`` block instead of a Python scan per source.
+
+    Returns ``[(intervals, exceptions), ...]`` per row, element-for-
+    element identical to calling :func:`compress_partition` row by row
+    (asserted by the differential test in ``tests/test_serve.py``) —
+    a row participates in exactly the cells the scalar recursion would
+    visit, and children are pushed in the same reversed order, so
+    intervals emerge sorted by start.
+    """
+    colors = np.asarray(colors, dtype=np.int64)
+    k, n = colors.shape
+    if len(codes_sorted) != n:
+        raise ValueError(f"colors is {k}x{n} but there are {len(codes_sorted)} codes")
+    skips_arr = np.asarray(skips, dtype=np.int64)
+    intervals: list[list[tuple[int, int, int]]] = [[] for _ in range(k)]
+    exceptions: list[dict[int, int]] = [{} for _ in range(k)]
+    span = 1 << (2 * MORTON_BITS)
+
+    # (lo, hi, base, size, rows): rows are the sources whose partition
+    # was still mixed in this cell's parent.
+    stack: list[tuple[int, int, int, int, np.ndarray]] = [
+        (0, n, 0, span, np.arange(k))
+    ]
+    while stack:
+        lo, hi, base, size, rows = stack.pop()
+        m = hi - lo
+        sk = skips_arr[rows]
+        inside = (sk >= lo) & (sk < hi)
+        if m == 1:
+            # Single vertex: empty for the row it is the source of,
+            # a uniform one-vertex cell for everyone else.
+            active = rows[~inside]
+            for r, c in zip(active.tolist(), colors[active, lo].tolist()):
+                intervals[r].append((base, base + size, c))
+            continue
+        block = colors[np.ix_(rows, np.arange(lo, hi))]
+        if inside.any():
+            # Neutralise each row's source column by overwriting it
+            # with another in-cell colour, so the uniformity test and
+            # the emitted colour both ignore the source — exactly the
+            # scalar loop's `if i == skip: continue`.
+            idx = np.nonzero(inside)[0]
+            cols = sk[idx] - lo
+            block[idx, cols] = block[idx, np.where(cols == 0, 1, 0)]
+        uniform = (block == block[:, :1]).all(axis=1)
+        for r, c in zip(rows[uniform].tolist(), block[uniform, 0].tolist()):
+            intervals[r].append((base, base + size, c))
+        rest = rows[~uniform]
+        if len(rest) == 0:
+            continue
+        if size == 1:
+            for r in rest.tolist():
+                intervals[r].append((base, base + 1, MIXED_LEAF))
+                exc = exceptions[r]
+                skip = int(skips_arr[r])
+                for i in range(lo, hi):
+                    if i != skip:
+                        exc[i] = int(colors[r, i])
+            continue
+        quarter = size >> 2
+        boundaries = [lo]
+        for q in (1, 2, 3):
+            boundaries.append(
+                bisect_left(codes_sorted, base + q * quarter, boundaries[-1], hi)
+            )
+        boundaries.append(hi)
+        for q in (3, 2, 1, 0):
+            c_lo, c_hi = boundaries[q], boundaries[q + 1]
+            if c_lo < c_hi:
+                stack.append((c_lo, c_hi, base + q * quarter, quarter, rest))
+    return list(zip(intervals, exceptions))

@@ -343,10 +343,17 @@ class CSRGraph:
         if len(self._pool) < _POOL_CAP:
             self._pool.append(labels)
 
-    # ------------------------------------------------------------------
-    # Pickling: core arrays only (caches and pool rebuild lazily)
-    # ------------------------------------------------------------------
-    def __getstate__(self):
+    def core_arrays(self) -> dict[str, np.ndarray]:
+        """The five defining arrays, by name.
+
+        This is the published layout of a frozen graph: the pickle
+        state, the persistence format, and the serving layer's
+        shared-memory segments (:mod:`repro.serve.segments`) all ship
+        exactly these arrays. Reconstructing a ``CSRGraph`` from views
+        of the same buffers is zero-copy — the constructor's
+        ``ascontiguousarray`` is the identity on contiguous arrays of
+        the right dtype.
+        """
         return {
             "indptr": self.indptr,
             "indices": self.indices,
@@ -354,6 +361,12 @@ class CSRGraph:
             "xs": self.xs,
             "ys": self.ys,
         }
+
+    # ------------------------------------------------------------------
+    # Pickling: core arrays only (caches and pool rebuild lazily)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return self.core_arrays()
 
     def __setstate__(self, state) -> None:
         self.__init__(
@@ -493,14 +506,18 @@ class DirectedCSR:
         out[e[beat]] = True
         return out
 
-    # Pickle the three arc arrays only (the scipy view and reduceat
-    # scratch rebuild lazily, same policy as CSRGraph).
-    def __getstate__(self):
+    def core_arrays(self) -> dict[str, np.ndarray]:
+        """The three arc arrays, by name (see ``CSRGraph.core_arrays``)."""
         return {
             "indptr": self.indptr,
             "indices": self.indices,
             "weights": self.weights,
         }
+
+    # Pickle the three arc arrays only (the scipy view and reduceat
+    # scratch rebuild lazily, same policy as CSRGraph).
+    def __getstate__(self):
+        return self.core_arrays()
 
     def __setstate__(self, state) -> None:
         self.__init__(state["indptr"], state["indices"], state["weights"])

@@ -26,6 +26,13 @@ distance endpoint; see docs/PERFORMANCE.md)::
 
     repro-harness serve --technique ch --dataset DE --pairs 512
 
+Run the multi-worker query service over shared-memory segments
+(docs/SERVING.md)::
+
+    repro-harness service start --dataset DE --workers 2 --techniques ch
+    repro-harness service bench --techniques ch,tnr,dijkstra
+    repro-harness service status --manifest serve-manifest.json
+
 Observability (docs/OBSERVABILITY.md)::
 
     repro-harness --experiment fig8 --trace run.jsonl
@@ -58,8 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Subcommands: 'cache {list,verify,clear,stats}' manages the "
             "disk cache; 'serve' runs the batched distance endpoint; "
-            "'stats' dumps the metrics registry; 'trace <run.jsonl>' "
-            "renders a run trace's phase tree."
+            "'service {start,bench,status}' runs the multi-worker query "
+            "service; 'stats' dumps the metrics registry; "
+            "'trace <run.jsonl>' renders a run trace's phase tree."
         ),
     )
     parser.add_argument(
@@ -78,11 +86,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="render the figure's log-log series as ASCII plots",
     )
-    parser.add_argument(
-        "--trace", default=None, metavar="FILE",
-        help="enable instrumentation and write a JSON-lines run trace to FILE",
-    )
+    _add_trace_flag(parser)
     return parser
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", nargs="?", const="auto", default=None, metavar="FILE",
+        help="enable instrumentation and write a JSON-lines run trace to "
+             "FILE; without FILE, a collision-free default name "
+             "(repro-trace-<pid>-<k>.jsonl) is chosen",
+    )
+
+
+def _resolve_trace(value: str | None) -> str | None:
+    """Map the --trace flag to a path; bare --trace gets a unique name.
+
+    Default names embed the pid and a per-process counter so concurrent
+    runs (CI matrices, the serving pool's workers) never clobber each
+    other's trace files; explicit paths are honoured verbatim.
+    """
+    if not value:
+        return None
+    if value == "auto":
+        return obs.unique_trace_path("repro-trace.jsonl")
+    return value
 
 
 def _print_charts(exp, registry) -> None:
@@ -219,10 +247,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="re-answer every pair per-pair and assert exact agreement",
     )
-    parser.add_argument(
-        "--trace", default=None, metavar="FILE",
-        help="enable instrumentation and write a JSON-lines run trace to FILE",
-    )
+    _add_trace_flag(parser)
     return parser
 
 
@@ -297,8 +322,9 @@ def _serve_main(argv: list[str]) -> int:
         print("error: no query pairs to serve (empty batch)", file=sys.stderr)
         return 1
 
-    if args.trace:
-        obs.start_trace(args.trace)
+    trace = _resolve_trace(args.trace)
+    if trace:
+        obs.start_trace(trace)
     technique = {
         "ch": registry.ch,
         "tnr": registry.tnr,
@@ -327,9 +353,230 @@ def _serve_main(argv: list[str]) -> int:
                 print(f"MISMATCH ({s}, {t}): batched {d} != per-pair {expect}")
                 return 1
         print(f"  per-pair check: all {len(pairs)} answers identical")
-    if args.trace:
+    if trace:
         print(f"[trace] {obs.stop_trace()}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# The multi-worker query service (docs/SERVING.md)
+# ----------------------------------------------------------------------
+def build_service_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness service",
+        description=(
+            "Run the multi-worker query service: shared-memory index "
+            "segments, a persistent worker pool and a micro-batching "
+            "scheduler (see docs/SERVING.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    def _common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="DE", help="dataset name (default: DE)")
+        p.add_argument("--tier", default=None, help="dataset tier (tiny/small/medium)")
+        p.add_argument(
+            "--techniques", default="ch",
+            help="comma-separated techniques to publish/serve (default: ch); "
+                 "the graph (dijkstra) is always published",
+        )
+        p.add_argument(
+            "--pairs", type=int, default=512,
+            help="how many query pairs to serve (drawn from the Q-sets)",
+        )
+        p.add_argument(
+            "--request-size", type=int, default=8,
+            help="pairs per client request before scheduler coalescing",
+        )
+        p.add_argument(
+            "--batch", type=int, default=256,
+            help="scheduler micro-batch cap in pairs (default: 256)",
+        )
+
+    start = sub.add_parser(
+        "start", help="serve a Q-set workload through a fresh worker pool"
+    )
+    _common(start)
+    start.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default: 2)"
+    )
+    start.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="also write the segment manifest to FILE (for `service status`)",
+    )
+    start.add_argument(
+        "--check", action="store_true",
+        help="assert service answers are bit-identical to the in-process "
+             "batched endpoint",
+    )
+    _add_trace_flag(start)
+
+    bench = sub.add_parser(
+        "bench", help="measure QPS per technique (see scripts/serve_bench.py)"
+    )
+    _common(bench)
+    bench.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the full report as JSON to FILE",
+    )
+
+    status = sub.add_parser(
+        "status", help="inspect a running service through its manifest file"
+    )
+    status.add_argument(
+        "--manifest", required=True, metavar="FILE",
+        help="manifest written by `service start --manifest FILE`",
+    )
+    return parser
+
+
+def _service_main(argv: list[str]) -> int:
+    args = build_service_parser().parse_args(argv)
+    from repro.serve import (
+        SegmentError,
+        attach_segments,
+        load_manifest,
+        save_manifest,
+    )
+
+    if args.action == "status":
+        try:
+            manifest = load_manifest(args.manifest)
+        except (OSError, ValueError, SegmentError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        fp = manifest.get("fingerprint", {})
+        print(
+            f"service {manifest.get('service')} — "
+            f"{manifest.get('dataset')}/{manifest.get('tier')} "
+            f"(n={fp.get('n')}, m={fp.get('m')}), "
+            f"publisher pid {manifest.get('publisher_pid')}"
+        )
+        try:
+            with attach_segments(manifest, foreign=True) as segs:
+                for tech in segs.techniques:
+                    entry = manifest["techniques"][tech]
+                    arrays = segs.arrays(tech)
+                    print(
+                        f"  {tech:<9} {entry['segment']:<22} "
+                        f"{entry['nbytes']:>10} bytes  "
+                        f"{len(arrays)} arrays attached"
+                    )
+        except SegmentError as exc:
+            print(f"  segments unreachable: {exc}")
+            return 1
+        print("all segments attached and released (zero-copy, no unlink)")
+        return 0
+
+    from repro.harness.experiments import (
+        batched_distances,
+        request_stream,
+    )
+    from repro.serve import QueryService, ServiceConfig
+    from repro.serve.service import bench_serving, serve_workload
+
+    kwargs = {"verbose": False}
+    if args.tier:
+        kwargs["tier"] = args.tier
+    try:
+        registry = Registry(**kwargs)
+        registry.graph(args.dataset)
+    except KeyError as exc:
+        print(f"error: unknown dataset or tier: {exc}", file=sys.stderr)
+        return 2
+    techniques = tuple(t.strip() for t in args.techniques.split(",") if t.strip())
+
+    if args.action == "bench":
+        try:
+            report = bench_serving(
+                registry,
+                args.dataset,
+                techniques,
+                n_pairs=args.pairs,
+                request_size=args.request_size,
+                max_batch=args.batch,
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for tech, entry in report["techniques"].items():
+            print(f"{tech}: " + ", ".join(
+                f"{k}={v}" for k, v in entry.items()
+            ))
+        if args.output:
+            Path(args.output).write_text(
+                json.dumps(report, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"[bench] wrote {args.output}")
+        return 0
+
+    # start
+    trace = _resolve_trace(args.trace)
+    if trace:
+        obs.start_trace(trace)
+    pairs = [p for qset in registry.q_sets(args.dataset) for p in qset.pairs]
+    while pairs and len(pairs) < args.pairs:
+        pairs = pairs + pairs
+    pairs = pairs[: max(args.pairs, 0)]
+    if not pairs:
+        print("error: no query pairs to serve", file=sys.stderr)
+        return 1
+    requests = request_stream(pairs, args.request_size)
+    config = ServiceConfig(
+        dataset=args.dataset,
+        tier=registry.tier,
+        workers=args.workers,
+        techniques=techniques,
+        max_batch=args.batch,
+    )
+    try:
+        service = QueryService(config, registry=registry)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        print(
+            f"published {', '.join(service.published)} for "
+            f"{args.dataset}/{registry.tier}; {args.workers} worker(s), "
+            f"pids {service.pool.worker_pids}"
+        )
+        if args.manifest:
+            save_manifest(args.manifest, service.manifest)
+            print(f"[manifest] {args.manifest}")
+        failed = 0
+        for tech in techniques:
+            futures, elapsed = serve_workload(service, tech, requests)
+            print(
+                f"{tech}: served {len(pairs)} pairs in {len(requests)} "
+                f"requests: {elapsed:.3f}s ({len(pairs) / elapsed:.0f} pairs/s)"
+            )
+            if args.check:
+                import numpy as np
+
+                builders = {
+                    "dijkstra": registry.bidijkstra,
+                    "ch": registry.ch,
+                    "tnr": registry.tnr,
+                    "silc": registry.silc,
+                }
+                got = np.array([d for f in futures for d in f.result()])
+                want = np.asarray(
+                    batched_distances(builders[tech](args.dataset), pairs)
+                )
+                ok = bool(np.array_equal(got, want))
+                print(f"  bit-identical to in-process batched: {ok}")
+                failed += 0 if ok else 1
+        status = service.status()
+        print(
+            f"shed {status['shed']}, degraded {status['degraded']}, "
+            f"retries {status['retries']}, "
+            f"worker restarts {status['worker_restarts']}"
+        )
+    print("service shut down cleanly")
+    if trace:
+        print(f"[trace] {obs.stop_trace()}")
+    return 1 if failed else 0
 
 
 # ----------------------------------------------------------------------
@@ -428,6 +675,8 @@ def _main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "service":
+        return _service_main(argv[1:])
     if argv and argv[0] == "stats":
         return _stats_main(argv[1:])
     if argv and argv[0] == "trace":
@@ -452,8 +701,9 @@ def _main(argv: list[str] | None = None) -> int:
     if args.datasets:
         run_kwargs["names"] = tuple(args.datasets.split(","))
 
-    if args.trace:
-        obs.start_trace(args.trace)
+    trace = _resolve_trace(args.trace)
+    if trace:
+        obs.start_trace(trace)
     keys = all_keys() if args.experiment == "all" else [args.experiment]
     for key in keys:
         started = time.perf_counter()
@@ -464,7 +714,7 @@ def _main(argv: list[str] | None = None) -> int:
             _print_charts(exp, registry)
     if registry.cache_stats is not None:
         print(f"[cache] {registry.cache_stats}")
-    if args.trace:
+    if trace:
         print(f"[trace] {obs.stop_trace()}")
     return 0
 

@@ -112,6 +112,25 @@ def batched_distances(
     return out
 
 
+def request_stream(
+    pairs: Sequence[tuple[int, int]], request_size: int
+) -> list[list[tuple[int, int]]]:
+    """Split a pair workload into request-sized chunks, in order.
+
+    This models how clients actually arrive at a service: many small
+    independent requests, not one giant batch. The serving scheduler
+    (:mod:`repro.serve.scheduler`) re-coalesces such streams; the bench
+    scripts use the same chunking for the single-process per-request
+    baseline so the comparison is apples to apples.
+    """
+    if request_size < 1:
+        raise ValueError(f"request_size must be >= 1, got {request_size}")
+    return [
+        list(pairs[a : a + request_size])
+        for a in range(0, len(pairs), request_size)
+    ]
+
+
 @dataclass
 class Experiment:
     """One reproduced table/figure: rendered rows plus raw data.

@@ -73,6 +73,7 @@ __all__ = [
     "SpanNode",
     "TRACE_SCHEMA",
     "TraceWriter",
+    "detach_trace",
     "enabled",
     "read_trace",
     "registry",
@@ -86,6 +87,7 @@ __all__ = [
     "stop_trace",
     "trace_metrics",
     "tree_summary",
+    "unique_trace_path",
 ]
 
 
@@ -226,6 +228,50 @@ def trace_path() -> str | None:
     return _trace.path if _trace is not None else None
 
 
+def detach_trace() -> None:
+    """Drop the trace writer *without* closing its file.
+
+    For forked children that inherit an open trace: the file handle
+    (and its path) belong to the parent, so the child must neither
+    write a metrics tail into it nor close it — it just forgets the
+    writer, then typically opens its own file at
+    :func:`unique_trace_path`. No-op when no trace is active.
+    """
+    global _trace
+    _trace = None
+
+
+#: Monotonic per-process counter appended to default trace names.
+_trace_seq = 0
+
+
+def unique_trace_path(base: str | os.PathLike) -> str:
+    """A collision-free variant of a trace path: pid + counter.
+
+    ``run.jsonl`` becomes ``run-<pid>-<k>.jsonl`` with ``k`` counting
+    up per process, so pool workers and concurrent runs that derive
+    their trace names from one configured base never clobber each
+    other's files.
+    """
+    global _trace_seq
+    root, ext = os.path.splitext(os.fspath(base))
+    path = f"{root}-{os.getpid()}-{_trace_seq}{ext or '.jsonl'}"
+    _trace_seq += 1
+    return path
+
+
+# REPRO_TRACE autostart. The first process to import under a given
+# REPRO_TRACE claims the configured path and records its pid; any
+# *other* process importing with the same environment (spawned build
+# workers, subprocess tests) sees a foreign claim and writes to a
+# pid-unique variant instead of clobbering the claimant's file.
+# Long-lived serving workers are forked after import and re-route
+# explicitly via detach_trace()/unique_trace_path() (repro.serve.pool).
 _env_trace = os.environ.get("REPRO_TRACE", "").strip()
 if _env_trace:  # pragma: no cover - exercised via subprocess tests
+    _claim = os.environ.get("REPRO_TRACE_PID", "")
+    if _claim and _claim != str(os.getpid()):
+        _env_trace = unique_trace_path(_env_trace)
+    else:
+        os.environ["REPRO_TRACE_PID"] = str(os.getpid())
     start_trace(_env_trace)

@@ -17,12 +17,31 @@ changes for small graphs or platforms without fork.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from multiprocessing import get_context
 from typing import Any, Callable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def serve_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context for long-lived serving workers.
+
+    Prefers ``fork`` where available: serving workers attach
+    shared-memory segments rather than inheriting big state, but fork
+    still saves the per-worker interpreter + import cost (hundreds of
+    milliseconds of scipy/numpy imports under ``spawn``), which matters
+    when the pool restarts a crashed worker mid-traffic. Falls back to
+    the platform default elsewhere. The build-side :func:`map_with_context`
+    keeps the platform default: its workers inherit the graph through
+    the initializer, which is correct under either start method.
+    """
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return get_context()
 
 # Worker-global slot filled by the pool initializer.
 _WORKER_CONTEXT: Any = None

@@ -60,6 +60,23 @@ class GraphFingerprint:
             total_weight=float(sum(e.weight for e in graph.edges())),
         )
 
+    @staticmethod
+    def of_csr(csr) -> "GraphFingerprint":
+        """Fingerprint from a :class:`~repro.graph.csr.CSRGraph` alone.
+
+        Equal to :meth:`of` on the graph the CSR was frozen from: each
+        undirected edge is stored as two arcs, so the arc-weight sum is
+        twice the edge-weight sum. Used where only the flat arrays are
+        at hand — worker processes attaching shared-memory segments
+        (:mod:`repro.serve.segments`) verify the published graph
+        against a manifest fingerprint without rebuilding a Graph.
+        """
+        return GraphFingerprint(
+            n=csr.n,
+            m=csr.m,
+            total_weight=float(csr.weights.sum()) / 2.0,
+        )
+
 
 def save_index(path: str | os.PathLike, index: Any, graph: Graph) -> str:
     """Write an index with header + fingerprint + checksum; returns the path.

@@ -1,0 +1,551 @@
+"""The persistent worker pool and its shared-memory technique views.
+
+Each worker process attaches the published segments
+(:mod:`repro.serve.segments`) and rebuilds *views* of the indexes —
+lightweight objects whose arrays live in shared memory and whose query
+methods are the repo's existing exact paths:
+
+- :class:`SharedDijkstra` answers through
+  :meth:`repro.graph.csr.CSRGraph.distance_table` (the compiled SSSP
+  sweep) over a CSRGraph wrapping the mapped graph arrays;
+- :class:`SharedCH` exposes the upward :class:`~repro.graph.csr.DirectedCSR`
+  through the same duck-typed surface
+  (``index.n``/``index.upward_csr()``/``upward_search``) that
+  :func:`repro.core.ch.many_to_many.many_to_many` consumes, so CH
+  batches run the bucket engine unchanged;
+- :class:`SharedTNR` replays :class:`repro.core.tnr.query.TransitNodeRouting`'s
+  table/fallback split on the flattened access arrays, with
+  :class:`SharedCH` as the fallback (the paper's recommended setup);
+- :class:`SharedSILC` walks first-hop intervals with ``searchsorted``
+  over the flattened per-vertex interval arrays.
+
+Every view's answers are bit-identical to the in-process technique:
+each underlying primitive is exact per entry (float64 sums of integer
+travel times), so neither the segment indirection nor the scheduler's
+batch partitioning can change a single bit (guarded by
+``tests/test_serve.py``).
+
+The pool itself is deliberately simple: one pipe per worker, batches
+dispatched to the least-loaded worker, completions collected with
+``multiprocessing.connection.wait``. A worker death surfaces as a
+``died`` event carrying the batch ids that were in flight; the pool
+restarts the worker (counted in ``serve.worker_restarts``) and the
+scheduler decides whether to retry the batches.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing.connection import wait as _conn_wait
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.graph.csr import CSRGraph, DirectedCSR
+from repro.parallel import serve_context
+from repro.persistence import GraphFingerprint
+from repro.serve.segments import AttachedSegments, SegmentError, attach_segments
+
+INF = float("inf")
+
+#: Matches repro.core.tnr.grid.OUTER_RADIUS (imported lazily to keep
+#: the worker's import graph small would be false economy — assert at
+#: build time instead).
+from repro.core.tnr.grid import OUTER_RADIUS
+from repro.core.silc.quadtree import MIXED_LEAF
+
+
+# ----------------------------------------------------------------------
+# Shared technique views
+# ----------------------------------------------------------------------
+class SharedDijkstra:
+    """Bidirectional-Dijkstra-equivalent serving view (exact baseline).
+
+    Answers through the CSR batched sweep, the same kernel
+    :class:`repro.core.bidirectional.BidirectionalDijkstra` dispatches
+    its ``distance_table`` to.
+    """
+
+    name = "Dijkstra"
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.csr = csr
+
+    def distance_table(self, sources, targets) -> np.ndarray:
+        return self.csr.distance_table(sources, targets)
+
+    def distance(self, source: int, target: int) -> float:
+        if source == target:
+            return 0.0
+        return float(self.csr.distance_table([source], [target])[0, 0])
+
+
+class _SharedCHIndex:
+    """Duck-typed stand-in for :class:`repro.core.ch.contraction.CHIndex`
+    carrying only what the many-to-many engine reads."""
+
+    __slots__ = ("n", "_ucsr")
+
+    def __init__(self, n: int, ucsr: DirectedCSR) -> None:
+        self.n = n
+        self._ucsr = ucsr
+
+    def upward_csr(self) -> DirectedCSR:
+        return self._ucsr
+
+
+class SharedCH:
+    """CH distance serving over the shared upward arc arrays."""
+
+    name = "CH"
+
+    def __init__(self, n: int, ucsr: DirectedCSR) -> None:
+        self.index = _SharedCHIndex(n, ucsr)
+
+    def distance_table(self, sources, targets) -> np.ndarray:
+        from repro.core.ch.many_to_many import many_to_many
+
+        return many_to_many(self, sources, targets, dtype=np.float64)
+
+    def distance(self, source: int, target: int) -> float:
+        if source == target:
+            return 0.0
+        return float(self.distance_table([source], [target])[0, 0])
+
+    def upward_search(self, source: int, stall: bool = True) -> dict[int, float]:
+        """Flat-array port of ``ContractionHierarchy.upward_search``.
+
+        Only exercised on the legacy many-to-many path (tiny graphs or
+        ``REPRO_NO_CSR=1``); identical label semantics, including
+        stall-on-demand.
+        """
+        from heapq import heappop, heappush
+
+        ucsr = self.index.upward_csr()
+        indptr, indices, weights = ucsr.indptr, ucsr.indices, ucsr.weights
+        dist: dict[int, float] = {source: 0.0}
+        settled: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        dist_get = dist.get
+        while heap:
+            d, u = heappop(heap)
+            if u in settled or d > dist[u]:
+                continue
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            if stall:
+                stalled = False
+                for k in range(lo, hi):
+                    dv = dist_get(int(indices[k]))
+                    if dv is not None and dv + weights[k] < d:
+                        stalled = True
+                        break
+                if stalled:
+                    continue
+            settled[u] = d
+            for k in range(lo, hi):
+                v = int(indices[k])
+                nd = d + float(weights[k])
+                if nd < dist_get(v, INF):
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        return settled
+
+
+class SharedTNR:
+    """TNR distance serving: shared transit table + flattened I2 arrays.
+
+    ``distance_table`` mirrors
+    :meth:`repro.core.tnr.query.TransitNodeRouting.distance_table`
+    line for line — answerable pairs gather Equation 1 from the shared
+    table, the rest batch through the fallback's ``distance_table``
+    over deduplicated endpoints.
+    """
+
+    name = "TNR"
+
+    def __init__(
+        self,
+        g: int,
+        cells: np.ndarray,
+        table: np.ndarray,
+        va_indptr: np.ndarray,
+        va_idx: np.ndarray,
+        va_dist: np.ndarray,
+        fallback,
+    ) -> None:
+        self.g = g
+        self.cells = cells
+        self.table = table
+        self.va_indptr = va_indptr
+        self.va_idx = va_idx
+        self.va_dist = va_dist
+        self.fallback = fallback
+
+    def answerable(self, u: int, v: int) -> bool:
+        ca, cb = int(self.cells[u]), int(self.cells[v])
+        g = self.g
+        return max(abs(ca % g - cb % g), abs(ca // g - cb // g)) > OUTER_RADIUS
+
+    def _access(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = int(self.va_indptr[v]), int(self.va_indptr[v + 1])
+        return self.va_idx[lo:hi], self.va_dist[lo:hi]
+
+    def _table_distance(self, source: int, target: int) -> float:
+        ai, ds = self._access(source)
+        aj, dt = self._access(target)
+        if len(ai) == 0 or len(aj) == 0:
+            return INF
+        middle = self.table[np.ix_(ai, aj)].astype(np.float64)
+        totals = ds[:, None] + middle + dt[None, :]
+        return float(totals.min())
+
+    def distance(self, source: int, target: int) -> float:
+        if source == target:
+            return 0.0
+        if not self.answerable(source, target):
+            return self.fallback.distance(source, target)
+        return self._table_distance(source, target)
+
+    def distance_table(self, sources, targets) -> np.ndarray:
+        src = [int(s) for s in sources]
+        tgt = [int(t) for t in targets]
+        out = np.empty((len(src), len(tgt)), dtype=np.float64)
+        pending: list[tuple[int, int]] = []
+        for i, s in enumerate(src):
+            row = out[i]
+            for j, t in enumerate(tgt):
+                if s == t:
+                    row[j] = 0.0
+                elif self.answerable(s, t):
+                    row[j] = self._table_distance(s, t)
+                else:
+                    pending.append((i, j))
+        if pending:
+            f_src = sorted({src[i] for i, _ in pending})
+            f_tgt = sorted({tgt[j] for _, j in pending})
+            sub = np.asarray(
+                self.fallback.distance_table(f_src, f_tgt), dtype=np.float64
+            )
+            si = {v: k for k, v in enumerate(f_src)}
+            ti = {v: k for k, v in enumerate(f_tgt)}
+            for i, j in pending:
+                out[i, j] = sub[si[src[i]], ti[tgt[j]]]
+        return out
+
+
+class SharedSILC:
+    """SILC distance serving: interval bisection over flattened arrays.
+
+    The walk is the same first-hop iteration as
+    :meth:`repro.core.silc.query.SILC.distance` — same visit order,
+    same float64 weight sums — with ``np.searchsorted`` standing in for
+    ``bisect_right`` and a per-vertex binary search over the graph's
+    neighbour-sorted CSR row standing in for ``weight_map``.
+    """
+
+    name = "SILC"
+
+    def __init__(self, csr: CSRGraph, arrays: dict[str, np.ndarray]) -> None:
+        self.csr = csr
+        self.codes = arrays["codes"]
+        self.iv_indptr = arrays["iv_indptr"]
+        self.iv_start = arrays["iv_start"]
+        self.iv_end = arrays["iv_end"]
+        self.iv_color = arrays["iv_color"]
+        self.exc_indptr = arrays["exc_indptr"]
+        self.exc_key = arrays["exc_key"]
+        self.exc_val = arrays["exc_val"]
+
+    def _edge_weight(self, u: int, v: int) -> float:
+        indptr = self.csr.indptr
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        k = lo + int(np.searchsorted(self.csr.indices[lo:hi], v))
+        return float(self.csr.weights[k])
+
+    def next_hop(self, source: int, target: int) -> int:
+        code = int(self.codes[target])
+        lo, hi = int(self.iv_indptr[source]), int(self.iv_indptr[source + 1])
+        i = lo + int(np.searchsorted(self.iv_start[lo:hi], code, side="right")) - 1
+        if i < lo or code >= int(self.iv_end[i]):
+            raise KeyError(
+                f"morton code of {target} not covered by partition of {source}"
+            )
+        color = int(self.iv_color[i])
+        if color == MIXED_LEAF:
+            elo, ehi = int(self.exc_indptr[source]), int(self.exc_indptr[source + 1])
+            k = elo + int(np.searchsorted(self.exc_key[elo:ehi], target))
+            if k >= ehi or int(self.exc_key[k]) != target:
+                raise KeyError(target)
+            color = int(self.exc_val[k])
+        return color
+
+    def distance(self, source: int, target: int) -> float:
+        if source == target:
+            return 0.0
+        total = 0.0
+        current = source
+        while current != target:
+            nxt = self.next_hop(current, target)
+            if nxt < 0:
+                return INF
+            total += self._edge_weight(current, nxt)
+            current = nxt
+        return total
+
+
+def build_techniques(segs: AttachedSegments) -> dict:
+    """Instantiate the shared views for every published technique.
+
+    Verifies the graph segment against the manifest fingerprint before
+    answering anything through it; TNR requires CH in the same manifest
+    (its fallback), which :func:`repro.serve.service.build_payloads`
+    guarantees at publish time.
+    """
+    manifest = segs.manifest
+    out: dict = {}
+    graph_arrays = segs.arrays("dijkstra")
+    csr = CSRGraph(**graph_arrays)
+    fp = manifest.get("fingerprint", {})
+    got = GraphFingerprint.of_csr(csr)
+    if (got.n, got.m) != (fp.get("n"), fp.get("m")) or got.total_weight != fp.get(
+        "total_weight"
+    ):
+        raise SegmentError(
+            f"graph segment does not match the manifest fingerprint "
+            f"({got} vs {fp})"
+        )
+    out["dijkstra"] = SharedDijkstra(csr)
+    if "ch" in manifest["techniques"]:
+        a = segs.arrays("ch")
+        ucsr = DirectedCSR(a["indptr"], a["indices"], a["weights"])
+        out["ch"] = SharedCH(int(segs.meta("ch")["n"]), ucsr)
+    if "tnr" in manifest["techniques"]:
+        if "ch" not in out:
+            raise SegmentError("tnr segment published without its ch fallback")
+        a = segs.arrays("tnr")
+        out["tnr"] = SharedTNR(
+            g=int(segs.meta("tnr")["g"]),
+            cells=a["cells"],
+            table=a["table"],
+            va_indptr=a["va_indptr"],
+            va_idx=a["va_idx"],
+            va_dist=a["va_dist"],
+            fallback=out["ch"],
+        )
+    if "silc" in manifest["techniques"]:
+        out["silc"] = SharedSILC(csr, segs.arrays("silc"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(manifest: dict, conn, trace_base: str | None) -> None:
+    """Worker loop: attach, build views, answer batches until ``stop``.
+
+    Protocol (parent -> worker): ``("batch", id, technique, pairs)`` or
+    ``("stop",)``. Worker -> parent: ``("ready", pid)`` once, then
+    ``("ok", id, distances)`` / ``("err", id, message)`` per batch.
+    Only the pairs and the result row cross the pipe — never index
+    arrays (the zero-copy contract the tests assert).
+    """
+    from repro.harness.experiments import batched_distances
+
+    if trace_base or obs.trace_path() is not None:
+        # Forked workers inherit the parent's open trace; re-route to a
+        # pid-unique file instead of interleaving with (or closing) it.
+        base = trace_base or obs.trace_path()
+        obs.detach_trace()
+        obs.start_trace(obs.unique_trace_path(base))
+    segs = None
+    try:
+        segs = attach_segments(manifest, foreign=False)
+        techniques = build_techniques(segs)
+        conn.send(("ready", os.getpid()))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _, batch_id, technique, pairs = msg
+            try:
+                with obs.span("serve.worker_batch"):
+                    out = batched_distances(
+                        techniques[technique], pairs, batch_size=max(len(pairs), 1)
+                    )
+                conn.send(("ok", batch_id, out))
+            except Exception as exc:  # surface, don't die
+                conn.send(("err", batch_id, f"{type(exc).__name__}: {exc}"))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        if obs.trace_path() is not None:
+            obs.stop_trace()
+        if segs is not None:
+            segs.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class _Worker:
+    __slots__ = ("process", "conn", "inflight", "ready")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.inflight: dict[int, tuple[str, Sequence]] = {}
+        self.ready = False
+
+
+class WorkerPool:
+    """N persistent workers answering batches over pipes.
+
+    Events from :meth:`poll`:
+
+    - ``("done", batch_id, distances)`` — a batch completed;
+    - ``("error", batch_id, message)`` — the batch raised in the worker
+      (bad technique name, out-of-range vertex — the worker survives);
+    - ``("died", batch_ids)`` — a worker died (crash or kill) with
+      those batches in flight; the pool has already restarted it and
+      incremented ``serve.worker_restarts``. Requeueing is the
+      scheduler's call.
+    """
+
+    def __init__(self, manifest: dict, n_workers: int = 2) -> None:
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        self.manifest = manifest
+        self.n_workers = n_workers
+        self._ctx = serve_context()
+        self._workers: list[_Worker] = []
+        self.restarts = 0
+        self.batches_done = 0
+        self._trace_base = obs.trace_path()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        for _ in range(self.n_workers):
+            self._workers.append(self._spawn())
+        return self
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self.manifest, child_conn, self._trace_base),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    @property
+    def worker_pids(self) -> list[int]:
+        return [w.process.pid for w in self._workers]
+
+    @property
+    def inflight(self) -> int:
+        return sum(len(w.inflight) for w in self._workers)
+
+    # ------------------------------------------------------------------
+    def submit(self, batch_id: int, technique: str, pairs: Sequence) -> None:
+        """Send a batch to the least-loaded live worker.
+
+        A worker whose pipe is already broken is reaped (and restarted)
+        on the spot and the next candidate tried; with every worker
+        freshly dead the batch lands on a restarted one.
+        """
+        last_exc: BaseException | None = None
+        for w in sorted(self._workers, key=lambda w: len(w.inflight)):
+            try:
+                w.conn.send(("batch", batch_id, technique, pairs))
+            except (BrokenPipeError, OSError) as exc:
+                last_exc = exc
+                self._reap(w)  # events for its in-flight batches surface in poll
+                continue
+            w.inflight[batch_id] = (technique, pairs)
+            return
+        raise RuntimeError("no live worker accepted the batch") from last_exc
+
+    def poll(self, timeout: float = 0.0) -> list[tuple]:
+        """Collect completion/death events (waits up to ``timeout`` s)."""
+        events: list[tuple] = []
+        while True:
+            conns = [w.conn for w in self._workers]
+            ready = _conn_wait(conns, timeout)
+            if not ready:
+                # A SIGKILLed worker's pipe usually reports EOF, but
+                # belt-and-braces: reap anything no longer alive.
+                for w in list(self._workers):
+                    if not w.process.is_alive():
+                        events.extend(self._reap_events(w))
+                return events
+            timeout = 0.0  # only block on the first wait
+            for conn in ready:
+                w = next(x for x in self._workers if x.conn is conn)
+                try:
+                    msg = w.conn.recv()
+                except (EOFError, OSError):
+                    events.extend(self._reap_events(w))
+                    continue
+                if msg[0] == "ready":
+                    w.ready = True
+                elif msg[0] == "ok":
+                    _, batch_id, distances = msg
+                    w.inflight.pop(batch_id, None)
+                    self.batches_done += 1
+                    events.append(("done", batch_id, distances))
+                elif msg[0] == "err":
+                    _, batch_id, message = msg
+                    w.inflight.pop(batch_id, None)
+                    events.append(("error", batch_id, message))
+
+    def _reap_events(self, w: _Worker) -> list[tuple]:
+        lost = list(w.inflight)
+        self._reap(w)
+        return [("died", lost)]
+
+    def _reap(self, w: _Worker) -> None:
+        """Replace a dead worker with a fresh one (counted)."""
+        try:
+            w.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if w.process.is_alive():  # broken pipe but still running: kill
+            w.process.terminate()
+        w.process.join(timeout=5)
+        self._workers.remove(w)
+        self._workers.append(self._spawn())
+        self.restarts += 1
+        if obs.ENABLED:
+            obs.registry().counter("serve.worker_restarts").inc()
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Graceful shutdown: stop message, join, then force-kill."""
+        for w in self._workers:
+            try:
+                w.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for w in self._workers:
+            w.process.join(timeout=5)
+            if w.process.is_alive():  # pragma: no cover - stuck worker
+                w.process.kill()
+                w.process.join(timeout=5)
+            try:
+                w.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

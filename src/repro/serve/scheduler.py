@@ -1,0 +1,337 @@
+"""Request scheduler: micro-batching, admission control, retries.
+
+Requests enter as ``(technique, pairs)`` and come back as
+:class:`QueryFuture`\\ s. The scheduler coalesces compatible requests —
+same technique, arrival within the batch window — into one
+``batched_distances`` call on a pool worker, which is where the serving
+throughput comes from: one deduplicated many-to-many table amortises
+the per-query upward-search cost across every request in the batch.
+
+Requests are never split across batches: a batch is whole requests
+packed greedily up to ``max_batch`` pairs (an oversized request gets a
+batch of its own). Because every technique's answers are exact per
+entry, the partitioning cannot change any result bit — the service
+answers bit-identical to an in-process ``batched_distances`` over the
+same pairs regardless of how traffic happened to coalesce.
+
+Admission control is load-shedding, not queueing-forever:
+
+- a bounded queue — submissions beyond ``max_queue`` waiting requests
+  raise :class:`Overloaded` immediately (counter ``serve.shed_queue``);
+- per-request deadlines — a request whose deadline passed while it
+  waited is shed at dispatch time, before any worker spends cycles on
+  it (counter ``serve.shed_deadline``); both shed paths also bump the
+  aggregate ``serve.shed``;
+- graceful degradation — a request for a known technique that is not
+  published in this service's segments is answered by ``degrade_to``
+  (bidirectional Dijkstra by default) with the future's ``degraded``
+  flag set, rather than erroring (counter ``serve.degraded``).
+
+A batch whose worker died is retried exactly once on the restarted
+pool (counter ``serve.retries``); a second death fails its futures.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Sequence
+
+from repro import obs
+from repro.serve.pool import WorkerPool
+
+Pair = tuple[int, int]
+
+
+class Overloaded(RuntimeError):
+    """The service queue is full — the request was rejected unserved."""
+
+
+class QueryFuture:
+    """Handle to one submitted request.
+
+    ``status`` is ``"pending"`` until the scheduler resolves it to
+    ``"done"`` (``distances`` holds one float per submitted pair, in
+    order), ``"shed"`` (deadline passed before dispatch) or
+    ``"failed"`` (``error`` holds the message). ``degraded`` marks
+    requests answered by the fallback technique.
+    """
+
+    __slots__ = ("technique", "pairs", "deadline", "submitted_at", "status",
+                 "distances", "error", "degraded")
+
+    def __init__(
+        self,
+        technique: str,
+        pairs: Sequence[Pair],
+        deadline: float | None,
+        degraded: bool,
+    ) -> None:
+        self.technique = technique
+        self.pairs = list(pairs)
+        self.deadline = deadline
+        self.submitted_at = time.monotonic()
+        self.status = "pending"
+        self.distances: list[float] | None = None
+        self.error: str | None = None
+        self.degraded = degraded
+
+    @property
+    def done(self) -> bool:
+        return self.status != "pending"
+
+    def result(self) -> list[float]:
+        """The distances, or raise for shed/failed requests."""
+        if self.status == "done":
+            assert self.distances is not None
+            return self.distances
+        if self.status == "shed":
+            raise Overloaded(self.error or "request shed")
+        if self.status == "failed":
+            raise RuntimeError(self.error or "request failed")
+        raise RuntimeError("request still pending — drain() the scheduler")
+
+
+class _Batch:
+    """One dispatched unit: whole requests for a single technique."""
+
+    __slots__ = ("batch_id", "technique", "requests", "pairs", "retries")
+
+    def __init__(self, batch_id: int, technique: str,
+                 requests: list[QueryFuture]) -> None:
+        self.batch_id = batch_id
+        self.technique = technique
+        self.requests = requests
+        self.pairs: list[Pair] = [p for r in requests for p in r.pairs]
+        self.retries = 0
+
+    def scatter(self, distances) -> None:
+        offset = 0
+        for r in self.requests:
+            k = len(r.pairs)
+            r.distances = [float(d) for d in distances[offset:offset + k]]
+            r.status = "done"
+            offset += k
+
+    def fail(self, message: str) -> None:
+        for r in self.requests:
+            r.status = "failed"
+            r.error = message
+
+
+class BatchingScheduler:
+    """Coalesce requests into batches and drive them through the pool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        published: Sequence[str],
+        *,
+        known: Sequence[str] | None = None,
+        max_batch: int = 256,
+        batch_window_s: float = 0.002,
+        max_queue: int = 1024,
+        degrade_to: str = "dijkstra",
+    ) -> None:
+        if degrade_to not in published:
+            raise ValueError(
+                f"degradation target {degrade_to!r} is not published "
+                f"(published: {sorted(published)})"
+            )
+        self.pool = pool
+        self.published = frozenset(published)
+        self.known = frozenset(known) if known is not None else self.published
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.max_queue = max_queue
+        self.degrade_to = degrade_to
+        #: Waiting requests per technique, in arrival order.
+        self._queues: dict[str, deque[QueryFuture]] = {}
+        #: Oldest-waiter timestamp per technique (window aging).
+        self._oldest: dict[str, float] = {}
+        self._inflight: dict[int, _Batch] = {}
+        self._next_batch_id = 0
+        # Stats (mirrored into obs counters when enabled).
+        self.dispatched_batches = 0
+        self.dispatched_pairs = 0
+        self.shed = 0
+        self.degraded = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def _count(self, name: str) -> None:
+        if obs.ENABLED:
+            obs.registry().counter(name).inc()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        technique: str,
+        pairs: Sequence[Pair],
+        deadline_s: float | None = None,
+    ) -> QueryFuture:
+        """Enqueue a request; raises :class:`Overloaded` when full.
+
+        ``deadline_s`` is a relative budget: a request not dispatched
+        within that many seconds is shed instead of served late.
+        """
+        technique = technique.lower()
+        degraded = False
+        if technique not in self.published:
+            if technique not in self.known:
+                raise ValueError(
+                    f"unknown technique {technique!r} "
+                    f"(known: {sorted(self.known)})"
+                )
+            technique = self.degrade_to
+            degraded = True
+        if not pairs:
+            raise ValueError("empty request")
+        if self.queued >= self.max_queue:
+            self.shed += 1
+            self._count("serve.shed")
+            self._count("serve.shed_queue")
+            raise Overloaded(
+                f"queue full ({self.queued} requests waiting, "
+                f"limit {self.max_queue})"
+            )
+        deadline = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        fut = QueryFuture(technique, pairs, deadline, degraded)
+        if degraded:
+            self.degraded += 1
+            self._count("serve.degraded")
+        q = self._queues.setdefault(technique, deque())
+        if not q:
+            self._oldest[technique] = fut.submitted_at
+        q.append(fut)
+        return fut
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, technique: str, requests: list[QueryFuture]) -> None:
+        batch = _Batch(self._next_batch_id, technique, requests)
+        self._next_batch_id += 1
+        self._send(batch)
+
+    def _send(self, batch: _Batch) -> None:
+        self._inflight[batch.batch_id] = batch
+        self.pool.submit(batch.batch_id, batch.technique, batch.pairs)
+        self.dispatched_batches += 1
+        self.dispatched_pairs += len(batch.pairs)
+
+    def _flush_technique(self, technique: str) -> None:
+        """Pack the technique's waiting requests into batches and send."""
+        q = self._queues.get(technique)
+        if not q:
+            return
+        now = time.monotonic()
+        current: list[QueryFuture] = []
+        size = 0
+        while q:
+            fut = q.popleft()
+            if fut.deadline is not None and now > fut.deadline:
+                fut.status = "shed"
+                fut.error = "deadline passed before dispatch"
+                self.shed += 1
+                self._count("serve.shed")
+                self._count("serve.shed_deadline")
+                continue
+            if obs.ENABLED:
+                obs.registry().histogram("serve.queue_us").observe(
+                    (now - fut.submitted_at) * 1e6
+                )
+            if current and size + len(fut.pairs) > self.max_batch:
+                self._dispatch(technique, current)
+                current, size = [], 0
+            current.append(fut)
+            size += len(fut.pairs)
+        if current:
+            self._dispatch(technique, current)
+        self._oldest.pop(technique, None)
+
+    def pump(self, block_s: float = 0.0) -> int:
+        """One scheduling step: flush due batches, collect completions.
+
+        A technique's queue is flushed when it holds ``max_batch`` pairs
+        or its oldest waiter has aged past the batch window. Returns the
+        number of requests resolved this step.
+        """
+        now = time.monotonic()
+        for technique in list(self._queues):
+            q = self._queues[technique]
+            if not q:
+                continue
+            pending_pairs = sum(len(f.pairs) for f in q)
+            aged = now - self._oldest.get(technique, now) >= self.batch_window_s
+            if pending_pairs >= self.max_batch or aged:
+                self._flush_technique(technique)
+        return self._collect(block_s)
+
+    def _collect(self, block_s: float) -> int:
+        if not self._inflight:
+            return 0
+        resolved = 0
+        for event in self.pool.poll(block_s):
+            kind = event[0]
+            if kind == "done":
+                _, batch_id, distances = event
+                batch = self._inflight.pop(batch_id, None)
+                if batch is not None:
+                    batch.scatter(distances)
+                    resolved += len(batch.requests)
+            elif kind == "error":
+                _, batch_id, message = event
+                batch = self._inflight.pop(batch_id, None)
+                if batch is not None:
+                    batch.fail(message)
+                    resolved += len(batch.requests)
+            elif kind == "died":
+                (_, batch_ids) = event
+                for batch_id in batch_ids:
+                    batch = self._inflight.pop(batch_id, None)
+                    if batch is None:
+                        continue
+                    if batch.retries == 0:
+                        batch.retries += 1
+                        self.retries += 1
+                        self._count("serve.retries")
+                        self._send(batch)
+                    else:
+                        batch.fail("worker died twice on this batch")
+                        resolved += len(batch.requests)
+        return resolved
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout_s: float = 60.0) -> None:
+        """Flush everything and wait for all in-flight work to resolve."""
+        for technique in list(self._queues):
+            self._flush_technique(technique)
+        deadline = time.monotonic() + timeout_s
+        while self._inflight:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"{len(self._inflight)} batches still in flight after "
+                    f"{timeout_s:.0f}s"
+                )
+            self._collect(min(remaining, 0.25))
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "dispatched_batches": self.dispatched_batches,
+            "dispatched_pairs": self.dispatched_pairs,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "queued": self.queued,
+            "inflight": self.inflight,
+        }

@@ -1,0 +1,390 @@
+"""Shared-memory index segments + the versioned serving manifest.
+
+One serving process (the *publisher*) copies the frozen flat arrays of
+the graph and of each built technique index into POSIX shared memory —
+one segment per technique — and describes them in a small JSON-able
+manifest:
+
+```
+{"schema": 1, "service": "<token>", "dataset": "DE", "tier": "small",
+ "fingerprint": {"n": ..., "m": ..., "total_weight": ...},
+ "techniques": {
+   "ch": {"segment": "rsv-<token>-ch", "nbytes": ...,
+          "meta": {"n": ...},
+          "arrays": {"indptr": {"dtype": "int32", "shape": [601],
+                                "offset": 0}, ...}}, ...}}
+```
+
+Workers (and foreign inspectors like ``repro-harness service status``)
+attach by name and rebuild numpy views straight over the mapped buffer
+— no pickle, no copy; every array offset is 64-byte aligned so views
+are as cache/SIMD-friendly as freshly allocated arrays. The manifest is
+the only thing that crosses process boundaries by value.
+
+Ownership and cleanup
+---------------------
+The publisher owns the segments: only :meth:`SegmentSet.close` unlinks
+them (attachers merely unmap). Cleanup is robust to worker crashes —
+a killed worker leaves the parent's mapping and registration intact,
+so ``close()`` still frees everything; if the *publisher* itself dies
+abnormally, Python's ``resource_tracker`` unlinks the leaked segments
+at interpreter exit.
+
+CPython < 3.13 tracker hazard: ``SharedMemory(name=...)`` registers the
+segment with the caller's resource tracker even on *attach*, so a
+foreign process that merely inspected a segment would unlink it — out
+from under the live service — when that process exits.
+:func:`_attach_shm` neutralises this: it passes ``track=False`` where
+supported (3.13+) and otherwise unregisters foreign attachments
+explicitly. Pool workers are forked from the publisher and share its
+tracker, where the registration set is idempotent and the publisher's
+eventual unlink unregisters exactly once — they must *not* unregister
+(that would erase the publisher's own crash-safety registration), so
+``foreign=False`` skips the workaround for them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, DirectedCSR
+from repro.persistence import GraphFingerprint
+
+#: Manifest schema; attachers reject anything else.
+SERVE_SCHEMA = 1
+
+#: Array offsets inside a segment are rounded up to this many bytes.
+_ALIGN = 64
+
+
+class SegmentError(RuntimeError):
+    """Raised for unattachable, foreign, or mismatched segments."""
+
+
+def _attach_shm(name: str, foreign: bool) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting cleanup duty.
+
+    See the module docstring: ``track=False`` on 3.13+, explicit
+    unregister for ``foreign`` attachments on older interpreters.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        shm = shared_memory.SharedMemory(name=name)
+        if foreign:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker variants
+                pass
+        return shm
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# ----------------------------------------------------------------------
+# Packing: technique objects -> flat array payloads
+# ----------------------------------------------------------------------
+def pack_graph(csr: CSRGraph) -> tuple[dict[str, np.ndarray], dict]:
+    """The frozen graph's five core arrays (serves ``dijkstra``)."""
+    return dict(csr.core_arrays()), {}
+
+
+def pack_ch(ch) -> tuple[dict[str, np.ndarray], dict]:
+    """A CH index as its upward-graph arc arrays.
+
+    The upward ``DirectedCSR`` is everything the bucket-based
+    many-to-many engine needs; vertex ranks, shortcut middles and the
+    augmented adjacency stay behind in the publisher (they serve path
+    unpacking, which the distance service does not do).
+    """
+    up = ch.index.upward_csr()
+    return dict(up.core_arrays()), {"n": int(ch.index.n)}
+
+
+def pack_tnr(tnr) -> tuple[dict[str, np.ndarray], dict]:
+    """A TNR index: cell map, transit table, flattened access lists.
+
+    ``vertex_access``/``vertex_access_dist`` are ragged per-vertex
+    arrays; they flatten into one indptr plus two value arrays, the
+    same trick as the CSR layout itself.
+    """
+    index = tnr.index
+    n = len(index.vertex_access)
+    va_indptr = np.zeros(n + 1, dtype=np.int64)
+    for v, idx in enumerate(index.vertex_access):
+        va_indptr[v + 1] = len(idx)
+    np.cumsum(va_indptr, out=va_indptr)
+    total = int(va_indptr[-1])
+    va_idx = np.empty(total, dtype=np.int32)
+    va_dist = np.empty(total, dtype=np.float64)
+    for v, (idx, dist) in enumerate(
+        zip(index.vertex_access, index.vertex_access_dist)
+    ):
+        va_idx[va_indptr[v] : va_indptr[v + 1]] = idx
+        va_dist[va_indptr[v] : va_indptr[v + 1]] = dist
+    arrays = {
+        "cells": np.asarray(index.grid.cell_of_vertex, dtype=np.int32),
+        "table": np.ascontiguousarray(index.table, dtype=np.float32),
+        "va_indptr": va_indptr,
+        "va_idx": va_idx,
+        "va_dist": va_dist,
+    }
+    return arrays, {"g": int(index.grid.g)}
+
+
+def pack_silc(index) -> tuple[dict[str, np.ndarray], dict]:
+    """A SILC index: Morton codes + flattened interval/exception lists.
+
+    Exception keys are sorted per vertex so the worker-side lookup is a
+    binary search over the vertex's slice.
+    """
+    n = index.n
+    iv_indptr = np.zeros(n + 1, dtype=np.int64)
+    for v in range(n):
+        iv_indptr[v + 1] = len(index.starts[v])
+    np.cumsum(iv_indptr, out=iv_indptr)
+    total = int(iv_indptr[-1])
+    iv_start = np.empty(total, dtype=np.int64)
+    iv_end = np.empty(total, dtype=np.int64)
+    iv_color = np.empty(total, dtype=np.int64)
+    for v in range(n):
+        a, b = iv_indptr[v], iv_indptr[v + 1]
+        iv_start[a:b] = index.starts[v]
+        iv_end[a:b] = index.ends[v]
+        iv_color[a:b] = index.colors[v]
+
+    exc_indptr = np.zeros(n + 1, dtype=np.int64)
+    for v in range(n):
+        exc_indptr[v + 1] = len(index.exceptions[v])
+    np.cumsum(exc_indptr, out=exc_indptr)
+    total = int(exc_indptr[-1])
+    exc_key = np.empty(total, dtype=np.int64)
+    exc_val = np.empty(total, dtype=np.int64)
+    for v in range(n):
+        a = int(exc_indptr[v])
+        for k, (tgt, color) in enumerate(sorted(index.exceptions[v].items())):
+            exc_key[a + k] = tgt
+            exc_val[a + k] = color
+    arrays = {
+        "codes": np.asarray(index.codes, dtype=np.int64),
+        "iv_indptr": iv_indptr,
+        "iv_start": iv_start,
+        "iv_end": iv_end,
+        "iv_color": iv_color,
+        "exc_indptr": exc_indptr,
+        "exc_key": exc_key,
+        "exc_val": exc_val,
+    }
+    return arrays, {"n": int(n)}
+
+
+# ----------------------------------------------------------------------
+# Publisher
+# ----------------------------------------------------------------------
+class SegmentSet:
+    """Owner of one service's published segments.
+
+    ``payloads`` maps technique name to ``(arrays, meta)`` as produced
+    by the ``pack_*`` helpers. The constructor copies every array into
+    its segment (the only copy in the system); :attr:`manifest` is the
+    JSON-able description workers and inspectors attach from.
+    """
+
+    def __init__(
+        self,
+        payloads: dict[str, tuple[dict[str, np.ndarray], dict]],
+        *,
+        fingerprint: GraphFingerprint,
+        dataset: str = "?",
+        tier: str = "?",
+    ) -> None:
+        token = secrets.token_hex(4)
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        techniques: dict[str, dict] = {}
+        try:
+            for tech, (arrays, meta) in payloads.items():
+                specs: dict[str, dict] = {}
+                offset = 0
+                for key, arr in arrays.items():
+                    arr = np.ascontiguousarray(arr)
+                    specs[key] = {
+                        "dtype": str(arr.dtype),
+                        "shape": list(arr.shape),
+                        "offset": offset,
+                    }
+                    offset = _aligned(offset + arr.nbytes)
+                name = f"rsv-{token}-{tech}"
+                shm = shared_memory.SharedMemory(
+                    create=True, name=name, size=max(offset, 1)
+                )
+                self._segments[tech] = shm
+                for key, arr in arrays.items():
+                    arr = np.ascontiguousarray(arr)
+                    dst = np.ndarray(
+                        arr.shape,
+                        dtype=arr.dtype,
+                        buffer=shm.buf,
+                        offset=specs[key]["offset"],
+                    )
+                    dst[...] = arr
+                techniques[tech] = {
+                    "segment": name,
+                    "nbytes": offset,
+                    "meta": dict(meta),
+                    "arrays": specs,
+                }
+        except BaseException:
+            self.close()
+            raise
+        self.manifest: dict = {
+            "schema": SERVE_SCHEMA,
+            "service": token,
+            "dataset": dataset,
+            "tier": tier,
+            "publisher_pid": os.getpid(),
+            "fingerprint": {
+                "n": fingerprint.n,
+                "m": fingerprint.m,
+                "total_weight": fingerprint.total_weight,
+            },
+            "techniques": techniques,
+        }
+
+    @property
+    def techniques(self) -> list[str]:
+        return sorted(self._segments)
+
+    def close(self) -> None:
+        """Unmap and unlink every segment (idempotent).
+
+        This is the *only* place segments are unlinked; it runs even
+        after worker crashes, since the publisher's mappings are
+        untouched by a child dying.
+        """
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - double close
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SegmentSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Attachment
+# ----------------------------------------------------------------------
+class AttachedSegments:
+    """Zero-copy views over a published service's segments.
+
+    ``arrays(tech)`` returns ``{name: ndarray}`` views backed directly
+    by the mapped shared memory — nothing is copied or unpickled.
+    :meth:`close` unmaps; it never unlinks (the publisher owns that).
+    """
+
+    def __init__(self, manifest: dict, *, foreign: bool = False) -> None:
+        if not isinstance(manifest, dict) or manifest.get("schema") != SERVE_SCHEMA:
+            got = manifest.get("schema") if isinstance(manifest, dict) else "?"
+            raise SegmentError(
+                f"manifest schema {got} unsupported (this release reads "
+                f"{SERVE_SCHEMA})"
+            )
+        self.manifest = manifest
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._arrays: dict[str, dict[str, np.ndarray]] = {}
+        try:
+            for tech, entry in manifest["techniques"].items():
+                try:
+                    shm = _attach_shm(entry["segment"], foreign)
+                except FileNotFoundError as exc:
+                    raise SegmentError(
+                        f"segment {entry['segment']!r} for technique "
+                        f"{tech!r} is gone (service shut down?)"
+                    ) from exc
+                self._segments[tech] = shm
+                self._arrays[tech] = {
+                    key: np.ndarray(
+                        tuple(spec["shape"]),
+                        dtype=np.dtype(spec["dtype"]),
+                        buffer=shm.buf,
+                        offset=spec["offset"],
+                    )
+                    for key, spec in entry["arrays"].items()
+                }
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def techniques(self) -> list[str]:
+        return sorted(self._arrays)
+
+    def arrays(self, tech: str) -> dict[str, np.ndarray]:
+        return self._arrays[tech]
+
+    def meta(self, tech: str) -> dict:
+        return self.manifest["techniques"][tech]["meta"]
+
+    def close(self) -> None:
+        # Views into the buffers must be dropped before unmapping or
+        # SharedMemory.close() raises BufferError on exported pointers.
+        self._arrays.clear()
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - live views remain
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "AttachedSegments":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_segments(manifest: dict, *, foreign: bool = False) -> AttachedSegments:
+    """Attach a published service's segments (see :class:`AttachedSegments`).
+
+    ``foreign=True`` marks a process outside the publisher's fork
+    family (an inspector CLI, a test subprocess); it switches on the
+    pre-3.13 resource-tracker workaround so the inspector's exit cannot
+    unlink the live service's memory.
+    """
+    return AttachedSegments(manifest, foreign=foreign)
+
+
+# ----------------------------------------------------------------------
+# Manifest files (for cross-process inspection)
+# ----------------------------------------------------------------------
+def save_manifest(path: str | os.PathLike, manifest: dict) -> str:
+    """Write a manifest as JSON; returns the path."""
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_manifest(path: str | os.PathLike) -> dict:
+    """Read a manifest written by :func:`save_manifest` (schema-checked)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if not isinstance(manifest, dict) or manifest.get("schema") != SERVE_SCHEMA:
+        raise SegmentError(f"{path}: not a serve manifest (schema mismatch)")
+    return manifest

@@ -1,0 +1,309 @@
+"""The query service: publish segments, run the pool, serve requests.
+
+:class:`QueryService` is the one-stop assembly of the serving
+subsystem: it packs the registry's built indexes into shared-memory
+segments (:mod:`repro.serve.segments`), starts a
+:class:`~repro.serve.pool.WorkerPool` over them and fronts it with a
+:class:`~repro.serve.scheduler.BatchingScheduler`. The
+``repro-harness service {start,bench,status}`` CLI and
+``scripts/serve_bench.py`` are thin drivers over this class.
+
+Lifecycle::
+
+    with QueryService(ServiceConfig(dataset="DE", workers=2)) as svc:
+        fut = svc.submit("ch", [(0, 17), (3, 99)])
+        svc.drain()
+        fut.result()  # [d(0,17), d(3,99)]
+
+Shutdown order matters: workers stop first (they unmap), then the
+publisher unlinks the segments. A crashed worker changes nothing — the
+publisher's mappings survive child death, so ``close()`` still frees
+every segment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro import obs
+from repro.harness.registry import Registry
+from repro.persistence import GraphFingerprint
+from repro.serve.pool import WorkerPool
+from repro.serve.scheduler import BatchingScheduler, QueryFuture
+from repro.serve.segments import (
+    SegmentSet,
+    pack_ch,
+    pack_graph,
+    pack_silc,
+    pack_tnr,
+)
+
+#: Techniques the service understands. ``pcpd`` is known but has no
+#: segment packer (its per-vertex shortest-path trees are a path/distance
+#: oracle too large to serve); requests for it degrade gracefully to the
+#: scheduler's fallback, which exercises the degradation path end to end.
+KNOWN_TECHNIQUES = ("dijkstra", "ch", "tnr", "silc", "pcpd")
+
+#: Techniques that can actually be published into segments.
+PUBLISHABLE = ("dijkstra", "ch", "tnr", "silc")
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a :class:`QueryService` needs to come up."""
+
+    dataset: str = "DE"
+    tier: str = "small"
+    workers: int = 2
+    techniques: tuple[str, ...] = ("ch",)
+    max_batch: int = 256
+    batch_window_s: float = 0.002
+    max_queue: int = 1024
+    cache: str = "auto"
+    extra: dict = field(default_factory=dict)
+
+
+def build_payloads(
+    registry: Registry, dataset: str, techniques: Sequence[str]
+) -> dict:
+    """Pack the requested techniques' indexes for publication.
+
+    ``dijkstra`` (the graph itself) is always included — it is the
+    degradation target and SILC's edge-weight source; requesting
+    ``tnr`` pulls in ``ch`` as its fallback. Unknown names raise,
+    unpublishable ones (``pcpd``) are skipped — the scheduler will
+    degrade requests for them instead.
+    """
+    want = {t.lower() for t in techniques}
+    unknown = want - set(KNOWN_TECHNIQUES)
+    if unknown:
+        raise ValueError(
+            f"unknown technique(s) {sorted(unknown)} "
+            f"(known: {list(KNOWN_TECHNIQUES)})"
+        )
+    want &= set(PUBLISHABLE)
+    want.add("dijkstra")
+    if "tnr" in want:
+        want.add("ch")
+    graph = registry.graph(dataset)
+    csr = graph.csr()
+    payloads: dict = {"dijkstra": pack_graph(csr)}
+    if "ch" in want:
+        payloads["ch"] = pack_ch(registry.ch(dataset))
+    if "tnr" in want:
+        payloads["tnr"] = pack_tnr(registry.tnr(dataset))
+    if "silc" in want:
+        payloads["silc"] = pack_silc(registry.silc(dataset).index)
+    return payloads
+
+
+class QueryService:
+    """Segments + pool + scheduler, assembled and torn down together."""
+
+    def __init__(
+        self, config: ServiceConfig, registry: Registry | None = None
+    ) -> None:
+        self.config = config
+        self.registry = registry or Registry(
+            tier=config.tier, cache=config.cache, verbose=False
+        )
+        with obs.span("serve.publish"):
+            payloads = build_payloads(
+                self.registry, config.dataset, config.techniques
+            )
+            csr = self.registry.graph(config.dataset).csr()
+            self.segments = SegmentSet(
+                payloads,
+                fingerprint=GraphFingerprint.of_csr(csr),
+                dataset=config.dataset,
+                tier=config.tier,
+            )
+        try:
+            with obs.span("serve.pool_start"):
+                self.pool = WorkerPool(
+                    self.segments.manifest, n_workers=config.workers
+                ).start()
+            self.scheduler = BatchingScheduler(
+                self.pool,
+                published=self.segments.techniques,
+                known=KNOWN_TECHNIQUES,
+                max_batch=config.max_batch,
+                batch_window_s=config.batch_window_s,
+                max_queue=config.max_queue,
+            )
+        except BaseException:
+            self.segments.close()
+            raise
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> dict:
+        return self.segments.manifest
+
+    @property
+    def published(self) -> list[str]:
+        return self.segments.techniques
+
+    def submit(self, technique, pairs, deadline_s=None) -> QueryFuture:
+        return self.scheduler.submit(technique, pairs, deadline_s=deadline_s)
+
+    def pump(self, block_s: float = 0.0) -> int:
+        return self.scheduler.pump(block_s)
+
+    def drain(self, timeout_s: float = 60.0) -> None:
+        self.scheduler.drain(timeout_s)
+
+    def status(self) -> dict:
+        """A JSON-able snapshot for ``service status`` and tests."""
+        return {
+            "dataset": self.config.dataset,
+            "tier": self.config.tier,
+            "workers": self.pool.n_workers,
+            "worker_pids": self.pool.worker_pids,
+            "published": self.published,
+            "segment_bytes": {
+                tech: entry["nbytes"]
+                for tech, entry in self.manifest["techniques"].items()
+            },
+            "worker_restarts": self.pool.restarts,
+            "batches_done": self.pool.batches_done,
+            **self.scheduler.stats(),
+        }
+
+    def close(self) -> None:
+        """Stop workers, then unlink segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.pool.stop()
+        finally:
+            self.segments.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Benchmark driver (scripts/serve_bench.py and `service bench`)
+# ----------------------------------------------------------------------
+def serve_workload(
+    service: QueryService,
+    technique: str,
+    requests: Sequence[Sequence[tuple[int, int]]],
+    deadline_s: float | None = None,
+) -> tuple[list[QueryFuture], float]:
+    """Push a request stream through the service; returns (futures, secs).
+
+    Requests are submitted as fast as the queue admits, pumping the
+    scheduler between submissions; the clock stops when the last answer
+    lands.
+    """
+    futures: list[QueryFuture] = []
+    started = time.perf_counter()
+    for req in requests:
+        futures.append(service.submit(technique, req, deadline_s=deadline_s))
+        service.pump()
+    service.drain()
+    elapsed = time.perf_counter() - started
+    return futures, elapsed
+
+
+def bench_serving(
+    registry: Registry,
+    dataset: str = "DE",
+    techniques: Sequence[str] = ("ch", "tnr", "dijkstra"),
+    *,
+    n_pairs: int = 2000,
+    request_size: int = 8,
+    max_batch: int = 256,
+    worker_counts: Sequence[int] = (1, 2),
+    check: bool = True,
+) -> dict:
+    """QPS per technique: in-process vs per-request vs the service.
+
+    Three comparable numbers per technique, all over the same Q-set
+    workload split into ``request_size``-pair requests:
+
+    - ``qps_inprocess_batched`` — one process, one big
+      ``batched_distances`` call (the coalescing ceiling);
+    - ``qps_single`` — one process answering each request as it
+      arrives, no cross-request coalescing (what a naive service
+      does per client request);
+    - ``qps_service_<k>w`` — the full service at ``k`` workers,
+      micro-batching the same request stream.
+
+    ``speedup_2w`` is ``qps_service_2w / qps_single`` — the service's
+    gain over per-request serving, which on a single core is pure
+    coalescing (on multi-core boxes worker parallelism stacks on top).
+    ``bit_identical`` asserts every service answer equals the
+    in-process batched answer bit for bit.
+    """
+    import numpy as np
+
+    from repro.harness.experiments import batched_distances, request_stream
+
+    pairs = [p for qset in registry.q_sets(dataset) for p in qset.pairs]
+    while pairs and len(pairs) < n_pairs:
+        pairs = pairs + pairs
+    pairs = pairs[:n_pairs]
+    requests = request_stream(pairs, request_size)
+    builders = {
+        "dijkstra": registry.bidijkstra,
+        "ch": registry.ch,
+        "tnr": registry.tnr,
+        "silc": registry.silc,
+    }
+    report: dict = {
+        "dataset": dataset,
+        "tier": registry.tier,
+        "n_pairs": len(pairs),
+        "request_size": request_size,
+        "max_batch": max_batch,
+        "techniques": {},
+    }
+    for tech in techniques:
+        obj = builders[tech](dataset)
+        started = time.perf_counter()
+        want = batched_distances(obj, pairs, batch_size=max_batch)
+        t_batched = time.perf_counter() - started
+        started = time.perf_counter()
+        for req in requests:
+            batched_distances(obj, req, batch_size=len(req))
+        t_single = time.perf_counter() - started
+        entry: dict = {
+            "qps_inprocess_batched": round(len(pairs) / t_batched, 1),
+            "qps_single": round(len(pairs) / t_single, 1),
+        }
+        identical = True
+        for workers in worker_counts:
+            config = ServiceConfig(
+                dataset=dataset,
+                tier=registry.tier,
+                workers=workers,
+                techniques=(tech,),
+                max_batch=max_batch,
+            )
+            with QueryService(config, registry=registry) as svc:
+                serve_workload(svc, tech, requests[:4])  # warm the pool
+                futures, secs = serve_workload(svc, tech, requests)
+                entry[f"qps_service_{workers}w"] = round(len(pairs) / secs, 1)
+                if check:
+                    got = np.array(
+                        [d for f in futures for d in f.result()]
+                    )
+                    identical = identical and bool(np.array_equal(got, want))
+        if check:
+            entry["bit_identical"] = identical
+        if 2 in worker_counts:
+            entry["speedup_2w"] = round(
+                entry["qps_service_2w"] / entry["qps_single"], 2
+            )
+        report["techniques"][tech] = entry
+    return report

@@ -1,0 +1,408 @@
+"""Serving subsystem tests: segments, scheduler, pool, end-to-end.
+
+Integration tests run a real 2-worker service on DE/small (builds are
+sub-second there) and hold the subsystem to its core contract: every
+answer bit-identical to the in-process batched endpoint, crashes
+recovered, segments always released. Scheduler policy (coalescing,
+admission control, retry-once) is tested against a deterministic fake
+pool so no timing can flake it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro import obs
+from repro.core.silc.quadtree import compress_partition, compress_partitions
+from repro.harness.experiments import batched_distances, request_stream
+from repro.harness.registry import Registry
+from repro.serve import (
+    BatchingScheduler,
+    Overloaded,
+    QueryService,
+    SegmentError,
+    SegmentSet,
+    ServiceConfig,
+    attach_segments,
+    load_manifest,
+    save_manifest,
+)
+from repro.serve.segments import pack_graph
+from repro.serve.service import build_payloads, serve_workload
+
+DATASET = "DE"
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return Registry(tier="small", verbose=False)
+
+
+@pytest.fixture(scope="module")
+def workload(registry):
+    pairs = [p for qset in registry.q_sets(DATASET) for p in qset.pairs]
+    return pairs[:240]
+
+
+@pytest.fixture(scope="module")
+def service(registry):
+    config = ServiceConfig(
+        dataset=DATASET,
+        tier="small",
+        workers=2,
+        techniques=("ch", "tnr", "silc"),
+    )
+    with QueryService(config, registry=registry) as svc:
+        yield svc
+
+
+def _inprocess(registry, technique: str):
+    return {
+        "dijkstra": registry.bidijkstra,
+        "ch": registry.ch,
+        "tnr": registry.tnr,
+        "silc": registry.silc,
+    }[technique](DATASET)
+
+
+# ----------------------------------------------------------------------
+# Segments
+# ----------------------------------------------------------------------
+class TestSegments:
+    def test_publish_attach_roundtrip_bit_identical(self, registry):
+        payloads = build_payloads(registry, DATASET, ("ch", "tnr", "silc"))
+        from repro.persistence import GraphFingerprint
+
+        csr = registry.graph(DATASET).csr()
+        with SegmentSet(
+            payloads, fingerprint=GraphFingerprint.of_csr(csr),
+            dataset=DATASET, tier="small",
+        ) as segs:
+            with attach_segments(segs.manifest, foreign=True) as att:
+                assert att.techniques == segs.techniques
+                for tech, (arrays, _meta) in payloads.items():
+                    for key, want in arrays.items():
+                        got = att.arrays(tech)[key]
+                        assert got.dtype == np.asarray(want).dtype
+                        assert np.array_equal(got, want), (tech, key)
+
+    def test_offsets_aligned_and_views_zero_copy(self, registry):
+        csr = registry.graph(DATASET).csr()
+        from repro.persistence import GraphFingerprint
+
+        with SegmentSet(
+            {"dijkstra": pack_graph(csr)},
+            fingerprint=GraphFingerprint.of_csr(csr),
+        ) as segs:
+            for spec in segs.manifest["techniques"]["dijkstra"]["arrays"].values():
+                assert spec["offset"] % 64 == 0
+            with attach_segments(segs.manifest, foreign=True) as att:
+                for arr in att.arrays("dijkstra").values():
+                    # A view over the mapped buffer, not a copy.
+                    assert not arr.flags.owndata
+
+    def test_segments_are_shared_not_copies(self, registry):
+        """A write through one attachment is visible through another."""
+        csr = registry.graph(DATASET).csr()
+        from repro.persistence import GraphFingerprint
+
+        with SegmentSet(
+            {"dijkstra": pack_graph(csr)},
+            fingerprint=GraphFingerprint.of_csr(csr),
+        ) as segs:
+            with attach_segments(segs.manifest, foreign=True) as a, \
+                    attach_segments(segs.manifest, foreign=True) as b:
+                wa = a.arrays("dijkstra")["weights"]
+                wb = b.arrays("dijkstra")["weights"]
+                original = wa[0]
+                wa[0] = 12345.5
+                assert wb[0] == 12345.5
+                wa[0] = original
+
+    def test_close_unlinks_segments(self, registry):
+        csr = registry.graph(DATASET).csr()
+        from repro.persistence import GraphFingerprint
+
+        segs = SegmentSet(
+            {"dijkstra": pack_graph(csr)},
+            fingerprint=GraphFingerprint.of_csr(csr),
+        )
+        name = segs.manifest["techniques"]["dijkstra"]["segment"]
+        segs.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        with pytest.raises(SegmentError, match="gone"):
+            attach_segments(segs.manifest, foreign=True)
+
+    def test_manifest_file_roundtrip_and_schema_gate(self, registry, tmp_path):
+        csr = registry.graph(DATASET).csr()
+        from repro.persistence import GraphFingerprint
+
+        with SegmentSet(
+            {"dijkstra": pack_graph(csr)},
+            fingerprint=GraphFingerprint.of_csr(csr),
+        ) as segs:
+            path = tmp_path / "manifest.json"
+            save_manifest(path, segs.manifest)
+            assert load_manifest(path) == segs.manifest
+            bad = dict(segs.manifest, schema=999)
+            with pytest.raises(SegmentError, match="schema"):
+                attach_segments(bad)
+
+
+# ----------------------------------------------------------------------
+# End-to-end agreement (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestServiceAgreement:
+    @pytest.mark.parametrize("technique", ["dijkstra", "ch", "tnr", "silc"])
+    def test_bit_identical_to_inprocess(
+        self, service, registry, workload, technique
+    ):
+        requests = request_stream(workload, 8)
+        futures, _ = serve_workload(service, technique, requests)
+        got = np.array([d for f in futures for d in f.result()])
+        want = np.asarray(batched_distances(_inprocess(registry, technique), workload))
+        assert np.array_equal(got, want)
+
+    def test_degrades_unpublished_technique(self, service, registry, workload):
+        """pcpd is known but never published -> served by dijkstra."""
+        future = service.submit("pcpd", workload[:16])
+        service.drain()
+        assert future.degraded
+        want = np.asarray(
+            batched_distances(_inprocess(registry, "dijkstra"), workload[:16])
+        )
+        assert np.array_equal(np.array(future.result()), want)
+        assert service.scheduler.degraded >= 1
+
+    def test_unknown_technique_rejected(self, service, workload):
+        with pytest.raises(ValueError, match="unknown technique"):
+            service.submit("astar", workload[:4])
+
+    def test_status_snapshot(self, service):
+        status = service.status()
+        assert status["workers"] == 2
+        assert len(status["worker_pids"]) == 2
+        assert set(status["published"]) == {"ch", "dijkstra", "silc", "tnr"}
+        assert all(v > 0 for v in status["segment_bytes"].values())
+
+
+# ----------------------------------------------------------------------
+# Scheduler policy (deterministic fake pool)
+# ----------------------------------------------------------------------
+class _FakePool:
+    """Answers every pair with 1.0; scriptable death events."""
+
+    def __init__(self):
+        self.batches: list[tuple[int, str, list]] = []
+        self.die_next = 0
+        self._pending: list[tuple[int, int]] = []  # (batch_id, n_pairs)
+        self.restarts = 0
+
+    def submit(self, batch_id, technique, pairs):
+        self.batches.append((batch_id, technique, list(pairs)))
+        self._pending.append((batch_id, len(pairs)))
+
+    def poll(self, timeout=0.0):
+        events = []
+        for batch_id, n in self._pending:
+            if self.die_next > 0:
+                self.die_next -= 1
+                self.restarts += 1
+                events.append(("died", [batch_id]))
+            else:
+                events.append(("done", batch_id, np.ones(n)))
+        self._pending.clear()
+        return events
+
+
+def _scheduler(**kwargs) -> BatchingScheduler:
+    defaults = dict(published=("ch", "dijkstra"), max_batch=64,
+                    batch_window_s=0.0, max_queue=8)
+    defaults.update(kwargs)
+    return BatchingScheduler(_FakePool(), **defaults)
+
+
+class TestScheduler:
+    def test_coalesces_requests_into_one_batch(self):
+        sched = _scheduler()
+        futures = [sched.submit("ch", [(0, i), (1, i)]) for i in range(8)]
+        sched.drain()
+        assert sched.dispatched_batches == 1
+        assert sched.dispatched_pairs == 16
+        (_, technique, pairs), = sched.pool.batches
+        assert technique == "ch" and len(pairs) == 16
+        for f in futures:
+            assert f.result() == [1.0, 1.0]
+
+    def test_requests_never_split_across_batches(self):
+        sched = _scheduler(max_batch=5)
+        # 3 requests of 3 pairs under a 5-pair cap: two whole requests
+        # never fit together, and none may be split -> 3 batches of 3.
+        for i in range(3):
+            sched.submit("ch", [(i, 0), (i, 1), (i, 2)])
+        sched.drain()
+        assert sched.dispatched_batches == 3
+        assert all(len(pairs) == 3 for _, _, pairs in sched.pool.batches)
+
+    def test_oversized_request_gets_own_batch(self):
+        sched = _scheduler(max_batch=4)
+        big = [(0, t) for t in range(10)]
+        fut = sched.submit("ch", big)
+        sched.drain()
+        assert sched.dispatched_batches == 1
+        assert len(fut.result()) == 10
+
+    def test_queue_overflow_sheds(self):
+        sched = _scheduler(max_queue=3)
+        for i in range(3):
+            sched.submit("ch", [(0, i)])
+        with pytest.raises(Overloaded, match="queue full"):
+            sched.submit("ch", [(0, 99)])
+        assert sched.shed == 1
+
+    def test_deadline_shed_before_dispatch(self):
+        sched = _scheduler()
+        fut = sched.submit("ch", [(0, 1)], deadline_s=0.0)
+        time.sleep(0.002)
+        sched.drain()
+        assert fut.status == "shed"
+        assert sched.shed == 1
+        with pytest.raises(Overloaded, match="deadline"):
+            fut.result()
+
+    def test_retry_once_then_fail(self):
+        sched = _scheduler()
+        sched.pool.die_next = 1
+        fut = sched.submit("ch", [(0, 1)])
+        sched.drain()
+        assert sched.retries == 1 and fut.result() == [1.0]
+
+        sched.pool.die_next = 2  # death, retry, death again
+        fut2 = sched.submit("ch", [(0, 2)])
+        sched.drain()
+        assert fut2.status == "failed"
+        with pytest.raises(RuntimeError, match="died twice"):
+            fut2.result()
+
+    def test_degrade_target_must_be_published(self):
+        with pytest.raises(ValueError, match="not published"):
+            _scheduler(published=("ch",), degrade_to="dijkstra")
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            _scheduler().submit("ch", [])
+
+
+# ----------------------------------------------------------------------
+# Worker death, recovery, cleanup
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_worker_kill_mid_workload_recovers(self, registry, workload):
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=2,
+            techniques=("ch",), max_batch=64,
+        )
+        with QueryService(config, registry=registry) as svc:
+            requests = request_stream(workload, 8)
+            futures = [svc.submit("ch", req) for req in requests]
+            svc.pump()  # dispatch what is due
+            os.kill(svc.pool.worker_pids[0], signal.SIGKILL)
+            svc.drain()
+            assert svc.pool.restarts >= 1
+            got = np.array([d for f in futures for d in f.result()])
+            want = np.asarray(
+                batched_distances(_inprocess(registry, "ch"), workload)
+            )
+            assert np.array_equal(got, want)
+
+    def test_segments_released_after_worker_crash(self, registry):
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=1, techniques=("ch",)
+        )
+        svc = QueryService(config, registry=registry)
+        names = [
+            entry["segment"]
+            for entry in svc.manifest["techniques"].values()
+        ]
+        os.kill(svc.pool.worker_pids[0], signal.SIGKILL)
+        svc.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Trace-file collision fix
+# ----------------------------------------------------------------------
+class TestTraceNames:
+    def test_unique_trace_path_embeds_pid_and_counter(self):
+        a = obs.unique_trace_path("run.jsonl")
+        b = obs.unique_trace_path("run.jsonl")
+        assert a != b
+        assert str(os.getpid()) in a
+        assert a.endswith(".jsonl") and b.endswith(".jsonl")
+        assert obs.unique_trace_path("bare").endswith(".jsonl")
+
+    def test_foreign_claim_redirects_env_trace(self, tmp_path):
+        """A second process under the same REPRO_TRACE must not clobber
+        the claimant's file — it picks a pid-unique variant."""
+        base = tmp_path / "trace.jsonl"
+        env = dict(os.environ)
+        env.update({
+            "REPRO_TRACE": str(base),
+            "REPRO_TRACE_PID": "1",  # someone else holds the claim
+            "PYTHONPATH": "src",
+        })
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro import obs; print(obs.trace_path())"],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.returncode == 0, out.stderr
+        path = out.stdout.strip()
+        assert path != str(base)
+        assert path.startswith(str(tmp_path / "trace-"))
+
+
+# ----------------------------------------------------------------------
+# Satellite: fused SILC compression
+# ----------------------------------------------------------------------
+class TestBatchedQuadtree:
+    def test_differential_vs_scalar(self):
+        rng = np.random.default_rng(7)
+        n, k = 80, 12
+        codes = rng.integers(0, 1 << 10, n).tolist()
+        codes[10] = codes[11] = codes[12]  # shared Morton codes -> mixed leaves
+        codes.sort()
+        colors = rng.integers(0, 5, (k, n)).astype(np.int64)
+        skips = rng.integers(0, n, k).tolist()
+        batched = compress_partitions(codes, colors, skips)
+        saw_exceptions = 0
+        for r in range(k):
+            intervals, exc = compress_partition(codes, colors[r].tolist(), skips[r])
+            assert batched[r][0] == intervals
+            assert batched[r][1] == exc
+            saw_exceptions += len(exc)
+        assert saw_exceptions > 0  # the mixed-leaf path was exercised
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="codes"):
+            compress_partitions([0, 1], np.zeros((2, 3), dtype=np.int64), [0, 0])
+
+
+def test_request_stream_chunks():
+    pairs = [(0, i) for i in range(10)]
+    assert request_stream(pairs, 4) == [pairs[0:4], pairs[4:8], pairs[8:10]]
+    assert request_stream([], 4) == []
+    with pytest.raises(ValueError):
+        request_stream(pairs, 0)
