@@ -17,16 +17,28 @@ client-sized requests (see ``repro.serve.service.bench_serving``):
 ``bit_identical`` confirms every service answer equals the in-process
 batched answer bit for bit.
 
+Gates (``evaluate_gates``):
+
+- CH's ``speedup_2w`` must clear the 1.5x acceptance threshold;
+- **every** technique's ``speedup_2w`` must clear the 1.0x floor — no
+  published technique may be *slower* through the service than naive
+  per-request serving (ROADMAP's TNR-cliff guard). TNR itself is the
+  known offender (its per-pair fallback split defeats micro-batching)
+  and is expected-fail until the batching fix lands: a TNR floor miss
+  is reported but does not gate, a TNR floor *pass* is celebrated;
+- labels must beat CH on per-request service QPS at 2 workers — the
+  point of shipping a label oracle is that it serves faster;
+- every technique's answers must stay bit-identical.
+
 Usage::
 
     python scripts/serve_bench.py                          # print only
     python scripts/serve_bench.py --output BENCH_serve.json
     python scripts/serve_bench.py --check BENCH_serve.json # gate CI
 
-``--check`` re-measures and exits non-zero if CH's ``speedup_2w``
-fell below half the committed value (machine-noise tolerance), if it
-is below the 1.5x acceptance threshold, or if any technique's answers
-stopped being bit-identical.
+``--check`` re-measures and additionally exits non-zero if CH's
+``speedup_2w`` fell below half the committed value (machine-noise
+tolerance).
 """
 
 from __future__ import annotations
@@ -41,6 +53,68 @@ from repro.serve.service import bench_serving
 
 THRESHOLD_2W = 1.5
 
+#: No technique may serve slower than per-request single-process mode.
+FLOOR_2W = 1.0
+
+#: Techniques whose floor-gate miss is expected (not a failure yet):
+#: TNR's per-pair table/fallback split defeats micro-batching — see
+#: ROADMAP "the TNR cliff". Remove once the batched TNR path lands.
+EXPECTED_BELOW_FLOOR = frozenset({"tnr"})
+
+
+def evaluate_gates(report: dict, baseline: dict | None = None) -> list[str]:
+    """All gate violations in ``report`` (empty means the bench passes).
+
+    Pure function of the report (plus an optional committed baseline)
+    so the gates themselves are unit-testable without re-benching.
+    """
+    failures: list[str] = []
+    techniques = report.get("techniques", {})
+
+    ch = techniques.get("ch")
+    if ch is not None and ch["speedup_2w"] < THRESHOLD_2W:
+        failures.append(
+            f"ch speedup_2w {ch['speedup_2w']} below the "
+            f"{THRESHOLD_2W}x acceptance threshold"
+        )
+
+    for tech, entry in techniques.items():
+        speedup = entry.get("speedup_2w")
+        if speedup is None:
+            continue
+        if speedup < FLOOR_2W:
+            message = (
+                f"{tech} speedup_2w {speedup} below the {FLOOR_2W}x floor "
+                f"(slower through the service than per-request serving)"
+            )
+            if tech in EXPECTED_BELOW_FLOOR:
+                print(f"XFAIL (known): {message}", file=sys.stderr)
+            else:
+                failures.append(message)
+
+    labels = techniques.get("labels")
+    if labels is not None and ch is not None:
+        if labels["qps_service_2w"] <= ch["qps_service_2w"]:
+            failures.append(
+                f"labels qps_service_2w {labels['qps_service_2w']} does not "
+                f"beat ch ({ch['qps_service_2w']})"
+            )
+
+    for tech, entry in techniques.items():
+        if entry.get("bit_identical") is False:
+            failures.append(f"{tech}: service answers not bit-identical")
+
+    if baseline is not None:
+        base_ch = baseline.get("techniques", {}).get("ch")
+        if ch is not None and base_ch is not None:
+            floor = base_ch["speedup_2w"] / 2.0
+            if ch["speedup_2w"] < floor:
+                failures.append(
+                    f"ch speedup_2w {ch['speedup_2w']} fell below half the "
+                    f"committed baseline ({base_ch['speedup_2w']})"
+                )
+    return failures
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -49,8 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dataset", default="DE")
     parser.add_argument("--tier", default="small")
     parser.add_argument(
-        "--techniques", default="ch,tnr,dijkstra",
-        help="comma-separated techniques to bench (default: ch,tnr,dijkstra)",
+        "--techniques", default="ch,tnr,dijkstra,labels",
+        help="comma-separated techniques to bench "
+             "(default: ch,tnr,dijkstra,labels)",
     )
     parser.add_argument("--pairs", type=int, default=2000)
     parser.add_argument("--request-size", type=int, default=8)
@@ -80,28 +155,11 @@ def main(argv: list[str] | None = None) -> int:
         for key, value in entry.items():
             print(f"  {key:<22} {value}")
 
-    failures: list[str] = []
-    ch = report["techniques"].get("ch")
-    if ch is not None and ch["speedup_2w"] < THRESHOLD_2W:
-        failures.append(
-            f"ch speedup_2w {ch['speedup_2w']} below the "
-            f"{THRESHOLD_2W}x acceptance threshold"
-        )
-    for tech, entry in report["techniques"].items():
-        if entry.get("bit_identical") is False:
-            failures.append(f"{tech}: service answers not bit-identical")
-
+    baseline = None
     if args.check:
         with open(args.check, "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
-        base_ch = baseline.get("techniques", {}).get("ch")
-        if ch is not None and base_ch is not None:
-            floor = base_ch["speedup_2w"] / 2.0
-            if ch["speedup_2w"] < floor:
-                failures.append(
-                    f"ch speedup_2w {ch['speedup_2w']} fell below half the "
-                    f"committed baseline ({base_ch['speedup_2w']})"
-                )
+    failures = evaluate_gates(report, baseline)
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:

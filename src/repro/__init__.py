@@ -22,6 +22,7 @@ See ``examples/quickstart.py`` for a guided tour and ``repro-harness
 
 from repro.core.bidirectional import BidirectionalDijkstra, UnidirectionalDijkstra
 from repro.core.ch import ContractionHierarchy, OrderingConfig, build_ch
+from repro.core.labels import HubLabels, build_hub_labels
 from repro.core.pcpd import PCPD, build_pcpd
 from repro.core.silc import SILC, build_silc
 from repro.core.tnr import HybridTNR, TransitNodeRouting, build_tnr
@@ -48,6 +49,7 @@ __all__ = [
     "DATASET_NAMES",
     "Edge",
     "Graph",
+    "HubLabels",
     "HybridTNR",
     "OrderingConfig",
     "PAPER_TABLE1",
@@ -58,6 +60,7 @@ __all__ = [
     "UnidirectionalDijkstra",
     "__version__",
     "build_ch",
+    "build_hub_labels",
     "build_pcpd",
     "build_silc",
     "build_tnr",

@@ -1,0 +1,35 @@
+"""Hub labelling (2-hop labels): the post-2012 state of the art.
+
+The paper's 2012 evaluation stops at CH/TNR/SILC/PCPD; label-based
+distance oracles — Abraham et al.'s hub labels ("Towards Bridging
+Theory and Practice", arXiv:1304.2576) and their descendants
+(arXiv:2311.11063) — have since beaten every hierarchy-traversal
+oracle on road networks. A query is a single merge of two sorted
+arrays: no heap, no graph traversal, embarrassingly batchable.
+
+This package builds hub labels from the repo's existing CH (each
+vertex's stall-filtered upward search space is a valid label) and
+answers queries over flat int32 hub-id / float64 distance arrays; see
+:mod:`repro.core.labels.index` for the layout and the exactness
+argument.
+"""
+
+from repro.core.labels.index import (
+    HubLabelIndex,
+    HubLabels,
+    LabelStats,
+    build_hub_labels,
+    label_table,
+    point_query,
+    query_pairs,
+)
+
+__all__ = [
+    "HubLabelIndex",
+    "HubLabels",
+    "LabelStats",
+    "build_hub_labels",
+    "label_table",
+    "point_query",
+    "query_pairs",
+]

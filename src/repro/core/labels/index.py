@@ -1,0 +1,365 @@
+"""Hub labels on flat arrays: build from CH, query by sorted merge.
+
+Why CH search spaces are valid labels
+-------------------------------------
+A *2-hop label* assigns every vertex ``v`` a set ``L(v)`` of
+``(hub, d)`` entries such that for any pair ``(s, t)``
+
+``dist(s, t) = min { d_s + d_t : (h, d_s) in L(s), (h, d_t) in L(t) }``.
+
+The stall-filtered upward search space of a contraction hierarchy is
+exactly such a set (Abraham et al., arXiv:1304.2576 §2): every entry's
+distance is the length of a real ``v``–``hub`` walk (shortcuts unpack
+to real edges), so no candidate sum can undercut the true distance
+(*soundness*); and the highest vertex of the optimal up-down path is
+settled — and never stalled — in both endpoints' searches with its
+exact distance (*completeness*). The minimum over common hubs is
+therefore ``dist(s, t)`` bit-for-bit: every candidate is a float64 sum
+of integer travel-time weights, which float64 represents exactly.
+
+Layout
+------
+One CSR-style triple over all ``n`` vertices:
+
+- ``indptr`` (int64, ``n+1``) — label slice boundaries;
+- ``hubs``   (int32, total)   — hub ids, **strictly increasing within
+  each vertex's slice** (sorted, deduplicated — the invariant the
+  hypothesis suite asserts);
+- ``dists``  (float64, total) — upward distances, aligned with ``hubs``.
+
+Queries
+-------
+- a point query merges two sorted slices with one ``np.searchsorted``
+  (no ``np.intersect1d``, no Python loop over hubs);
+- a pair batch (:func:`query_pairs`) flattens every pair's two slices
+  into owner-major key arrays, matches them with a single global
+  ``searchsorted``, and reduces per pair with ``np.minimum.reduceat``;
+- a distance table (:func:`label_table`) groups label entries by hub
+  and reuses the many-to-many three-regime fold
+  (:func:`repro.core.ch.many_to_many._fold_grouped`) — a hub's label
+  entries are exactly a many-to-many bucket, minus the upward sweeps
+  that dominate CH serving.
+
+The flat build runs the same chunked scipy sweeps as the many-to-many
+engine; ``REPRO_NO_CSR=1`` (or missing scipy) builds per vertex through
+``ContractionHierarchy.upward_search`` instead. The two engines may
+prune slightly different (equally valid) label sets, but both answer
+every query identically to Dijkstra — ``tests/test_labels.py`` asserts
+soundness and completeness for each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.ch.many_to_many import (
+    BUCKET_CAPACITY_HINT,
+    SEARCH_CHUNK,
+    _EntryStore,
+    _flat_engine,
+    _fold_grouped,
+    _group_by_vertex,
+    _settled_spaces,
+)
+from repro.core.ch.query import ContractionHierarchy
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+@dataclass
+class LabelStats:
+    """Diagnostics of one label build."""
+
+    seconds: float = 0.0
+    entries: int = 0
+    mean_label: float = 0.0
+    max_label: int = 0
+
+
+@dataclass(eq=False)
+class HubLabelIndex:
+    """Flat 2-hop labels for all ``n`` vertices (see module docstring)."""
+
+    n: int
+    indptr: np.ndarray
+    hubs: np.ndarray
+    dists: np.ndarray
+    stats: LabelStats = field(default_factory=LabelStats)
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.hubs = np.ascontiguousarray(self.hubs, dtype=np.int32)
+        self.dists = np.ascontiguousarray(self.dists, dtype=np.float64)
+
+    def label(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(hubs, dists)`` views of ``v``'s label (hub-sorted)."""
+        lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+        return self.hubs[lo:hi], self.dists[lo:hi]
+
+    def label_sizes(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def total_entries(self) -> int:
+        return len(self.hubs)
+
+    @property
+    def nbytes(self) -> int:
+        return self.indptr.nbytes + self.hubs.nbytes + self.dists.nbytes
+
+    def core_arrays(self) -> dict[str, np.ndarray]:
+        """The three label arrays, by name (for segment publication)."""
+        return {"indptr": self.indptr, "hubs": self.hubs, "dists": self.dists}
+
+
+# ----------------------------------------------------------------------
+# Build
+# ----------------------------------------------------------------------
+def build_hub_labels(ch: ContractionHierarchy) -> HubLabelIndex:
+    """Compute hub labels from a built contraction hierarchy.
+
+    One stall-filtered upward search per vertex — the identical
+    primitive (and identical code path) as one many-to-many backward
+    sweep over all ``n`` vertices, so the build cost equals roughly one
+    ``many_to_many(ch, V, V)`` sweep phase.
+    """
+    started = time.perf_counter()
+    n = ch.index.n
+    with obs.span("labels.build"):
+        ucsr = _flat_engine(ch)
+        if ucsr is not None:
+            with obs.span("labels.sweep"):
+                store = _EntryStore(BUCKET_CAPACITY_HINT * max(n, 1))
+                for base, rows, verts, dists in _settled_spaces(
+                    ucsr, list(range(n)), SEARCH_CHUNK
+                ):
+                    store.append_block(verts, rows + base, dists)
+            with obs.span("labels.pack"):
+                # _settled_spaces yields row-major chunks in source order
+                # with hub ids ascending inside each row, so the store
+                # is already vertex-grouped and hub-sorted.
+                verts, searches, dvals = store.views()
+                counts = np.bincount(searches, minlength=n)
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                np.cumsum(counts, out=indptr[1:])
+                hubs = verts.astype(np.int32)
+                dists_arr = dvals.astype(np.float64)
+        else:
+            with obs.span("labels.pack"):
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                all_hubs: list[int] = []
+                all_dists: list[float] = []
+                for v in range(n):
+                    space = sorted(ch.upward_search(v).items())
+                    indptr[v + 1] = indptr[v] + len(space)
+                    all_hubs.extend(h for h, _ in space)
+                    all_dists.extend(d for _, d in space)
+                hubs = np.asarray(all_hubs, dtype=np.int32)
+                dists_arr = np.asarray(all_dists, dtype=np.float64)
+
+    sizes = np.diff(indptr)
+    stats = LabelStats(
+        seconds=time.perf_counter() - started,
+        entries=int(indptr[-1]),
+        mean_label=float(sizes.mean()) if n else 0.0,
+        max_label=int(sizes.max()) if n else 0,
+    )
+    if obs.ENABLED:
+        reg = obs.registry()
+        reg.add_counters("labels.build", {"runs": 1, "entries": stats.entries})
+        hist = reg.histogram("labels.label_size")
+        for size, count in zip(*np.unique(sizes, return_counts=True)):
+            hist.observe(float(size), n=int(count))
+    return HubLabelIndex(
+        n=n, indptr=indptr, hubs=hubs, dists=dists_arr, stats=stats
+    )
+
+
+# ----------------------------------------------------------------------
+# Query kernels (pure functions over an index — shared by the
+# in-process technique and the zero-copy serving view)
+# ----------------------------------------------------------------------
+def point_query(index: HubLabelIndex, source: int, target: int) -> float:
+    """One sorted-array merge: min over common hubs of the two labels."""
+    if source == target:
+        return 0.0
+    ha, da = index.label(source)
+    hb, db = index.label(target)
+    if len(ha) == 0 or len(hb) == 0:
+        return INF
+    idx = np.searchsorted(hb, ha)
+    safe = np.minimum(idx, len(hb) - 1)
+    match = (idx < len(hb)) & (hb[safe] == ha)
+    if obs.ENABLED:
+        obs.registry().add_counters(
+            "labels.query",
+            {"queries": 1, "hubs_scanned": len(ha) + len(hb),
+             "candidates": int(match.sum())},
+        )
+    if not match.any():
+        return INF
+    return float((da[match] + db[safe[match]]).min())
+
+
+def query_pairs(
+    index: HubLabelIndex,
+    sources: Sequence[int],
+    targets: Sequence[int],
+) -> np.ndarray:
+    """Vectorised pair batch: ``out[k] = dist(sources[k], targets[k])``.
+
+    Both sides flatten into owner-major ``(pair, hub)`` key arrays —
+    globally sorted because pairs are enumerated in order and hubs are
+    sorted within each label — so a single ``searchsorted`` matches
+    every pair's common hubs at once and ``np.minimum.reduceat``
+    collapses the candidate sums per pair. No per-pair Python work.
+    """
+    src = np.asarray(sources, dtype=np.int64)
+    tgt = np.asarray(targets, dtype=np.int64)
+    if src.shape != tgt.shape:
+        raise ValueError("sources and targets must have equal length")
+    k = len(src)
+    out = np.full(k, INF, dtype=np.float64)
+    if k == 0:
+        return out
+
+    indptr, hubs, dists = index.indptr, index.hubs, index.dists
+    stride = np.int64(index.n)
+
+    def flatten(endpoints: np.ndarray):
+        lo = indptr[endpoints]
+        ln = indptr[endpoints + 1] - lo
+        total = int(ln.sum())
+        owner = np.repeat(np.arange(k, dtype=np.int64), ln)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(ln) - ln, ln
+        )
+        pos = lo[owner] + within
+        keys = owner * stride + hubs[pos]
+        return owner, keys, dists[pos]
+
+    owner_a, keys_a, dist_a = flatten(src)
+    _owner_b, keys_b, dist_b = flatten(tgt)
+    if len(keys_a) == 0 or len(keys_b) == 0:
+        out[src == tgt] = 0.0
+        return out
+    idx = np.searchsorted(keys_b, keys_a)
+    safe = np.minimum(idx, len(keys_b) - 1)
+    match = (idx < len(keys_b)) & (keys_b[safe] == keys_a)
+    cand = dist_a[match] + dist_b[safe[match]]
+    owners = owner_a[match]
+    counts = np.bincount(owners, minlength=k)
+    nonempty = counts > 0
+    starts = np.zeros(k, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    if nonempty.any():
+        out[nonempty] = np.minimum.reduceat(cand, starts[nonempty])
+    out[src == tgt] = 0.0
+    if obs.ENABLED:
+        obs.registry().add_counters(
+            "labels.query", {"pair_batches": 1, "pairs": k,
+                             "candidates": int(len(cand))},
+        )
+    return out
+
+
+def label_table(
+    index: HubLabelIndex,
+    sources: Sequence[int],
+    targets: Sequence[int],
+) -> np.ndarray:
+    """Dense table ``table[i][j] = dist(sources[i], targets[j])``.
+
+    Label entries grouped by hub are exactly many-to-many buckets, so
+    the battle-tested three-regime fold finishes the job — this is the
+    many-to-many serve path with its dominant cost (the upward sweeps)
+    replaced by an O(entries) gather of precomputed labels.
+    """
+    src = [int(s) for s in sources]
+    tgt = [int(t) for t in targets]
+    table = np.full((len(src), len(tgt)), INF, dtype=np.float64)
+    if not src or not tgt:
+        return table
+
+    with obs.span("labels.table"):
+        fwd = _grouped_labels(index, src)
+        bwd = fwd if src == tgt else _grouped_labels(index, tgt)
+        _fold_grouped(table, fwd, bwd)
+    if obs.ENABLED:
+        obs.registry().add_counters(
+            "labels.query", {"tables": 1, "pairs": len(src) * len(tgt)}
+        )
+    return table
+
+
+def _grouped_labels(index: HubLabelIndex, endpoints: list[int]):
+    """Hub-grouped ``(indptr, search, dist)`` triple over ``endpoints``
+    — the same shape :func:`_group_by_vertex` gives the m2m fold."""
+    ids = np.asarray(endpoints, dtype=np.int64)
+    lo = index.indptr[ids]
+    ln = index.indptr[ids + 1] - lo
+    total = int(ln.sum())
+    search = np.repeat(np.arange(len(ids), dtype=np.int64), ln)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(ln) - ln, ln
+    )
+    pos = lo[search] + within
+    return _group_by_vertex(
+        index.hubs[pos].astype(np.int64), search, index.dists[pos], index.n
+    )
+
+
+# ----------------------------------------------------------------------
+# The technique object (registry / harness / protocol surface)
+# ----------------------------------------------------------------------
+class HubLabels:
+    """Hub-labelling query technique over a :class:`HubLabelIndex`.
+
+    A pure *distance* oracle: :meth:`path` raises — labels store no
+    parent information (the paper's §2 distance-query operation only).
+    """
+
+    name = "HL"
+
+    def __init__(self, graph: Graph, index: HubLabelIndex) -> None:
+        if graph.n != index.n:
+            raise ValueError("index was built for a different graph")
+        self.graph = graph
+        self.index = index
+
+    @classmethod
+    def build(
+        cls, graph: Graph, ch: ContractionHierarchy | None = None
+    ) -> "HubLabels":
+        """Build labels for ``graph`` (reusing ``ch`` when given)."""
+        if ch is None:
+            ch = ContractionHierarchy.build(graph)
+        return cls(graph, build_hub_labels(ch))
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        return self.index.stats.seconds
+
+    def distance(self, source: int, target: int) -> float:
+        return point_query(self.index, source, target)
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Vectorised pair-list queries (:func:`query_pairs`)."""
+        if not len(pairs):
+            return np.empty(0, dtype=np.float64)
+        arr = np.asarray(pairs, dtype=np.int64)
+        return query_pairs(self.index, arr[:, 0], arr[:, 1])
+
+    def distance_table(self, sources, targets) -> np.ndarray:
+        return label_table(self.index, sources, targets)
+
+    def path(self, source: int, target: int):
+        raise NotImplementedError(
+            "hub labels are a distance-only oracle; use CH for paths"
+        )

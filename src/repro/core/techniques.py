@@ -1,0 +1,92 @@
+"""The technique registry: one canonical list of query techniques.
+
+Everything that enumerates techniques — the cross-technique agreement
+suite, the serving CLI, the bench builders — reads this module instead
+of hard-coding names, so a new technique added here is enrolled in the
+differential tests and the serving stack automatically (the PR-6
+satellite that made the labels technique land with full coverage).
+
+Two entry points:
+
+- :func:`build_on_graph` constructs a technique directly on a small
+  graph (what the hypothesis suites need — no registry, no cache);
+- :func:`registry_builders` maps each name to the
+  :class:`~repro.harness.registry.Registry` accessor that builds it
+  with caching (what the harness, serve bench and CLI use).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.graph import Graph
+
+#: Every query technique, in the paper's order plus post-2012 additions.
+TECHNIQUES: tuple[str, ...] = (
+    "dijkstra", "ch", "tnr", "silc", "pcpd", "labels",
+)
+
+#: Report names (`technique.name`) keyed by registry name.
+DISPLAY_NAMES: dict[str, str] = {
+    "dijkstra": "Dijkstra",
+    "ch": "CH",
+    "tnr": "TNR",
+    "silc": "SILC",
+    "pcpd": "PCPD",
+    "labels": "HL",
+}
+
+#: Default TNR grid for the small test graphs ``build_on_graph`` serves.
+_TEST_TNR_GRID = 16
+
+
+def build_on_graph(name: str, graph: "Graph", ch=None):
+    """Build technique ``name`` on ``graph`` (for tests / small graphs).
+
+    ``ch`` optionally supplies a prebuilt
+    :class:`~repro.core.ch.ContractionHierarchy` shared between the
+    techniques that consume one (ch, tnr, labels) so a parametrised
+    suite contracts each graph once.
+    """
+    if name == "dijkstra":
+        from repro.core.bidirectional import BidirectionalDijkstra
+
+        return BidirectionalDijkstra(graph)
+    if name == "silc":
+        from repro.core.silc import SILC
+
+        return SILC.build(graph)
+    if name == "pcpd":
+        from repro.core.pcpd import PCPD
+
+        return PCPD.build(graph)
+    if name in ("ch", "tnr", "labels"):
+        from repro.core.ch import ContractionHierarchy
+
+        if ch is None:
+            ch = ContractionHierarchy.build(graph)
+        if name == "ch":
+            return ch
+        if name == "tnr":
+            from repro.core.tnr import TransitNodeRouting, build_tnr
+
+            return TransitNodeRouting(
+                graph, build_tnr(graph, ch, _TEST_TNR_GRID), ch
+            )
+        from repro.core.labels import HubLabels
+
+        return HubLabels.build(graph, ch=ch)
+    raise ValueError(f"unknown technique {name!r} (known: {list(TECHNIQUES)})")
+
+
+def registry_builders(registry) -> dict[str, Callable[[str], object]]:
+    """``name -> builder(dataset)`` over a harness registry's accessors."""
+    return {
+        "dijkstra": registry.bidijkstra,
+        "ch": registry.ch,
+        "tnr": registry.tnr,
+        "silc": registry.silc,
+        "pcpd": registry.pcpd,
+        "labels": registry.hub_labels,
+    }

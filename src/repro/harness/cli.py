@@ -49,6 +49,8 @@ import time
 from pathlib import Path
 
 from repro import obs
+from repro.core.techniques import TECHNIQUES as _SERVE_TECHNIQUES
+from repro.core.techniques import registry_builders as _registry_builders
 from repro.harness.cache import DiskCache
 from repro.harness.experiments import all_keys, run
 from repro.harness.registry import Registry, _default_cache_dir
@@ -212,7 +214,6 @@ def _cache_main(argv: list[str]) -> int:
     return 1 if bad else 0
 
 
-_SERVE_TECHNIQUES = ("ch", "tnr", "dijkstra")
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -325,11 +326,7 @@ def _serve_main(argv: list[str]) -> int:
     trace = _resolve_trace(args.trace)
     if trace:
         obs.start_trace(trace)
-    technique = {
-        "ch": registry.ch,
-        "tnr": registry.tnr,
-        "dijkstra": registry.bidijkstra,
-    }[args.technique](args.dataset)
+    technique = _registry_builders(registry)[args.technique](args.dataset)
 
     batch = args.batch if args.batch else DEFAULT_BATCH
     started = time.perf_counter()
@@ -554,12 +551,7 @@ def _service_main(argv: list[str]) -> int:
             if args.check:
                 import numpy as np
 
-                builders = {
-                    "dijkstra": registry.bidijkstra,
-                    "ch": registry.ch,
-                    "tnr": registry.tnr,
-                    "silc": registry.silc,
-                }
+                builders = _registry_builders(registry)
                 got = np.array([d for f in futures for d in f.result()])
                 want = np.asarray(
                     batched_distances(builders[tech](args.dataset), pairs)

@@ -41,6 +41,7 @@ from repro.harness.cache import CACHE_VERSION, MISSING, CacheStats, DiskCache
 from repro.core.bidirectional import BidirectionalDijkstra
 from repro.core.ch import ContractionHierarchy
 from repro.core.ch.contraction import CHIndex, build_ch
+from repro.core.labels import HubLabelIndex, HubLabels, build_hub_labels
 from repro.core.pcpd import PCPD, build_pcpd
 from repro.core.silc import SILC, build_silc
 from repro.core.tnr import HybridTNR, TransitNodeRouting, build_tnr
@@ -196,6 +197,13 @@ class Registry:
         )
         hybrid.fallback = self._fallback(name, fallback)
         return hybrid
+
+    def hub_labels_index(self, name: str) -> HubLabelIndex:
+        key = ("labels", self.tier, name)
+        return self._cached(key, lambda: build_hub_labels(self.ch(name)))
+
+    def hub_labels(self, name: str) -> HubLabels:
+        return HubLabels(self.graph(name), self.hub_labels_index(name))
 
     def silc(self, name: str) -> SILC:
         key = ("silc", self.tier, name)

@@ -17,7 +17,11 @@ methods are the repo's existing exact paths:
   table/fallback split on the flattened access arrays, with
   :class:`SharedCH` as the fallback (the paper's recommended setup);
 - :class:`SharedSILC` walks first-hop intervals with ``searchsorted``
-  over the flattened per-vertex interval arrays.
+  over the flattened per-vertex interval arrays;
+- :class:`SharedLabels` rebuilds a
+  :class:`~repro.core.labels.HubLabelIndex` directly over the mapped
+  label arrays (the segment layout *is* the in-process layout) and
+  dispatches to the hub-label query kernels.
 
 Every view's answers are bit-identical to the in-process technique:
 each underlying primitive is exact per entry (float64 sums of integer
@@ -294,6 +298,44 @@ class SharedSILC:
         return total
 
 
+class SharedLabels:
+    """Hub-label distance serving over the shared flat label arrays.
+
+    The mapped ``indptr``/``hubs``/``dists`` views *are* a valid
+    :class:`~repro.core.labels.HubLabelIndex` (the segment layout is the
+    in-process layout), so every query dispatches to the same kernels —
+    zero copies, bit-identical answers.
+    """
+
+    name = "HL"
+
+    def __init__(self, n: int, arrays: dict[str, np.ndarray]) -> None:
+        from repro.core.labels import HubLabelIndex
+
+        self.index = HubLabelIndex(
+            n=n,
+            indptr=arrays["indptr"],
+            hubs=arrays["hubs"],
+            dists=arrays["dists"],
+        )
+
+    def distance(self, source: int, target: int) -> float:
+        from repro.core.labels import point_query
+
+        return point_query(self.index, source, target)
+
+    def distances(self, pairs) -> np.ndarray:
+        from repro.core.labels import query_pairs
+
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        return query_pairs(self.index, pairs[:, 0], pairs[:, 1])
+
+    def distance_table(self, sources, targets) -> np.ndarray:
+        from repro.core.labels import label_table
+
+        return label_table(self.index, sources, targets)
+
+
 def build_techniques(segs: AttachedSegments) -> dict:
     """Instantiate the shared views for every published technique.
 
@@ -335,6 +377,10 @@ def build_techniques(segs: AttachedSegments) -> dict:
         )
     if "silc" in manifest["techniques"]:
         out["silc"] = SharedSILC(csr, segs.arrays("silc"))
+    if "labels" in manifest["techniques"]:
+        out["labels"] = SharedLabels(
+            int(segs.meta("labels")["n"]), segs.arrays("labels")
+        )
     return out
 
 

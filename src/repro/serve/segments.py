@@ -185,6 +185,17 @@ def pack_silc(index) -> tuple[dict[str, np.ndarray], dict]:
     return arrays, {"n": int(n)}
 
 
+def pack_labels(index) -> tuple[dict[str, np.ndarray], dict]:
+    """A hub-label index: its three flat arrays, published verbatim.
+
+    The CSR-style label layout (:mod:`repro.core.labels.index`) is
+    already exactly what the query kernels consume, so the segment is a
+    byte-for-byte copy — workers rebuild a
+    :class:`~repro.core.labels.HubLabelIndex` straight over the views.
+    """
+    return dict(index.core_arrays()), {"n": int(index.n)}
+
+
 # ----------------------------------------------------------------------
 # Publisher
 # ----------------------------------------------------------------------
@@ -317,15 +328,21 @@ class AttachedSegments:
                         f"{tech!r} is gone (service shut down?)"
                     ) from exc
                 self._segments[tech] = shm
-                self._arrays[tech] = {
-                    key: np.ndarray(
-                        tuple(spec["shape"]),
-                        dtype=np.dtype(spec["dtype"]),
-                        buffer=shm.buf,
-                        offset=spec["offset"],
+                views: dict[str, np.ndarray] = {}
+                for key, spec in entry["arrays"].items():
+                    dtype = np.dtype(spec["dtype"])
+                    shape = tuple(spec["shape"])
+                    need = int(spec["offset"]) + int(np.prod(shape)) * dtype.itemsize
+                    if need > shm.size:
+                        raise SegmentError(
+                            f"segment {entry['segment']!r} is truncated: "
+                            f"array {tech}.{key} needs {need} bytes but the "
+                            f"mapping holds {shm.size}"
+                        )
+                    views[key] = np.ndarray(
+                        shape, dtype=dtype, buffer=shm.buf, offset=spec["offset"]
                     )
-                    for key, spec in entry["arrays"].items()
-                }
+                self._arrays[tech] = views
         except BaseException:
             self.close()
             raise

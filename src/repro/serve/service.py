@@ -36,6 +36,7 @@ from repro.serve.segments import (
     SegmentSet,
     pack_ch,
     pack_graph,
+    pack_labels,
     pack_silc,
     pack_tnr,
 )
@@ -44,10 +45,10 @@ from repro.serve.segments import (
 #: segment packer (its per-vertex shortest-path trees are a path/distance
 #: oracle too large to serve); requests for it degrade gracefully to the
 #: scheduler's fallback, which exercises the degradation path end to end.
-KNOWN_TECHNIQUES = ("dijkstra", "ch", "tnr", "silc", "pcpd")
+KNOWN_TECHNIQUES = ("dijkstra", "ch", "tnr", "silc", "pcpd", "labels")
 
 #: Techniques that can actually be published into segments.
-PUBLISHABLE = ("dijkstra", "ch", "tnr", "silc")
+PUBLISHABLE = ("dijkstra", "ch", "tnr", "silc", "labels")
 
 
 @dataclass
@@ -96,6 +97,8 @@ def build_payloads(
         payloads["tnr"] = pack_tnr(registry.tnr(dataset))
     if "silc" in want:
         payloads["silc"] = pack_silc(registry.silc(dataset).index)
+    if "labels" in want:
+        payloads["labels"] = pack_labels(registry.hub_labels_index(dataset))
     return payloads
 
 
@@ -259,6 +262,7 @@ def bench_serving(
         "ch": registry.ch,
         "tnr": registry.tnr,
         "silc": registry.silc,
+        "labels": registry.hub_labels,
     }
     report: dict = {
         "dataset": dataset,

@@ -74,6 +74,13 @@ def silc_co(co_tiny):
 
 
 @pytest.fixture(scope="session")
+def hl_co(co_tiny, ch_co):
+    from repro.core.labels import HubLabels
+
+    return HubLabels.build(co_tiny, ch=ch_co)
+
+
+@pytest.fixture(scope="session")
 def pcpd_de(de_tiny):
     return PCPD.build(de_tiny)
 

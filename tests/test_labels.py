@@ -1,0 +1,308 @@
+"""Differential correctness suite for hub labels (2-hop labels).
+
+The richest suite in the repo, by design: a label query has no
+traversal to eyeball, so *everything* is proven differentially against
+Dijkstra on hypothesis-generated graphs —
+
+- **invariants**: every label is strictly hub-sorted (sorted + deduped)
+  and contains its own vertex at distance 0;
+- **soundness**: every label entry's distance is a real walk length,
+  never below the true distance to the hub;
+- **completeness**: the min over common hubs equals Dijkstra's answer
+  bit for bit, for *all* pairs of every generated graph — including
+  disconnected ones (INF) and s == t (0.0);
+- both build engines (flat scipy sweeps and the legacy per-vertex
+  search) satisfy all of the above independently — they may prune
+  different, equally valid label sets, so the assertion is per-engine
+  correctness, never cross-engine array equality;
+- the batched kernels (:func:`query_pairs`, :func:`label_table`) are
+  bit-identical to the scalar query and to the CH many-to-many table.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import QueryTechnique
+from repro.core.ch import ContractionHierarchy
+from repro.core.dijkstra import dijkstra_sssp
+from repro.core.labels import (
+    HubLabelIndex,
+    HubLabels,
+    build_hub_labels,
+    label_table,
+    point_query,
+    query_pairs,
+)
+from repro.graph.generators import RoadNetworkSpec, generate_road_network
+from repro.graph.graph import Graph
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+BUILD_CACHE: dict[object, object] = {}
+
+
+# ----------------------------------------------------------------------
+# Graph strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_graphs(draw):
+    """Arbitrary small weighted graphs — connectivity NOT guaranteed,
+    so unreachable pairs are part of every property below."""
+    n = draw(st.integers(2, 28))
+    n_edges = draw(st.integers(0, min(3 * n, 60)))
+    seen: set[tuple[int, int]] = set()
+    edges = []
+    for _ in range(n_edges):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append((u, v, float(draw(st.integers(1, 50)))))
+    xs = [float(i) for i in range(n)]
+    ys = [float(i % 5) for i in range(n)]
+    return Graph(xs, ys, edges).freeze()
+
+
+def road(seed: int) -> Graph:
+    key = ("g", seed)
+    if key not in BUILD_CACHE:
+        BUILD_CACHE[key] = generate_road_network(
+            RoadNetworkSpec(n=90, seed=seed)
+        )[0]
+    return BUILD_CACHE[key]
+
+
+def labels_for(graph: Graph, engine: str = "flat") -> HubLabelIndex:
+    """Build labels under one engine (env toggled around the build)."""
+    import os
+
+    ch = ContractionHierarchy.build(graph)
+    old_no, old_force = os.environ.get("REPRO_NO_CSR"), os.environ.get(
+        "REPRO_FORCE_CSR"
+    )
+    try:
+        if engine == "legacy":
+            os.environ["REPRO_NO_CSR"] = "1"
+            os.environ.pop("REPRO_FORCE_CSR", None)
+        else:
+            os.environ.pop("REPRO_NO_CSR", None)
+            os.environ["REPRO_FORCE_CSR"] = "1"
+        return build_hub_labels(ch)
+    finally:
+        for name, value in (
+            ("REPRO_NO_CSR", old_no), ("REPRO_FORCE_CSR", old_force)
+        ):
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def assert_sound_and_complete(graph: Graph, index: HubLabelIndex) -> None:
+    """The full 2-hop cover property, checked against ground truth."""
+    truth = [dijkstra_sssp(graph, s)[0] for s in range(graph.n)]
+    for v in range(graph.n):
+        hubs, dists = index.label(v)
+        # sorted + deduped, self-hub present at zero
+        assert np.all(np.diff(hubs) > 0), f"label of {v} not strictly sorted"
+        k = int(np.searchsorted(hubs, v))
+        assert k < len(hubs) and hubs[k] == v and dists[k] == 0.0
+        # soundness: entries are real walk lengths
+        for h, d in zip(hubs.tolist(), dists.tolist()):
+            assert d >= truth[v][h], (v, h)
+            assert math.isfinite(d)
+    # completeness: every pair answers exactly
+    for s in range(graph.n):
+        for t in range(graph.n):
+            got = point_query(index, s, t)
+            want = truth[s][t] if s != t else 0.0
+            assert got == want or (math.isinf(got) and math.isinf(want)), (
+                s, t, got, want,
+            )
+
+
+# ----------------------------------------------------------------------
+# The differential suite
+# ----------------------------------------------------------------------
+class TestDifferential:
+    @SLOW
+    @given(graph=random_graphs())
+    def test_flat_engine_sound_and_complete(self, graph):
+        assert_sound_and_complete(graph, labels_for(graph, "flat"))
+
+    @SLOW
+    @given(graph=random_graphs())
+    def test_legacy_engine_sound_and_complete(self, graph):
+        assert_sound_and_complete(graph, labels_for(graph, "legacy"))
+
+    @SLOW
+    @given(seed=st.integers(0, 5), pair_seed=st.integers(0, 10_000))
+    def test_road_networks_answer_exactly(self, seed, pair_seed):
+        g = road(seed)
+        key = ("hl", seed)
+        if key not in BUILD_CACHE:
+            BUILD_CACHE[key] = HubLabels.build(g)
+        hl = BUILD_CACHE[key]
+        s, t = pair_seed % g.n, (pair_seed // g.n) % g.n
+        want = 0.0 if s == t else dijkstra_sssp(g, s)[0][t]
+        assert hl.distance(s, t) == want
+
+    @SLOW
+    @given(graph=random_graphs(), data=st.data())
+    def test_query_pairs_matches_scalar(self, graph, data):
+        index = labels_for(graph, "flat")
+        k = data.draw(st.integers(0, 30))
+        src = data.draw(
+            st.lists(st.integers(0, graph.n - 1), min_size=k, max_size=k)
+        )
+        tgt = data.draw(
+            st.lists(st.integers(0, graph.n - 1), min_size=k, max_size=k)
+        )
+        got = query_pairs(index, src, tgt)
+        for i in range(k):
+            want = point_query(index, src[i], tgt[i])
+            assert got[i] == want or (
+                math.isinf(got[i]) and math.isinf(want)
+            ), (src[i], tgt[i])
+
+    @SLOW
+    @given(graph=random_graphs())
+    def test_label_table_matches_scalar(self, graph):
+        index = labels_for(graph, "flat")
+        sources = list(range(0, graph.n, 2))
+        targets = list(range(graph.n))
+        table = label_table(index, sources, targets)
+        for i, s in enumerate(sources):
+            for j, t in enumerate(targets):
+                want = point_query(index, s, t)
+                assert table[i, j] == want or (
+                    math.isinf(table[i, j]) and math.isinf(want)
+                ), (s, t)
+
+
+class TestAgainstManyToMany:
+    def test_table_bit_identical_to_ch_many_to_many(self, co_tiny, ch_co, hl_co):
+        from repro.core.ch.many_to_many import many_to_many
+
+        sources = list(range(0, co_tiny.n, 11))
+        targets = list(range(1, co_tiny.n, 7))
+        want = many_to_many(ch_co, sources, targets, dtype=np.float64)
+        got = label_table(hl_co.index, sources, targets)
+        assert np.array_equal(got, want)
+
+    def test_distances_bit_identical_to_ch(self, co_tiny, ch_co, hl_co, rng):
+        pairs = [
+            (rng.randrange(co_tiny.n), rng.randrange(co_tiny.n))
+            for _ in range(120)
+        ]
+        for s, t in pairs:
+            assert hl_co.distance(s, t) == ch_co.distance(s, t)
+
+
+class TestEdgeCases:
+    def test_same_vertex_is_zero(self, hl_co, co_tiny):
+        for v in (0, 1, co_tiny.n - 1):
+            assert hl_co.distance(v, v) == 0.0
+
+    def test_disconnected_pairs_are_inf(self):
+        g = Graph(
+            [0.0, 1.0, 2.0, 3.0], [0.0] * 4, [(0, 1, 2.0), (2, 3, 5.0)]
+        ).freeze()
+        hl = HubLabels.build(g)
+        assert hl.distance(0, 1) == 2.0
+        assert math.isinf(hl.distance(0, 3))
+        assert math.isinf(hl.distance(2, 1))
+        got = hl.distances([(0, 3), (0, 1), (3, 3), (2, 3)])
+        assert math.isinf(got[0])
+        assert got[1] == 2.0 and got[2] == 0.0 and got[3] == 5.0
+
+    def test_single_edge_graph(self):
+        g = Graph([0.0, 1.0], [0.0, 0.0], [(0, 1, 7.0)]).freeze()
+        hl = HubLabels.build(g)
+        assert hl.distance(0, 1) == 7.0
+        assert hl.distance(1, 0) == 7.0
+
+    def test_empty_pair_batch(self, hl_co):
+        assert len(hl_co.distances([])) == 0
+        assert query_pairs(hl_co.index, [], []).shape == (0,)
+
+    def test_mismatched_batch_lengths_raise(self, hl_co):
+        with pytest.raises(ValueError):
+            query_pairs(hl_co.index, [0, 1], [2])
+
+    def test_empty_table_axes(self, hl_co):
+        assert label_table(hl_co.index, [], [1, 2]).shape == (0, 2)
+        assert label_table(hl_co.index, [3], []).shape == (1, 0)
+
+
+class TestTechniqueSurface:
+    def test_satisfies_protocol(self, hl_co):
+        assert isinstance(hl_co, QueryTechnique)
+        assert hl_co.name == "HL"
+
+    def test_path_raises(self, hl_co):
+        with pytest.raises(NotImplementedError):
+            hl_co.path(0, 1)
+
+    def test_wrong_graph_rejected(self, co_tiny, de_tiny, hl_co):
+        with pytest.raises(ValueError):
+            HubLabels(de_tiny, hl_co.index)
+
+    def test_stats_and_sizes(self, hl_co, co_tiny):
+        index = hl_co.index
+        sizes = index.label_sizes()
+        assert len(sizes) == co_tiny.n
+        assert int(sizes.sum()) == index.total_entries == index.stats.entries
+        assert index.stats.max_label == int(sizes.max())
+        assert hl_co.preprocessing_seconds >= 0.0
+        assert index.nbytes > 0
+        assert set(index.core_arrays()) == {"indptr", "hubs", "dists"}
+
+    def test_registry_accessor_builds_and_caches(self, tmp_path):
+        from repro.harness.registry import Registry
+
+        reg = Registry(tier="tiny", cache=str(tmp_path), verbose=False)
+        hl = reg.hub_labels("DE")
+        assert isinstance(hl, HubLabels)
+        assert hl.distance(0, 5) == reg.bidijkstra("DE").distance(0, 5)
+        # second registry hits the disk cache, same answers
+        reg2 = Registry(tier="tiny", cache=str(tmp_path), verbose=False)
+        hl2 = reg2.hub_labels("DE")
+        assert reg2.cache_stats.hits >= 1
+        assert np.array_equal(hl2.index.hubs, hl.index.hubs)
+        assert np.array_equal(hl2.index.dists, hl.index.dists)
+
+    def test_obs_counters_recorded(self, co_tiny):
+        from repro import obs
+
+        was = obs.ENABLED
+        obs.set_enabled(True)
+        try:
+            reg = obs.registry()
+            before = reg.counter_values("labels.query").get(
+                "labels.query.queries", 0
+            )
+            hl = HubLabels.build(co_tiny)
+            hl.distance(1, 2)
+            hl.distances([(0, 3), (4, 5)])
+            hl.distance_table([0, 1], [2, 3])
+            counters = reg.counter_values("labels.")
+            assert counters["labels.query.queries"] >= before + 1
+            assert counters["labels.query.pair_batches"] >= 1
+            assert counters["labels.query.tables"] >= 1
+            assert counters["labels.build.entries"] > 0
+            assert "labels.label_size" in reg.snapshot()["histograms"]
+        finally:
+            obs.set_enabled(was)

@@ -36,7 +36,7 @@ from repro.serve import (
     save_manifest,
 )
 from repro.serve.segments import pack_graph
-from repro.serve.service import build_payloads, serve_workload
+from repro.serve.service import PUBLISHABLE, build_payloads, serve_workload
 
 DATASET = "DE"
 
@@ -58,19 +58,16 @@ def service(registry):
         dataset=DATASET,
         tier="small",
         workers=2,
-        techniques=("ch", "tnr", "silc"),
+        techniques=("ch", "tnr", "silc", "labels"),
     )
     with QueryService(config, registry=registry) as svc:
         yield svc
 
 
 def _inprocess(registry, technique: str):
-    return {
-        "dijkstra": registry.bidijkstra,
-        "ch": registry.ch,
-        "tnr": registry.tnr,
-        "silc": registry.silc,
-    }[technique](DATASET)
+    from repro.core.techniques import registry_builders
+
+    return registry_builders(registry)[technique](DATASET)
 
 
 # ----------------------------------------------------------------------
@@ -78,7 +75,10 @@ def _inprocess(registry, technique: str):
 # ----------------------------------------------------------------------
 class TestSegments:
     def test_publish_attach_roundtrip_bit_identical(self, registry):
-        payloads = build_payloads(registry, DATASET, ("ch", "tnr", "silc"))
+        payloads = build_payloads(
+            registry, DATASET, ("ch", "tnr", "silc", "labels")
+        )
+        assert "labels" in payloads
         from repro.persistence import GraphFingerprint
 
         csr = registry.graph(DATASET).csr()
@@ -158,11 +158,115 @@ class TestSegments:
                 attach_segments(bad)
 
 
+class TestManifestMismatches:
+    """Every manifest/segment inconsistency must raise a typed
+    :class:`SegmentError` — never attach garbage views."""
+
+    def test_wrong_schema_version_rejected(self, registry):
+        with pytest.raises(SegmentError, match="schema"):
+            attach_segments({"schema": 0, "techniques": {}})
+        with pytest.raises(SegmentError, match="schema"):
+            attach_segments("not a manifest")  # type: ignore[arg-type]
+
+    def test_wrong_graph_fingerprint_rejected(self, registry):
+        """Segments published for a *different* graph must be refused by
+        workers even when the arrays attach cleanly."""
+        from repro.persistence import GraphFingerprint
+        from repro.serve.pool import build_techniques
+
+        csr = registry.graph(DATASET).csr()
+        fp = GraphFingerprint.of_csr(csr)
+        lying = GraphFingerprint(n=fp.n + 1, m=fp.m, total_weight=fp.total_weight)
+        with SegmentSet(
+            {"dijkstra": pack_graph(csr)}, fingerprint=lying,
+        ) as segs:
+            with attach_segments(segs.manifest, foreign=True) as att:
+                with pytest.raises(SegmentError, match="fingerprint"):
+                    build_techniques(att)
+
+    def test_truncated_segment_rejected(self, registry):
+        """A manifest promising more bytes than the segment holds must
+        raise, not hand out views over out-of-bounds memory."""
+        import copy
+
+        from repro.persistence import GraphFingerprint
+
+        csr = registry.graph(DATASET).csr()
+        with SegmentSet(
+            {"dijkstra": pack_graph(csr)},
+            fingerprint=GraphFingerprint.of_csr(csr),
+        ) as segs:
+            lying = copy.deepcopy(segs.manifest)
+            spec = lying["techniques"]["dijkstra"]["arrays"]["weights"]
+            spec["shape"] = [spec["shape"][0] * 1000]
+            with pytest.raises(SegmentError, match="truncated"):
+                attach_segments(lying, foreign=True)
+
+
+class TestSharedViews:
+    """The worker-side shared views, exercised directly (no fork): each
+    ``Shared*`` must answer bit-identically to the real index it wraps.
+    The service tests prove the same thing end-to-end; this pins the
+    views themselves so a mapping bug can't hide behind the pipe."""
+
+    @pytest.fixture(scope="class")
+    def views(self, registry):
+        from repro.persistence import GraphFingerprint
+        from repro.serve.pool import build_techniques
+
+        payloads = build_payloads(registry, DATASET, PUBLISHABLE)
+        csr = registry.graph(DATASET).csr()
+        with SegmentSet(
+            payloads, fingerprint=GraphFingerprint.of_csr(csr),
+            dataset=DATASET, tier="small",
+        ) as segs:
+            with attach_segments(segs.manifest, foreign=True) as att:
+                yield build_techniques(att)
+
+    @pytest.fixture(scope="class")
+    def pairs(self, workload):
+        return workload[:40]
+
+    @pytest.mark.parametrize("technique", PUBLISHABLE)
+    def test_point_queries_bit_identical(
+        self, views, registry, pairs, technique
+    ):
+        real = _inprocess(registry, technique)
+        view = views[technique]
+        assert view.name == real.name
+        for s, t in pairs:
+            assert view.distance(s, t) == real.distance(s, t)
+
+    def test_labels_batch_apis_bit_identical(self, views, registry, pairs):
+        hl = _inprocess(registry, "labels")
+        view = views["labels"]
+        assert np.array_equal(view.distances(pairs), hl.distances(pairs))
+        sources = sorted({s for s, _ in pairs[:8]})
+        targets = sorted({t for _, t in pairs[:8]})
+        assert np.array_equal(
+            view.distance_table(sources, targets),
+            hl.distance_table(sources, targets),
+        )
+
+    def test_tables_bit_identical(self, views, registry, pairs):
+        sources = sorted({s for s, _ in pairs[:6]})
+        targets = sorted({t for _, t in pairs[:6]})
+        for technique in ("ch", "tnr"):
+            real = _inprocess(registry, technique)
+            got = views[technique].distance_table(sources, targets)
+            assert np.array_equal(got, real.distance_table(sources, targets))
+
+    def test_shared_ch_upward_search_matches(self, views, registry, pairs):
+        real = registry.ch(DATASET)
+        for v in sorted({s for s, _ in pairs[:6]}):
+            assert views["ch"].upward_search(v) == real.upward_search(v)
+
+
 # ----------------------------------------------------------------------
 # End-to-end agreement (the acceptance criterion)
 # ----------------------------------------------------------------------
 class TestServiceAgreement:
-    @pytest.mark.parametrize("technique", ["dijkstra", "ch", "tnr", "silc"])
+    @pytest.mark.parametrize("technique", PUBLISHABLE)
     def test_bit_identical_to_inprocess(
         self, service, registry, workload, technique
     ):
@@ -191,7 +295,9 @@ class TestServiceAgreement:
         status = service.status()
         assert status["workers"] == 2
         assert len(status["worker_pids"]) == 2
-        assert set(status["published"]) == {"ch", "dijkstra", "silc", "tnr"}
+        assert set(status["published"]) == {
+            "ch", "dijkstra", "silc", "tnr", "labels"
+        }
         assert all(v > 0 for v in status["segment_bytes"].values())
 
 
@@ -306,21 +412,24 @@ class TestScheduler:
 # Worker death, recovery, cleanup
 # ----------------------------------------------------------------------
 class TestRecovery:
-    def test_worker_kill_mid_workload_recovers(self, registry, workload):
+    @pytest.mark.parametrize("technique", ["ch", "labels"])
+    def test_worker_kill_mid_workload_recovers(
+        self, registry, workload, technique
+    ):
         config = ServiceConfig(
             dataset=DATASET, tier="small", workers=2,
-            techniques=("ch",), max_batch=64,
+            techniques=(technique,), max_batch=64,
         )
         with QueryService(config, registry=registry) as svc:
             requests = request_stream(workload, 8)
-            futures = [svc.submit("ch", req) for req in requests]
+            futures = [svc.submit(technique, req) for req in requests]
             svc.pump()  # dispatch what is due
             os.kill(svc.pool.worker_pids[0], signal.SIGKILL)
             svc.drain()
             assert svc.pool.restarts >= 1
             got = np.array([d for f in futures for d in f.result()])
             want = np.asarray(
-                batched_distances(_inprocess(registry, "ch"), workload)
+                batched_distances(_inprocess(registry, technique), workload)
             )
             assert np.array_equal(got, want)
 
@@ -398,6 +507,92 @@ class TestBatchedQuadtree:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError, match="codes"):
             compress_partitions([0, 1], np.zeros((2, 3), dtype=np.int64), [0, 0])
+
+
+# ----------------------------------------------------------------------
+# serve_bench gates (pure-function unit tests + the committed report)
+# ----------------------------------------------------------------------
+def _serve_bench_module():
+    import importlib.util
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    spec = importlib.util.spec_from_file_location(
+        "serve_bench", os.path.join(root, "scripts", "serve_bench.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestServeBenchGates:
+    def _entry(self, **overrides):
+        entry = {
+            "qps_inprocess_batched": 30000.0,
+            "qps_single": 10000.0,
+            "qps_service_2w": 20000.0,
+            "speedup_2w": 2.0,
+            "bit_identical": True,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_clean_report_passes(self):
+        sb = _serve_bench_module()
+        report = {"techniques": {
+            "ch": self._entry(),
+            "labels": self._entry(qps_service_2w=25000.0),
+        }}
+        assert sb.evaluate_gates(report) == []
+
+    def test_floor_gate_catches_slow_technique(self):
+        sb = _serve_bench_module()
+        report = {"techniques": {"silc": self._entry(speedup_2w=0.4)}}
+        failures = sb.evaluate_gates(report)
+        assert len(failures) == 1 and "below the 1.0x floor" in failures[0]
+
+    def test_tnr_floor_miss_is_expected_fail(self, capsys):
+        sb = _serve_bench_module()
+        report = {"techniques": {"tnr": self._entry(speedup_2w=0.1)}}
+        assert sb.evaluate_gates(report) == []
+        assert "XFAIL" in capsys.readouterr().err
+
+    def test_labels_must_beat_ch(self):
+        sb = _serve_bench_module()
+        report = {"techniques": {
+            "ch": self._entry(qps_service_2w=20000.0),
+            "labels": self._entry(qps_service_2w=15000.0),
+        }}
+        failures = sb.evaluate_gates(report)
+        assert any("does not beat ch" in f for f in failures)
+
+    def test_bit_identity_and_baseline_regression_gate(self):
+        sb = _serve_bench_module()
+        report = {"techniques": {"ch": self._entry(bit_identical=False)}}
+        assert any(
+            "not bit-identical" in f for f in sb.evaluate_gates(report)
+        )
+        report = {"techniques": {"ch": self._entry(speedup_2w=1.6)}}
+        baseline = {"techniques": {"ch": self._entry(speedup_2w=4.0)}}
+        assert any(
+            "below half the committed baseline" in f
+            for f in sb.evaluate_gates(report, baseline)
+        )
+
+    def test_committed_report_passes_gates_and_labels_beat_ch(self):
+        """The acceptance criterion, pinned to the committed numbers:
+        labels beat CH per-request QPS on DE-small at 2 workers, with
+        the per-technique floor gate active."""
+        import json
+
+        sb = _serve_bench_module()
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(root, "BENCH_serve.json")) as fh:
+            report = json.load(fh)
+        assert sb.evaluate_gates(report) == []
+        techs = report["techniques"]
+        assert techs["labels"]["qps_service_2w"] > techs["ch"]["qps_service_2w"]
+        assert techs["labels"]["speedup_2w"] >= sb.FLOOR_2W
+        assert techs["labels"]["bit_identical"] is True
 
 
 def test_request_stream_chunks():
