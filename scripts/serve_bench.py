@@ -7,12 +7,15 @@ client-sized requests (see ``repro.serve.service.bench_serving``):
   (the coalescing ceiling, no service overhead);
 - ``qps_single``            — one process answering each request
   individually (what a naive service does);
-- ``qps_service_1w/2w``     — the full service (shared-memory
-  segments + worker pool + micro-batching scheduler);
+- ``qps_service_<k>w``      — the full service (shared-memory
+  segments + worker pool + micro-batching scheduler) swept across
+  worker counts (default 1/2/4/8) on the selected transport;
 - ``speedup_2w``            — ``qps_service_2w / qps_single``; the
   acceptance gate requires >= 1.5 on CH. On a single-core box this
   gain is pure request coalescing; with real cores, worker
-  parallelism stacks on top.
+  parallelism stacks on top;
+- ``scaling_2w``            — ``qps_service_2w / qps_service_1w``;
+  adding the second worker must never cost throughput.
 
 ``bit_identical`` confirms every service answer equals the in-process
 batched answer bit for bit.
@@ -22,10 +25,19 @@ Gates (``evaluate_gates``):
 - CH's ``speedup_2w`` must clear the 1.5x acceptance threshold;
 - **every** technique's ``speedup_2w`` must clear the 1.0x floor — no
   published technique may be *slower* through the service than naive
-  per-request serving (ROADMAP's TNR-cliff guard). TNR itself is the
-  known offender (its per-pair fallback split defeats micro-batching)
-  and is expected-fail until the batching fix lands: a TNR floor miss
-  is reported but does not gate, a TNR floor *pass* is celebrated;
+  per-request serving. TNR used to be the tolerated offender; the
+  scheduler's per-technique batch cap
+  (:data:`repro.serve.scheduler.TECHNIQUE_BATCH_CAPS`) fixed its
+  quadratic table-grid blowup, so the floor now gates everyone;
+- **every** technique must scale: ``qps_service_2w`` must hold at
+  least ``SCALING_FLOOR`` (0.95) of ``qps_service_1w`` — the second
+  worker may cost at most measurement noise;
+- CH and labels must be monotonic across the sweep on the ring
+  transport: ``4w > 2w > 1w`` — but only over worker counts that have
+  real cores behind them (the report records ``cpu_count``; on a
+  single-core box extra workers physically cannot add throughput, so
+  only the no-regression floors apply there, while multi-core CI
+  enforces the full monotone ladder);
 - labels must beat CH on per-request service QPS at 2 workers — the
   point of shipping a label oracle is that it serves faster;
 - every technique's answers must stay bit-identical.
@@ -35,6 +47,7 @@ Usage::
     python scripts/serve_bench.py                          # print only
     python scripts/serve_bench.py --output BENCH_serve.json
     python scripts/serve_bench.py --check BENCH_serve.json # gate CI
+    python scripts/serve_bench.py --transport pipe --workers 1,2
 
 ``--check`` re-measures and additionally exits non-zero if CH's
 ``speedup_2w`` fell below half the committed value (machine-noise
@@ -56,10 +69,28 @@ THRESHOLD_2W = 1.5
 #: No technique may serve slower than per-request single-process mode.
 FLOOR_2W = 1.0
 
-#: Techniques whose floor-gate miss is expected (not a failure yet):
-#: TNR's per-pair table/fallback split defeats micro-batching — see
-#: ROADMAP "the TNR cliff". Remove once the batched TNR path lands.
-EXPECTED_BELOW_FLOOR = frozenset({"tnr"})
+#: Adding the second worker may cost at most 5% (measurement noise) —
+#: ``qps_service_2w >= SCALING_FLOOR * qps_service_1w`` for everyone.
+SCALING_FLOOR = 0.95
+
+#: Techniques whose floor-gate miss is expected. Empty since the
+#: scheduler's per-technique batch cap fixed the TNR cliff (its
+#: ``distance_table`` grid made oversized batches quadratic); kept as
+#: a hook so a future known-regression can be staged without lying
+#: in CI.
+EXPECTED_BELOW_FLOOR: frozenset[str] = frozenset()
+
+#: Techniques whose service QPS must rise monotonically with workers.
+MONOTONIC_TECHNIQUES = ("ch", "labels")
+
+
+def _sweep(entry: dict) -> list[tuple[int, float]]:
+    """(workers, qps) points present in a technique entry, ascending."""
+    points = []
+    for key, value in entry.items():
+        if key.startswith("qps_service_") and key.endswith("w"):
+            points.append((int(key[len("qps_service_"):-1]), value))
+    return sorted(points)
 
 
 def evaluate_gates(report: dict, baseline: dict | None = None) -> list[str]:
@@ -91,6 +122,35 @@ def evaluate_gates(report: dict, baseline: dict | None = None) -> list[str]:
                 print(f"XFAIL (known): {message}", file=sys.stderr)
             else:
                 failures.append(message)
+
+    for tech, entry in techniques.items():
+        one = entry.get("qps_service_1w")
+        two = entry.get("qps_service_2w")
+        if one is None or two is None:
+            continue
+        if two < SCALING_FLOOR * one:
+            failures.append(
+                f"{tech} qps_service_2w {two} below {SCALING_FLOOR} x "
+                f"qps_service_1w ({one}) — the second worker costs "
+                f"throughput"
+            )
+
+    cores = report.get("cpu_count")
+    for tech in MONOTONIC_TECHNIQUES:
+        entry = techniques.get(tech)
+        if entry is None:
+            continue
+        points = _sweep(entry)
+        if cores:
+            # Workers beyond the core count cannot add throughput —
+            # only the ladder that has hardware behind it must climb.
+            points = [p for p in points if p[0] <= max(int(cores), 1)]
+        for (w_lo, q_lo), (w_hi, q_hi) in zip(points, points[1:]):
+            if q_hi <= q_lo:
+                failures.append(
+                    f"{tech} qps_service_{w_hi}w {q_hi} does not improve "
+                    f"on qps_service_{w_lo}w ({q_lo})"
+                )
 
     labels = techniques.get("labels")
     if labels is not None and ch is not None:
@@ -130,6 +190,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--pairs", type=int, default=2000)
     parser.add_argument("--request-size", type=int, default=8)
     parser.add_argument("--batch", type=int, default=256)
+    parser.add_argument(
+        "--workers", default="1,2,4,8", metavar="LIST",
+        help="comma-separated worker counts to sweep (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--transport", default=None, choices=("ring", "pipe"),
+        help="request/reply transport (default: $REPRO_SERVE_TRANSPORT "
+             "or ring)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing passes per worker count, best kept (default: 3)",
+    )
     parser.add_argument("--output", default=None, metavar="FILE")
     parser.add_argument("--check", default=None, metavar="FILE")
     return parser
@@ -141,6 +214,9 @@ def main(argv: list[str] | None = None) -> int:
     techniques = tuple(
         t.strip() for t in args.techniques.split(",") if t.strip()
     )
+    worker_counts = tuple(
+        int(w) for w in args.workers.split(",") if w.strip()
+    )
     report = bench_serving(
         registry,
         args.dataset,
@@ -148,8 +224,12 @@ def main(argv: list[str] | None = None) -> int:
         n_pairs=args.pairs,
         request_size=args.request_size,
         max_batch=args.batch,
+        worker_counts=worker_counts,
+        transport=args.transport,
+        repeats=args.repeats,
     )
     report["measured_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    print(f"transport: {report['transport']}")
     for tech, entry in report["techniques"].items():
         print(f"{tech}:")
         for key, value in entry.items():

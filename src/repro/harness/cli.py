@@ -389,6 +389,11 @@ def build_service_parser() -> argparse.ArgumentParser:
             "--batch", type=int, default=256,
             help="scheduler micro-batch cap in pairs (default: 256)",
         )
+        p.add_argument(
+            "--transport", default=None, choices=("ring", "pipe"),
+            help="request/reply transport (default: $REPRO_SERVE_TRANSPORT "
+                 "or ring)",
+        )
 
     start = sub.add_parser(
         "start", help="serve a Q-set workload through a fresh worker pool"
@@ -412,6 +417,14 @@ def build_service_parser() -> argparse.ArgumentParser:
         "bench", help="measure QPS per technique (see scripts/serve_bench.py)"
     )
     _common(bench)
+    bench.add_argument(
+        "--workers", default="1,2,4,8", metavar="LIST",
+        help="comma-separated worker counts to sweep (default: 1,2,4,8)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing passes per worker count, best kept (default: 3)",
+    )
     bench.add_argument(
         "--output", default=None, metavar="FILE",
         help="write the full report as JSON to FILE",
@@ -485,6 +498,9 @@ def _service_main(argv: list[str]) -> int:
 
     if args.action == "bench":
         try:
+            worker_counts = tuple(
+                int(w) for w in args.workers.split(",") if w.strip()
+            )
             report = bench_serving(
                 registry,
                 args.dataset,
@@ -492,10 +508,14 @@ def _service_main(argv: list[str]) -> int:
                 n_pairs=args.pairs,
                 request_size=args.request_size,
                 max_batch=args.batch,
+                worker_counts=worker_counts,
+                transport=args.transport,
+                repeats=args.repeats,
             )
         except (KeyError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        print(f"transport: {report['transport']}")
         for tech, entry in report["techniques"].items():
             print(f"{tech}: " + ", ".join(
                 f"{k}={v}" for k, v in entry.items()
@@ -526,6 +546,7 @@ def _service_main(argv: list[str]) -> int:
         workers=args.workers,
         techniques=techniques,
         max_batch=args.batch,
+        transport=args.transport,
     )
     try:
         service = QueryService(config, registry=registry)
@@ -536,7 +557,8 @@ def _service_main(argv: list[str]) -> int:
         print(
             f"published {', '.join(service.published)} for "
             f"{args.dataset}/{registry.tier}; {args.workers} worker(s), "
-            f"pids {service.pool.worker_pids}"
+            f"pids {service.pool.worker_pids}, "
+            f"transport {service.transport}"
         )
         if args.manifest:
             save_manifest(args.manifest, service.manifest)

@@ -24,39 +24,55 @@ See ``docs/SERVING.md`` for the architecture, the manifest format and
 the failure semantics.
 """
 
-from repro.serve.scheduler import BatchingScheduler, Overloaded, QueryFuture
+from repro.serve.scheduler import (
+    TECHNIQUE_BATCH_CAPS,
+    BatchingScheduler,
+    Overloaded,
+    QueryFuture,
+)
 from repro.serve.segments import (
     SERVE_SCHEMA,
+    AttachedRing,
     AttachedSegments,
+    RingBuffers,
     SegmentError,
     SegmentSet,
     attach_segments,
     load_manifest,
     save_manifest,
 )
-from repro.serve.pool import WorkerPool, build_techniques
+from repro.serve.pool import RingFull, RingPool, WorkerPool, build_techniques
 from repro.serve.service import (
     KNOWN_TECHNIQUES,
+    TRANSPORTS,
     QueryService,
     ServiceConfig,
     build_payloads,
+    resolve_transport,
 )
 
 __all__ = [
+    "AttachedRing",
     "AttachedSegments",
     "BatchingScheduler",
     "KNOWN_TECHNIQUES",
     "Overloaded",
     "QueryFuture",
     "QueryService",
+    "RingBuffers",
+    "RingFull",
+    "RingPool",
     "SERVE_SCHEMA",
     "SegmentError",
     "SegmentSet",
     "ServiceConfig",
+    "TECHNIQUE_BATCH_CAPS",
+    "TRANSPORTS",
     "WorkerPool",
     "attach_segments",
     "build_payloads",
     "build_techniques",
     "load_manifest",
+    "resolve_transport",
     "save_manifest",
 ]

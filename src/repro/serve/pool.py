@@ -29,17 +29,34 @@ travel times), so neither the segment indirection nor the scheduler's
 batch partitioning can change a single bit (guarded by
 ``tests/test_serve.py``).
 
-The pool itself is deliberately simple: one pipe per worker, batches
-dispatched to the least-loaded worker, completions collected with
-``multiprocessing.connection.wait``. A worker death surfaces as a
-``died`` event carrying the batch ids that were in flight; the pool
-restarts the worker (counted in ``serve.worker_restarts``) and the
-scheduler decides whether to retry the batches.
+Two transports drive the views (selected by ``REPRO_SERVE_TRANSPORT``
+or :class:`~repro.serve.service.ServiceConfig.transport`):
+
+- :class:`WorkerPool` — the original pipe transport: batches and their
+  float64 replies are pickled through one ``Pipe`` per worker. Kept as
+  the differential control for the ring transport's bit-identity
+  tests.
+- :class:`RingPool` — the zero-copy ring transport: the scheduler
+  writes request pairs into a shared int32 arena and publishes a
+  fixed-width slot descriptor (:mod:`repro.serve.segments` ring
+  layout); the worker writes distances straight into a preallocated
+  float64 result arena and commits the slot; only an 8-byte slot index
+  ever crosses the wakeup pipe in either direction. Per-slot
+  sequence/commit words make SIGKILL mid-slot detectable: an
+  uncommitted slot is retried, a committed one is harvested.
+
+Either pool dispatches batches to the least-loaded worker and collects
+completions with ``multiprocessing.connection.wait``. A worker death
+surfaces as a ``died`` event carrying the batch ids that were lost in
+flight; the pool restarts the worker (counted in
+``serve.worker_restarts``) and the scheduler decides whether to retry.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import struct
 from multiprocessing.connection import wait as _conn_wait
 from typing import Sequence
 
@@ -49,9 +66,34 @@ from repro import obs
 from repro.graph.csr import CSRGraph, DirectedCSR
 from repro.parallel import serve_context
 from repro.persistence import GraphFingerprint
-from repro.serve.segments import AttachedSegments, SegmentError, attach_segments
+from repro.serve.segments import (
+    ERR_BYTES,
+    SLOT_BATCH,
+    SLOT_COMMIT,
+    SLOT_NPAIRS,
+    SLOT_OFF,
+    SLOT_SEQ,
+    SLOT_STATUS,
+    SLOT_TECH,
+    STATUS_ERR,
+    STATUS_OK,
+    AttachedRing,
+    AttachedSegments,
+    RingBuffers,
+    SegmentError,
+    attach_segments,
+)
 
 INF = float("inf")
+
+#: Ring wakeup-channel control tokens (regular messages are slot >= 0).
+_STOP = -1
+_READY = -2
+_TOKEN = struct.Struct("<q")
+
+
+class RingFull(RuntimeError):
+    """No free ring slots for this batch — back off and retry later."""
 
 #: Matches repro.core.tnr.grid.OUTER_RADIUS (imported lazily to keep
 #: the worker's import graph small would be false economy — assert at
@@ -236,6 +278,61 @@ class SharedTNR:
             for i, j in pending:
                 out[i, j] = sub[si[src[i]], ti[tgt[j]]]
         return out
+
+    def distance_pairs(self, pairs) -> np.ndarray:
+        """Vectorised per-pair distances — linear in the batch size.
+
+        Mirrors :meth:`TransitNodeRouting.distance_pairs` but evaluates
+        every answerable pair's Equation-1 min in one padded numpy
+        gather over the flattened access-node arrays: pairs' access
+        lists are right-padded to the batch maxima with ``inf``
+        distances, so padding rows/columns never win the min and the
+        result equals the per-pair answer bit for bit.
+        """
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        s, t = arr[:, 0], arr[:, 1]
+        out = np.zeros(len(arr), dtype=np.float64)
+        g = self.g
+        ca, cb = self.cells[s], self.cells[t]
+        cheb = np.maximum(np.abs(ca % g - cb % g), np.abs(ca // g - cb // g))
+        same = s == t
+        table_ok = (cheb > OUTER_RADIUS) & ~same
+        idx = np.nonzero(table_ok)[0]
+        if len(idx):
+            out[idx] = self._table_distance_many(s[idx], t[idx])
+        fb = np.nonzero(~table_ok & ~same)[0]
+        if len(fb):
+            f_src = sorted({int(a) for a in s[fb]})
+            f_tgt = sorted({int(b) for b in t[fb]})
+            sub = np.asarray(
+                self.fallback.distance_table(f_src, f_tgt), dtype=np.float64
+            )
+            si = {v: k for k, v in enumerate(f_src)}
+            ti = {v: k for k, v in enumerate(f_tgt)}
+            out[fb] = [sub[si[int(a)], ti[int(b)]] for a, b in arr[fb]]
+        return out
+
+    def _table_distance_many(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Equation 1 for many (s, t) pairs in one padded gather."""
+        indptr = self.va_indptr
+        slo, ns = indptr[s], indptr[s + 1] - indptr[s]
+        tlo, nt = indptr[t], indptr[t + 1] - indptr[t]
+        max_s = int(ns.max(initial=0))
+        max_t = int(nt.max(initial=0))
+        if max_s == 0 or max_t == 0:
+            return np.full(len(s), INF)
+        rs, rt = np.arange(max_s), np.arange(max_t)
+        sv = rs[None, :] < ns[:, None]
+        sp = np.where(sv, slo[:, None] + rs[None, :], 0)
+        tv = rt[None, :] < nt[:, None]
+        tp = np.where(tv, tlo[:, None] + rt[None, :], 0)
+        a_s = self.va_idx[sp]  # (k, max_s) access-node ids, 0-padded
+        a_t = self.va_idx[tp]
+        d_s = np.where(sv, self.va_dist[sp], INF)
+        d_t = np.where(tv, self.va_dist[tp], INF)
+        middle = self.table[a_s[:, :, None], a_t[:, None, :]].astype(np.float64)
+        totals = d_s[:, :, None] + middle + d_t[:, None, :]
+        return totals.reshape(len(s), -1).min(axis=1)
 
 
 class SharedSILC:
@@ -435,8 +532,75 @@ def _worker_main(manifest: dict, conn, trace_base: str | None) -> None:
             pass
 
 
+def _ring_worker_main(manifest: dict, conn, trace_base: str | None) -> None:
+    """Ring-transport worker loop: read descriptors, write the arena.
+
+    Protocol: the parent sends one 8-byte slot index per published slot
+    (``_STOP`` to shut down); the worker answers with the same 8 bytes
+    once the slot is committed. Everything else — request pairs, result
+    distances, error text — lives in the shared ring segment and never
+    crosses the pipe.
+
+    Commit discipline (the SIGKILL contract): the result stores land in
+    the arena *before* ``SLOT_COMMIT`` is set to ``SLOT_SEQ``, so the
+    parent can trust any committed slot's results even if this process
+    is killed before (or while) sending the wakeup byte.
+    """
+    from repro.harness.experiments import batched_distances
+
+    if trace_base or obs.trace_path() is not None:
+        base = trace_base or obs.trace_path()
+        obs.detach_trace()
+        obs.start_trace(obs.unique_trace_path(base))
+    segs = ring = None
+    try:
+        segs = attach_segments(manifest, foreign=False)
+        ring = AttachedRing(manifest["transport"], foreign=False)
+        techniques = build_techniques(segs)
+        #: Technique ids are indexes into the sorted manifest names —
+        #: the same order the parent's RingPool uses.
+        by_id = [techniques.get(name) for name in sorted(manifest["techniques"])]
+        rbuf, pair_arena = ring.ring, ring.pairs
+        results, errors = ring.results, ring.errors
+        conn.send_bytes(_TOKEN.pack(_READY))
+        while True:
+            slot = _TOKEN.unpack(conn.recv_bytes())[0]
+            if slot == _STOP:
+                break
+            off = int(rbuf[slot, SLOT_OFF])
+            n = int(rbuf[slot, SLOT_NPAIRS])
+            try:
+                tech = by_id[int(rbuf[slot, SLOT_TECH])]
+                with obs.span("serve.worker_batch"):
+                    out = batched_distances(
+                        tech, pair_arena[off : off + n], batch_size=max(n, 1)
+                    )
+                results[off : off + n] = out
+                rbuf[slot, SLOT_STATUS] = STATUS_OK
+            except Exception as exc:  # surface, don't die
+                text = f"{type(exc).__name__}: {exc}".encode()[:ERR_BYTES]
+                errors[slot] = 0
+                errors[slot, : len(text)] = np.frombuffer(text, dtype=np.uint8)
+                rbuf[slot, SLOT_STATUS] = STATUS_ERR
+            rbuf[slot, SLOT_COMMIT] = rbuf[slot, SLOT_SEQ]
+            conn.send_bytes(_TOKEN.pack(slot))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        if obs.trace_path() is not None:
+            obs.stop_trace()
+        if ring is not None:
+            ring.close()
+        if segs is not None:
+            segs.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
 # ----------------------------------------------------------------------
-# The pool
+# The pools
 # ----------------------------------------------------------------------
 class _Worker:
     __slots__ = ("process", "conn", "inflight", "ready")
@@ -462,6 +626,12 @@ class WorkerPool:
       scheduler's call.
     """
 
+    #: Worker entry point; RingPool overrides with the ring loop.
+    _worker_target = staticmethod(_worker_main)
+
+    #: The transport's name in status()/bench reports.
+    transport = "pipe"
+
     def __init__(self, manifest: dict, n_workers: int = 2) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
@@ -472,6 +642,10 @@ class WorkerPool:
         self.restarts = 0
         self.batches_done = 0
         self._trace_base = obs.trace_path()
+        #: Batch ids lost by a worker reaped outside poll() (e.g. a
+        #: broken pipe discovered during submit); surfaced as one
+        #: ``died`` event at the next poll so no future ever hangs.
+        self._orphaned: list[int] = []
 
     # ------------------------------------------------------------------
     def start(self) -> "WorkerPool":
@@ -482,7 +656,7 @@ class WorkerPool:
     def _spawn(self) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
-            target=_worker_main,
+            target=self._worker_target,
             args=(self.manifest, child_conn, self._trace_base),
             daemon=True,
         )
@@ -521,6 +695,10 @@ class WorkerPool:
     def poll(self, timeout: float = 0.0) -> list[tuple]:
         """Collect completion/death events (waits up to ``timeout`` s)."""
         events: list[tuple] = []
+        self._reclaim()
+        if self._orphaned:
+            events.append(("died", self._orphaned))
+            self._orphaned = []
         while True:
             conns = [w.conn for w in self._workers]
             ready = _conn_wait(conns, timeout)
@@ -535,29 +713,46 @@ class WorkerPool:
             for conn in ready:
                 w = next(x for x in self._workers if x.conn is conn)
                 try:
-                    msg = w.conn.recv()
+                    self._on_message(w, events)
                 except (EOFError, OSError):
                     events.extend(self._reap_events(w))
-                    continue
-                if msg[0] == "ready":
-                    w.ready = True
-                elif msg[0] == "ok":
-                    _, batch_id, distances = msg
-                    w.inflight.pop(batch_id, None)
-                    self.batches_done += 1
-                    events.append(("done", batch_id, distances))
-                elif msg[0] == "err":
-                    _, batch_id, message = msg
-                    w.inflight.pop(batch_id, None)
-                    events.append(("error", batch_id, message))
+
+    def _reclaim(self) -> None:
+        """Transport hook run at poll start (slot recycling for rings)."""
+
+    def _on_message(self, w: _Worker, events: list[tuple]) -> None:
+        """Consume one pipe message from ``w`` into ``events``."""
+        msg = w.conn.recv()
+        if msg[0] == "ready":
+            w.ready = True
+        elif msg[0] == "ok":
+            _, batch_id, distances = msg
+            w.inflight.pop(batch_id, None)
+            self.batches_done += 1
+            if obs.ENABLED:
+                nbytes = getattr(distances, "nbytes", 8 * len(distances))
+                obs.registry().counter("serve.reply_bytes").inc(int(nbytes))
+            events.append(("done", batch_id, distances))
+        elif msg[0] == "err":
+            _, batch_id, message = msg
+            w.inflight.pop(batch_id, None)
+            events.append(("error", batch_id, message))
 
     def _reap_events(self, w: _Worker) -> list[tuple]:
         lost = list(w.inflight)
+        w.inflight.clear()
         self._reap(w)
-        return [("died", lost)]
+        return [("died", lost)] if lost else []
 
     def _reap(self, w: _Worker) -> None:
-        """Replace a dead worker with a fresh one (counted)."""
+        """Replace a dead worker with a fresh one (counted).
+
+        Anything still in the worker's in-flight map (a reap outside
+        poll's event path) is queued as orphaned so the next poll
+        reports it ``died`` instead of leaving its futures pending.
+        """
+        self._orphaned.extend(w.inflight)
+        w.inflight.clear()
         try:
             w.conn.close()
         except OSError:  # pragma: no cover
@@ -572,11 +767,14 @@ class WorkerPool:
             obs.registry().counter("serve.worker_restarts").inc()
 
     # ------------------------------------------------------------------
+    def _send_stop(self, w: _Worker) -> None:
+        w.conn.send(("stop",))
+
     def stop(self) -> None:
         """Graceful shutdown: stop message, join, then force-kill."""
         for w in self._workers:
             try:
-                w.conn.send(("stop",))
+                self._send_stop(w)
             except (BrokenPipeError, OSError):
                 pass
         for w in self._workers:
@@ -595,3 +793,243 @@ class WorkerPool:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+
+# ----------------------------------------------------------------------
+# The ring-transport pool
+# ----------------------------------------------------------------------
+class _RingBatch:
+    """Parent-side record of one batch spread over ring slots."""
+
+    __slots__ = ("batch_id", "slots", "remaining")
+
+    def __init__(self, batch_id: int, slots: list[int]) -> None:
+        self.batch_id = batch_id
+        self.slots = slots
+        self.remaining = set(slots)
+
+
+class RingPool(WorkerPool):
+    """Zero-copy transport: shared request ring + result arena.
+
+    Same event surface as :class:`WorkerPool` (``done`` / ``error`` /
+    ``died``), different wire: :meth:`submit` writes the batch's pairs
+    into the shared int32 arena, fills a fixed-width slot descriptor
+    and sends the worker one 8-byte slot index; the worker writes
+    distances straight into the shared float64 result arena and sends
+    the index back. ``done`` events carry numpy *views* into that
+    arena — no pickling, no copy — valid until the next :meth:`poll`
+    (the scheduler scatters them into futures immediately, so freed
+    slots are recycled one poll later, never under a live view).
+
+    Backpressure is explicit: a batch that cannot get slots raises
+    :class:`RingFull` and the scheduler holds it, feeding the existing
+    ``Overloaded`` shed path once its queue bound is hit.
+
+    SIGKILL recovery runs on the slot sequence/commit words: a dead
+    worker's fully-committed batches are harvested from the arena as
+    normal completions (the results provably landed before death);
+    any batch with an uncommitted slot is reported ``died`` for the
+    scheduler's retry-once policy.
+
+    Batches larger than one slot (the scheduler's oversized-request
+    case) span several contiguous-per-slot spans on the same worker;
+    their ``done`` event concatenates the spans in order, so answers
+    stay bit-identical to the pipe transport.
+    """
+
+    _worker_target = staticmethod(_ring_worker_main)
+    transport = "ring"
+
+    def __init__(
+        self,
+        manifest: dict,
+        n_workers: int = 2,
+        *,
+        ring_slots: int = 64,
+        slot_pairs: int = 256,
+    ) -> None:
+        super().__init__(manifest, n_workers)
+        #: The pool owns the ring segment (publisher-unlink semantics);
+        #: the manifest gains the transport entry *before* any worker
+        #: forks, so attachers find it.
+        self.ring = RingBuffers(
+            ring_slots, slot_pairs, token=manifest.get("service")
+        )
+        manifest["transport"] = self.ring.manifest_entry
+        self._tech_id = {
+            name: i for i, name in enumerate(sorted(manifest["techniques"]))
+        }
+        self._free: list[int] = list(range(ring_slots - 1, -1, -1))
+        self._pending_free: list[int] = []
+        self._batches: dict[int, _RingBatch] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def _reclaim(self) -> None:
+        """Recycle slots whose ``done`` views the scheduler has consumed.
+
+        Completed slots park in ``_pending_free`` until the *next* poll:
+        by then the scheduler has scattered every previously returned
+        arena view, so recycling cannot overwrite a result that has not
+        been read (the zero-copy hand-back invariant).
+        """
+        if self._pending_free:
+            self._free.extend(self._pending_free)
+            self._pending_free.clear()
+
+    def submit(self, batch_id: int, technique: str, pairs: Sequence) -> None:
+        """Publish a batch into ring slots on the least-loaded worker.
+
+        Raises :class:`RingFull` when the ring cannot hold the batch
+        right now; raises ``ValueError`` for a batch that could *never*
+        fit (more pairs than the whole ring holds).
+        """
+        tech_id = self._tech_id.get(technique)
+        if tech_id is None:
+            raise ValueError(f"technique {technique!r} is not published")
+        arr = np.asarray(pairs, dtype=np.int32).reshape(-1, 2)
+        sp = self.ring.slot_pairs
+        needed = max(1, math.ceil(len(arr) / sp))
+        if needed > self.ring.n_slots:
+            raise ValueError(
+                f"batch of {len(arr)} pairs exceeds the ring capacity "
+                f"({self.ring.n_slots} slots x {sp} pairs)"
+            )
+        if len(self._free) < needed:
+            raise RingFull(
+                f"ring full: {needed} slot(s) needed, {len(self._free)} free"
+            )
+        last_exc: BaseException | None = None
+        for _ in range(self.n_workers + 1):
+            w = min(self._workers, key=lambda w: len(w.inflight))
+            slots = [self._free.pop() for _ in range(needed)]
+            rec = _RingBatch(batch_id, slots)
+            self._batches[batch_id] = rec
+            w.inflight[batch_id] = slots
+            try:
+                for k, slot in enumerate(slots):
+                    self._publish(w, slot, batch_id, tech_id, arr, k * sp)
+                return
+            except (BrokenPipeError, OSError) as exc:
+                # Nothing committed on a worker that never read a byte:
+                # roll the batch back and try the next (restarted) pool.
+                last_exc = exc
+                del self._batches[batch_id]
+                w.inflight.pop(batch_id, None)
+                self._free.extend(slots)
+                self._reap(w)
+        raise RuntimeError("no live worker accepted the batch") from last_exc
+
+    def _reap(self, w: _Worker) -> None:
+        # Free the slots (and drop the records) of batches the base
+        # class is about to orphan, so their retries get fresh slots.
+        for batch_id in w.inflight:
+            rec = self._batches.pop(batch_id, None)
+            if rec is not None:
+                self._pending_free.extend(rec.slots)
+        super()._reap(w)
+
+    def _publish(
+        self, w: _Worker, slot: int, batch_id: int, tech_id: int,
+        arr: np.ndarray, start: int,
+    ) -> None:
+        sp = self.ring.slot_pairs
+        span = arr[start : start + sp]
+        base = slot * sp
+        self.ring.pairs[base : base + len(span)] = span
+        ring = self.ring.ring
+        ring[slot, SLOT_BATCH] = batch_id
+        ring[slot, SLOT_TECH] = tech_id
+        ring[slot, SLOT_OFF] = base
+        ring[slot, SLOT_NPAIRS] = len(span)
+        ring[slot, SLOT_STATUS] = STATUS_OK
+        # The sequence bump is the publish: everything above must be in
+        # place before it, and the wakeup byte (a syscall, hence a
+        # barrier) follows it.
+        ring[slot, SLOT_SEQ] += 1
+        w.conn.send_bytes(_TOKEN.pack(slot))
+
+    # ------------------------------------------------------------------
+    def _on_message(self, w: _Worker, events: list[tuple]) -> None:
+        slot = _TOKEN.unpack(w.conn.recv_bytes())[0]
+        if slot == _READY:
+            w.ready = True
+            return
+        if obs.ENABLED:
+            obs.registry().counter("serve.reply_bytes").inc(_TOKEN.size)
+        batch_id = int(self.ring.ring[slot, SLOT_BATCH])
+        rec = self._batches.get(batch_id)
+        if rec is None:  # pragma: no cover - stale wakeup after a reap
+            self._pending_free.append(slot)
+            return
+        rec.remaining.discard(slot)
+        if not rec.remaining:
+            w.inflight.pop(batch_id, None)
+            events.append(self._finish(rec))
+
+    def _finish(self, rec: _RingBatch) -> tuple:
+        """Turn a fully-committed batch record into its pool event."""
+        del self._batches[rec.batch_id]
+        self._pending_free.extend(rec.slots)
+        ring = self.ring.ring
+        for slot in rec.slots:
+            if int(ring[slot, SLOT_STATUS]) == STATUS_ERR:
+                raw = self.ring.errors[slot].tobytes()
+                message = raw.split(b"\0", 1)[0].decode("utf-8", "replace")
+                return ("error", rec.batch_id, message)
+        self.batches_done += 1
+        if len(rec.slots) == 1:
+            slot = rec.slots[0]
+            off = int(ring[slot, SLOT_OFF])
+            n = int(ring[slot, SLOT_NPAIRS])
+            distances = self.ring.results[off : off + n]
+        else:
+            distances = np.concatenate([
+                self.ring.results[
+                    int(ring[s, SLOT_OFF]) : int(ring[s, SLOT_OFF])
+                    + int(ring[s, SLOT_NPAIRS])
+                ]
+                for s in rec.slots
+            ])
+        return ("done", rec.batch_id, distances)
+
+    def _reap_events(self, w: _Worker) -> list[tuple]:
+        """Classify a dead worker's slots by their commit words."""
+        events: list[tuple] = []
+        lost: list[int] = []
+        ring = self.ring.ring
+        for batch_id, slots in list(w.inflight.items()):
+            rec = self._batches.get(batch_id)
+            if rec is None:  # pragma: no cover - already resolved
+                continue
+            if all(ring[s, SLOT_COMMIT] == ring[s, SLOT_SEQ] for s in slots):
+                events.append(self._finish(rec))
+                if events[-1][0] == "done" and obs.ENABLED:
+                    obs.registry().counter("serve.harvested").inc()
+            else:
+                # Uncommitted somewhere: drop the whole batch for the
+                # scheduler's retry (a dead worker never writes again,
+                # so its slots recycle safely).
+                del self._batches[batch_id]
+                self._pending_free.extend(rec.slots)
+                lost.append(batch_id)
+        w.inflight.clear()
+        self._reap(w)
+        if lost:
+            events.append(("died", lost))
+        return events
+
+    # ------------------------------------------------------------------
+    def _send_stop(self, w: _Worker) -> None:
+        w.conn.send_bytes(_TOKEN.pack(_STOP))
+
+    def stop(self) -> None:
+        """Stop the workers, then unlink the ring segment."""
+        try:
+            super().stop()
+        finally:
+            self.ring.close()

@@ -14,6 +14,17 @@ entry, the partitioning cannot change any result bit — the service
 answers bit-identical to an in-process ``batched_distances`` over the
 same pairs regardless of how traffic happened to coalesce.
 
+Batch sizing is technique-aware: ``max_batch`` is the global cap, and
+``max_batch_overrides`` (defaulting to :data:`TECHNIQUE_BATCH_CAPS`)
+caps individual techniques below it. TNR is the motivating case: it
+once served through a deduplicated source x target ``distance_table``
+grid — quadratic work for linear answers on coalesced batches (the
+ROADMAP's "TNR serving cliff"). The linear ``distance_pairs`` path
+removed the cliff; TNR's cap now bounds the padded Equation-1 gather
+scratch (batch x access x access floats) instead. The
+``serve.batch_pairs.<technique>`` histograms record what was actually
+dispatched.
+
 Admission control is load-shedding, not queueing-forever:
 
 - a bounded queue — submissions beyond ``max_queue`` waiting requests
@@ -25,7 +36,14 @@ Admission control is load-shedding, not queueing-forever:
 - graceful degradation — a request for a known technique that is not
   published in this service's segments is answered by ``degrade_to``
   (bidirectional Dijkstra by default) with the future's ``degraded``
-  flag set, rather than erroring (counter ``serve.degraded``).
+  flag set, rather than erroring (counter ``serve.degraded``);
+- ring backpressure — on the ring transport a batch that cannot get
+  slots (:class:`~repro.serve.pool.RingFull`) is *held*, not lost:
+  it parks in a blocked queue (counter ``serve.ring_full``, wait time
+  in the ``serve.slot_wait_us`` histogram) and re-dispatches as soon
+  as completions recycle slots. Held batches still count against
+  ``max_queue``, so a jammed ring feeds the same typed
+  :class:`Overloaded` shed path as a full queue.
 
 A batch whose worker died is retried exactly once on the restarted
 pool (counter ``serve.retries``); a second death fails its futures.
@@ -37,10 +55,20 @@ import time
 from collections import deque
 from typing import Sequence
 
+import numpy as np
+
 from repro import obs
-from repro.serve.pool import WorkerPool
+from repro.serve.pool import RingFull, WorkerPool
 
 Pair = tuple[int, int]
+
+#: Default per-technique batch caps (pairs), applied below the global
+#: ``max_batch``. TNR's vectorised ``distance_pairs`` path evaluates a
+#: padded ``batch x access x access`` Equation-1 tensor per batch; the
+#: cap bounds that scratch while staying deep enough that coalescing
+#: still amortises the numpy dispatch overhead (measured knee ~64 on
+#: DE-small; see docs/PERFORMANCE.md).
+TECHNIQUE_BATCH_CAPS: dict[str, int] = {"tnr": 64}
 
 
 class Overloaded(RuntimeError):
@@ -95,7 +123,8 @@ class QueryFuture:
 class _Batch:
     """One dispatched unit: whole requests for a single technique."""
 
-    __slots__ = ("batch_id", "technique", "requests", "pairs", "retries")
+    __slots__ = ("batch_id", "technique", "requests", "pairs", "retries",
+                 "blocked_since")
 
     def __init__(self, batch_id: int, technique: str,
                  requests: list[QueryFuture]) -> None:
@@ -104,12 +133,19 @@ class _Batch:
         self.requests = requests
         self.pairs: list[Pair] = [p for r in requests for p in r.pairs]
         self.retries = 0
+        #: When the ring first refused this batch (None = never held).
+        self.blocked_since: float | None = None
 
     def scatter(self, distances) -> None:
+        # One ndarray.tolist() per request instead of a per-pair float()
+        # loop: same exact float64 values, and it also consumes ring
+        # arena views immediately (they are only valid until the next
+        # poll recycles their slots).
+        arr = np.asarray(distances, dtype=np.float64)
         offset = 0
         for r in self.requests:
             k = len(r.pairs)
-            r.distances = [float(d) for d in distances[offset:offset + k]]
+            r.distances = arr[offset:offset + k].tolist()
             r.status = "done"
             offset += k
 
@@ -129,6 +165,7 @@ class BatchingScheduler:
         *,
         known: Sequence[str] | None = None,
         max_batch: int = 256,
+        max_batch_overrides: dict[str, int] | None = None,
         batch_window_s: float = 0.002,
         max_queue: int = 1024,
         degrade_to: str = "dijkstra",
@@ -142,6 +179,9 @@ class BatchingScheduler:
         self.published = frozenset(published)
         self.known = frozenset(known) if known is not None else self.published
         self.max_batch = max_batch
+        if max_batch_overrides is None:
+            max_batch_overrides = TECHNIQUE_BATCH_CAPS
+        self.max_batch_overrides = dict(max_batch_overrides)
         self.batch_window_s = batch_window_s
         self.max_queue = max_queue
         self.degrade_to = degrade_to
@@ -150,6 +190,8 @@ class BatchingScheduler:
         #: Oldest-waiter timestamp per technique (window aging).
         self._oldest: dict[str, float] = {}
         self._inflight: dict[int, _Batch] = {}
+        #: Batches held back by ring backpressure, FIFO.
+        self._blocked: deque[_Batch] = deque()
         self._next_batch_id = 0
         # Stats (mirrored into obs counters when enabled).
         self.dispatched_batches = 0
@@ -157,11 +199,24 @@ class BatchingScheduler:
         self.shed = 0
         self.degraded = 0
         self.retries = 0
+        self.ring_full = 0
 
     # ------------------------------------------------------------------
+    def max_batch_for(self, technique: str) -> int:
+        """The effective batch cap: the global cap, overridden per
+        technique (overrides never raise it above the global cap)."""
+        override = self.max_batch_overrides.get(technique)
+        if override is None:
+            return self.max_batch
+        return min(self.max_batch, override)
+
     @property
     def queued(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        """Waiting requests — both undispatched and held by a full ring
+        (so ring backpressure feeds the ``Overloaded`` shed path)."""
+        return sum(len(q) for q in self._queues.values()) + sum(
+            len(b.requests) for b in self._blocked
+        )
 
     @property
     def inflight(self) -> int:
@@ -222,17 +277,52 @@ class BatchingScheduler:
         self._next_batch_id += 1
         self._send(batch)
 
-    def _send(self, batch: _Batch) -> None:
+    def _try_submit(self, batch: _Batch) -> bool:
+        """Hand a batch to the pool; False means the ring refused it."""
+        try:
+            self.pool.submit(batch.batch_id, batch.technique, batch.pairs)
+        except RingFull:
+            return False
+        except ValueError as exc:
+            # A batch the transport can never carry (e.g. one request
+            # larger than the whole ring): fail its futures typed, now.
+            batch.fail(str(exc))
+            return True
         self._inflight[batch.batch_id] = batch
-        self.pool.submit(batch.batch_id, batch.technique, batch.pairs)
         self.dispatched_batches += 1
         self.dispatched_pairs += len(batch.pairs)
+        if obs.ENABLED:
+            obs.registry().histogram(
+                f"serve.batch_pairs.{batch.technique}"
+            ).observe(len(batch.pairs))
+            if batch.blocked_since is not None:
+                obs.registry().histogram("serve.slot_wait_us").observe(
+                    (time.monotonic() - batch.blocked_since) * 1e6
+                )
+        batch.blocked_since = None
+        return True
+
+    def _send(self, batch: _Batch) -> None:
+        if not self._try_submit(batch):
+            if batch.blocked_since is None:
+                batch.blocked_since = time.monotonic()
+                self.ring_full += 1
+                self._count("serve.ring_full")
+            self._blocked.append(batch)
+
+    def _flush_blocked(self) -> None:
+        """Re-dispatch ring-blocked batches in FIFO order while they fit."""
+        while self._blocked:
+            if not self._try_submit(self._blocked[0]):
+                return
+            self._blocked.popleft()
 
     def _flush_technique(self, technique: str) -> None:
         """Pack the technique's waiting requests into batches and send."""
         q = self._queues.get(technique)
         if not q:
             return
+        cap = self.max_batch_for(technique)
         now = time.monotonic()
         current: list[QueryFuture] = []
         size = 0
@@ -249,7 +339,7 @@ class BatchingScheduler:
                 obs.registry().histogram("serve.queue_us").observe(
                     (now - fut.submitted_at) * 1e6
                 )
-            if current and size + len(fut.pairs) > self.max_batch:
+            if current and size + len(fut.pairs) > cap:
                 self._dispatch(technique, current)
                 current, size = [], 0
             current.append(fut)
@@ -272,15 +362,17 @@ class BatchingScheduler:
                 continue
             pending_pairs = sum(len(f.pairs) for f in q)
             aged = now - self._oldest.get(technique, now) >= self.batch_window_s
-            if pending_pairs >= self.max_batch or aged:
+            if pending_pairs >= self.max_batch_for(technique) or aged:
                 self._flush_technique(technique)
         return self._collect(block_s)
 
     def _collect(self, block_s: float) -> int:
-        if not self._inflight:
+        if not self._inflight and not self._blocked:
             return 0
         resolved = 0
-        for event in self.pool.poll(block_s):
+        # With nothing in flight there is no completion to wait for —
+        # poll(0) still lets the ring recycle slots for blocked batches.
+        for event in self.pool.poll(block_s if self._inflight else 0.0):
             kind = event[0]
             if kind == "done":
                 _, batch_id, distances = event
@@ -308,6 +400,7 @@ class BatchingScheduler:
                     else:
                         batch.fail("worker died twice on this batch")
                         resolved += len(batch.requests)
+        self._flush_blocked()
         return resolved
 
     # ------------------------------------------------------------------
@@ -316,11 +409,12 @@ class BatchingScheduler:
         for technique in list(self._queues):
             self._flush_technique(technique)
         deadline = time.monotonic() + timeout_s
-        while self._inflight:
+        while self._inflight or self._blocked:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError(
-                    f"{len(self._inflight)} batches still in flight after "
+                    f"{len(self._inflight)} batches still in flight "
+                    f"({len(self._blocked)} ring-blocked) after "
                     f"{timeout_s:.0f}s"
                 )
             self._collect(min(remaining, 0.25))
@@ -332,6 +426,7 @@ class BatchingScheduler:
             "shed": self.shed,
             "degraded": self.degraded,
             "retries": self.retries,
+            "ring_full": self.ring_full,
             "queued": self.queued,
             "inflight": self.inflight,
         }

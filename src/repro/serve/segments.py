@@ -61,6 +61,25 @@ SERVE_SCHEMA = 1
 #: Array offsets inside a segment are rounded up to this many bytes.
 _ALIGN = 64
 
+# ----------------------------------------------------------------------
+# Ring-transport slot layout (see RingBuffers below and docs/SERVING.md)
+# ----------------------------------------------------------------------
+#: int64 word indices inside one ring-slot descriptor.
+SLOT_SEQ = 0      #: publish sequence — bumped by the scheduler per dispatch
+SLOT_COMMIT = 1   #: worker copies SEQ here *after* the results are written
+SLOT_BATCH = 2    #: scheduler batch id the slot belongs to
+SLOT_TECH = 3     #: technique id (index into the sorted manifest techniques)
+SLOT_OFF = 4      #: first pair row of this slot's span in the arenas
+SLOT_NPAIRS = 5   #: pair count of this slot's span
+SLOT_STATUS = 6   #: STATUS_OK or STATUS_ERR (error text in the error block)
+SLOT_WORDS = 8    #: descriptor width (one cache line of int64 words)
+
+STATUS_OK = 0
+STATUS_ERR = 1
+
+#: Per-slot error text block (utf-8, truncated).
+ERR_BYTES = 256
+
 
 class SegmentError(RuntimeError):
     """Raised for unattachable, foreign, or mismatched segments."""
@@ -86,6 +105,45 @@ def _attach_shm(name: str, foreign: bool) -> shared_memory.SharedMemory:
 
 def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _layout(arrays: dict[str, np.ndarray]) -> tuple[dict[str, dict], int]:
+    """Aligned segment layout for ``arrays``: (specs, total bytes).
+
+    Every array lands at a 64-byte-aligned offset; the specs are the
+    JSON-able ``{name: {dtype, shape, offset}}`` mapping the manifest
+    carries and :func:`_views` rebuilds from.
+    """
+    specs: dict[str, dict] = {}
+    offset = 0
+    for key, arr in arrays.items():
+        specs[key] = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "offset": offset,
+        }
+        offset = _aligned(offset + arr.nbytes)
+    return specs, offset
+
+
+def _views(
+    shm: shared_memory.SharedMemory, specs: dict[str, dict], *, where: str
+) -> dict[str, np.ndarray]:
+    """Numpy views over ``shm`` per ``specs`` (bounds-checked, no copy)."""
+    out: dict[str, np.ndarray] = {}
+    for key, spec in specs.items():
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        need = int(spec["offset"]) + int(np.prod(shape)) * dtype.itemsize
+        if need > shm.size:
+            raise SegmentError(
+                f"segment {shm.name!r} is truncated: array {where}.{key} "
+                f"needs {need} bytes but the mapping holds {shm.size}"
+            )
+        out[key] = np.ndarray(
+            shape, dtype=dtype, buffer=shm.buf, offset=spec["offset"]
+        )
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -221,23 +279,14 @@ class SegmentSet:
         techniques: dict[str, dict] = {}
         try:
             for tech, (arrays, meta) in payloads.items():
-                specs: dict[str, dict] = {}
-                offset = 0
-                for key, arr in arrays.items():
-                    arr = np.ascontiguousarray(arr)
-                    specs[key] = {
-                        "dtype": str(arr.dtype),
-                        "shape": list(arr.shape),
-                        "offset": offset,
-                    }
-                    offset = _aligned(offset + arr.nbytes)
+                arrays = {k: np.ascontiguousarray(a) for k, a in arrays.items()}
+                specs, nbytes = _layout(arrays)
                 name = f"rsv-{token}-{tech}"
                 shm = shared_memory.SharedMemory(
-                    create=True, name=name, size=max(offset, 1)
+                    create=True, name=name, size=max(nbytes, 1)
                 )
                 self._segments[tech] = shm
                 for key, arr in arrays.items():
-                    arr = np.ascontiguousarray(arr)
                     dst = np.ndarray(
                         arr.shape,
                         dtype=arr.dtype,
@@ -247,7 +296,7 @@ class SegmentSet:
                     dst[...] = arr
                 techniques[tech] = {
                     "segment": name,
-                    "nbytes": offset,
+                    "nbytes": nbytes,
                     "meta": dict(meta),
                     "arrays": specs,
                 }
@@ -328,21 +377,7 @@ class AttachedSegments:
                         f"{tech!r} is gone (service shut down?)"
                     ) from exc
                 self._segments[tech] = shm
-                views: dict[str, np.ndarray] = {}
-                for key, spec in entry["arrays"].items():
-                    dtype = np.dtype(spec["dtype"])
-                    shape = tuple(spec["shape"])
-                    need = int(spec["offset"]) + int(np.prod(shape)) * dtype.itemsize
-                    if need > shm.size:
-                        raise SegmentError(
-                            f"segment {entry['segment']!r} is truncated: "
-                            f"array {tech}.{key} needs {need} bytes but the "
-                            f"mapping holds {shm.size}"
-                        )
-                    views[key] = np.ndarray(
-                        shape, dtype=dtype, buffer=shm.buf, offset=spec["offset"]
-                    )
-                self._arrays[tech] = views
+                self._arrays[tech] = _views(shm, entry["arrays"], where=tech)
         except BaseException:
             self.close()
             raise
@@ -384,6 +419,145 @@ def attach_segments(manifest: dict, *, foreign: bool = False) -> AttachedSegment
     unlink the live service's memory.
     """
     return AttachedSegments(manifest, foreign=foreign)
+
+
+# ----------------------------------------------------------------------
+# Ring transport: request ring + pair/result arenas
+# ----------------------------------------------------------------------
+def _ring_arrays(n_slots: int, slot_pairs: int) -> dict[str, np.ndarray]:
+    """Zeroed prototype arrays for a ring of ``n_slots`` slots.
+
+    - ``ring``    — one :data:`SLOT_WORDS`-word int64 descriptor per slot
+      (a full cache line, so two workers never false-share a descriptor);
+    - ``pairs``   — the int32 request arena: slot ``i`` owns rows
+      ``[i*slot_pairs, (i+1)*slot_pairs)``;
+    - ``results`` — the float64 reply arena, same row ownership;
+    - ``errors``  — :data:`ERR_BYTES` of utf-8 per slot for the rare
+      worker-side exception message.
+    """
+    cap = n_slots * slot_pairs
+    return {
+        "ring": np.zeros((n_slots, SLOT_WORDS), dtype=np.int64),
+        "pairs": np.zeros((cap, 2), dtype=np.int32),
+        "results": np.zeros(cap, dtype=np.float64),
+        "errors": np.zeros((n_slots, ERR_BYTES), dtype=np.uint8),
+    }
+
+
+class RingBuffers:
+    """Publisher-owned shared-memory ring: descriptors + arenas.
+
+    The zero-copy transport between the scheduler and the workers
+    (:class:`repro.serve.pool.RingPool`): the scheduler writes request
+    pairs into the ``pairs`` arena and publishes a slot by bumping its
+    ``SLOT_SEQ`` word; the worker writes distances straight into the
+    ``results`` arena and acknowledges by copying ``SLOT_SEQ`` into
+    ``SLOT_COMMIT`` *after* the last result store — so a slot whose
+    commit word trails its sequence word was killed mid-flight and must
+    be retried, while a committed slot's results are complete even if
+    the worker died before its wakeup byte left the pipe.
+
+    Ownership mirrors :class:`SegmentSet`: the creator alone unlinks
+    (:meth:`close`); workers attach via :class:`AttachedRing` and only
+    unmap. The manifest carries the layout under the ``"transport"``
+    key (:attr:`manifest_entry`), same spec format as index segments.
+    """
+
+    def __init__(
+        self, n_slots: int, slot_pairs: int, *, token: str | None = None
+    ) -> None:
+        if n_slots < 1 or slot_pairs < 1:
+            raise ValueError(
+                f"ring needs positive dimensions, got {n_slots}x{slot_pairs}"
+            )
+        self.n_slots = n_slots
+        self.slot_pairs = slot_pairs
+        arrays = _ring_arrays(n_slots, slot_pairs)
+        self._specs, nbytes = _layout(arrays)
+        name = f"rsv-{token or secrets.token_hex(4)}-ring"
+        self._shm = shared_memory.SharedMemory(
+            create=True, name=name, size=max(nbytes, 1)
+        )
+        views = _views(self._shm, self._specs, where="ring")
+        self.ring = views["ring"]
+        self.pairs = views["pairs"]
+        self.results = views["results"]
+        self.errors = views["errors"]
+        self.ring[...] = 0
+        self.manifest_entry: dict = {
+            "kind": "ring",
+            "segment": name,
+            "nbytes": nbytes,
+            "n_slots": n_slots,
+            "slot_pairs": slot_pairs,
+            "arrays": self._specs,
+        }
+
+    def close(self) -> None:
+        """Unmap and unlink the ring segment (idempotent)."""
+        if self._shm is None:
+            return
+        self.ring = self.pairs = self.results = self.errors = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live views remain
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "RingBuffers":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AttachedRing:
+    """A worker's zero-copy view of a published :class:`RingBuffers`.
+
+    Attach-only (never unlinks), same resource-tracker hygiene as
+    :class:`AttachedSegments`.
+    """
+
+    def __init__(self, entry: dict, *, foreign: bool = False) -> None:
+        if not isinstance(entry, dict) or entry.get("kind") != "ring":
+            raise SegmentError(f"not a ring transport entry: {entry!r}")
+        self.n_slots = int(entry["n_slots"])
+        self.slot_pairs = int(entry["slot_pairs"])
+        try:
+            self._shm = _attach_shm(entry["segment"], foreign)
+        except FileNotFoundError as exc:
+            raise SegmentError(
+                f"ring segment {entry['segment']!r} is gone "
+                f"(service shut down?)"
+            ) from exc
+        try:
+            views = _views(self._shm, entry["arrays"], where="ring")
+        except BaseException:
+            self.close()
+            raise
+        self.ring = views["ring"]
+        self.pairs = views["pairs"]
+        self.results = views["results"]
+        self.errors = views["errors"]
+
+    def close(self) -> None:
+        self.ring = self.pairs = self.results = self.errors = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - live views remain
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "AttachedRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------

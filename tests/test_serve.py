@@ -52,13 +52,14 @@ def workload(registry):
     return pairs[:240]
 
 
-@pytest.fixture(scope="module")
-def service(registry):
+@pytest.fixture(scope="module", params=["ring", "pipe"])
+def service(registry, request):
     config = ServiceConfig(
         dataset=DATASET,
         tier="small",
         workers=2,
         techniques=("ch", "tnr", "silc", "labels"),
+        transport=request.param,
     )
     with QueryService(config, registry=registry) as svc:
         yield svc
@@ -295,6 +296,8 @@ class TestServiceAgreement:
         status = service.status()
         assert status["workers"] == 2
         assert len(status["worker_pids"]) == 2
+        assert status["transport"] in ("ring", "pipe")
+        assert status["transport"] == service.transport
         assert set(status["published"]) == {
             "ch", "dijkstra", "silc", "tnr", "labels"
         }
@@ -412,13 +415,14 @@ class TestScheduler:
 # Worker death, recovery, cleanup
 # ----------------------------------------------------------------------
 class TestRecovery:
+    @pytest.mark.parametrize("transport", ["ring", "pipe"])
     @pytest.mark.parametrize("technique", ["ch", "labels"])
     def test_worker_kill_mid_workload_recovers(
-        self, registry, workload, technique
+        self, registry, workload, technique, transport
     ):
         config = ServiceConfig(
             dataset=DATASET, tier="small", workers=2,
-            techniques=(technique,), max_batch=64,
+            techniques=(technique,), max_batch=64, transport=transport,
         )
         with QueryService(config, registry=registry) as svc:
             requests = request_stream(workload, 8)
@@ -529,6 +533,7 @@ class TestServeBenchGates:
         entry = {
             "qps_inprocess_batched": 30000.0,
             "qps_single": 10000.0,
+            "qps_service_1w": 18000.0,
             "qps_service_2w": 20000.0,
             "speedup_2w": 2.0,
             "bit_identical": True,
@@ -540,7 +545,9 @@ class TestServeBenchGates:
         sb = _serve_bench_module()
         report = {"techniques": {
             "ch": self._entry(),
-            "labels": self._entry(qps_service_2w=25000.0),
+            "labels": self._entry(
+                qps_service_1w=22000.0, qps_service_2w=25000.0
+            ),
         }}
         assert sb.evaluate_gates(report) == []
 
@@ -550,11 +557,39 @@ class TestServeBenchGates:
         failures = sb.evaluate_gates(report)
         assert len(failures) == 1 and "below the 1.0x floor" in failures[0]
 
-    def test_tnr_floor_miss_is_expected_fail(self, capsys):
+    def test_tnr_floor_miss_now_gates(self):
+        """The TNR exemption is gone: a floor miss fails the bench."""
         sb = _serve_bench_module()
+        assert sb.EXPECTED_BELOW_FLOOR == frozenset()
         report = {"techniques": {"tnr": self._entry(speedup_2w=0.1)}}
+        failures = sb.evaluate_gates(report)
+        assert len(failures) == 1 and "below the 1.0x floor" in failures[0]
+
+    def test_scaling_floor_gate(self):
+        """2 workers may cost at most 5% of 1-worker throughput."""
+        sb = _serve_bench_module()
+        report = {"techniques": {
+            "ch": self._entry(qps_service_1w=22000.0),  # 20000 < 0.95*22000
+        }}
+        failures = sb.evaluate_gates(report)
+        assert any("the second worker costs throughput" in f
+                   for f in failures)
+
+    def test_monotonic_gate_respects_core_count(self):
+        """ch/labels must climb 1w->2w->4w, but only over worker counts
+        with real cores behind them (cpu_count in the report)."""
+        sb = _serve_bench_module()
+        entry = self._entry(qps_service_4w=19000.0)  # 4w below 2w
+        report = {"techniques": {"ch": entry}, "cpu_count": 4}
+        assert any("does not improve" in f
+                   for f in sb.evaluate_gates(report))
+        # Same numbers on a 2-core box: the 4w point has no hardware
+        # behind it, so only 1w->2w is gated (and that one climbs).
+        report = {"techniques": {"ch": dict(entry)}, "cpu_count": 2}
         assert sb.evaluate_gates(report) == []
-        assert "XFAIL" in capsys.readouterr().err
+        # Non-monotonic techniques (tnr) are never ladder-gated.
+        report = {"techniques": {"tnr": dict(entry)}, "cpu_count": 4}
+        assert sb.evaluate_gates(report) == []
 
     def test_labels_must_beat_ch(self):
         sb = _serve_bench_module()
