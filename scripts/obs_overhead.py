@@ -12,9 +12,12 @@ point-query path is one module-attribute load + branch in
   exactly what the call looked like before the obs layer existed.
 
 Both sides run the identical workload best-of-N in the same process,
-so the ratio is robust where absolute milliseconds are not. Exits 1
-if measured/control exceeds ``1 + --tolerance`` (default 2%) in either
-kernel mode. Used by the CI overhead-smoke step (see
+so the ratio is robust where absolute milliseconds are not. A third
+``mirrored`` measurement repeats the CSR gate with a shared-memory
+metrics plane attached to the registry (the serving-worker
+configuration) to prove the mirror slots add nothing to the disabled
+path. Exits 1 if measured/control exceeds ``1 + --tolerance``
+(default 2%) in any mode. Used by the CI overhead-smoke step (see
 docs/OBSERVABILITY.md).
 """
 
@@ -117,16 +120,39 @@ def main(argv: list[str] | None = None) -> int:
           f"tolerance={args.tolerance:.0%}", flush=True)
 
     failed = False
-    for label, csr in (("csr", True), ("legacy", False)):
-        with _mode(csr=csr):
-            res = measure_mode(graph, pairs, args.repeats)
-        limit = 1.0 + args.tolerance
+    limit = 1.0 + args.tolerance
+
+    def _gate(label: str, res: dict) -> None:
+        nonlocal failed
         verdict = "OK" if res["ratio"] <= limit else "FAIL"
         if verdict == "FAIL":
             failed = True
-        print(f"  {label:<7} measured {res['measured_ms']:8.2f}ms  "
+        print(f"  {label:<8} measured {res['measured_ms']:8.2f}ms  "
               f"control {res['control_ms']:8.2f}ms  "
               f"ratio {res['ratio']:.4f} (limit {limit:.2f})  {verdict}")
+
+    for label, csr in (("csr", True), ("legacy", False)):
+        with _mode(csr=csr):
+            _gate(label, measure_mode(graph, pairs, args.repeats))
+
+    # The shared-memory metrics plane must not change the disabled-path
+    # cost either: attach a mirror to the live registry with the hot
+    # dijkstra instruments pre-created (so their mirror slots are wired
+    # exactly as in a serving worker) and re-gate the CSR side.
+    from repro.obs.shm import MetricsPlane, PlaneMirror
+
+    reg = obs.registry()
+    plane = MetricsPlane(f"rsv-ovh-{os.getpid():x}")
+    try:
+        reg.set_mirror(PlaneMirror(plane))
+        for name in ("dijkstra.point.queries", "dijkstra.point.settled",
+                     "dijkstra.point.heap_pushes"):
+            reg.counter(name)
+        with _mode(csr=True):
+            _gate("mirrored", measure_mode(graph, pairs, args.repeats))
+    finally:
+        reg.set_mirror(None)
+        plane.close()
     if failed:
         print("overhead check FAILED: disabled instrumentation costs more "
               "than the tolerance on the point-query path", file=sys.stderr)

@@ -20,6 +20,15 @@ client-sized requests (see ``repro.serve.service.bench_serving``):
 ``bit_identical`` confirms every service answer equals the in-process
 batched answer bit for bit.
 
+``latency_e2e_us`` / ``latency_worker_us`` are the p50/p90/p99 of the
+true end-to-end request latency and of the worker-compute stage, read
+from the **merged shared-memory metrics plane** (the ``serve.e2e_us``
+and ``serve.stage_us.worker`` histograms aggregated across the
+scheduler and every worker; see docs/OBSERVABILITY.md) during one
+instrumented 2-worker pass kept separate from the QPS sweep. These
+columns are informational — latency varies too much across CI boxes
+to gate.
+
 Gates (``evaluate_gates``):
 
 - CH's ``speedup_2w`` must clear the 1.5x acceptance threshold;
@@ -233,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:
     for tech, entry in report["techniques"].items():
         print(f"{tech}:")
         for key, value in entry.items():
+            if isinstance(value, dict):  # latency percentile columns
+                value = "  ".join(f"{k}={v}" for k, v in value.items())
             print(f"  {key:<22} {value}")
 
     baseline = None

@@ -31,12 +31,14 @@ Run the multi-worker query service over shared-memory segments
 
     repro-harness service start --dataset DE --workers 2 --techniques ch
     repro-harness service bench --techniques ch,tnr,dijkstra
-    repro-harness service status --manifest serve-manifest.json
+    repro-harness service status --manifest serve-manifest.json [--json]
+    repro-harness service stats --manifest serve-manifest.json --watch
 
 Observability (docs/OBSERVABILITY.md)::
 
     repro-harness --experiment fig8 --trace run.jsonl
-    repro-harness stats [--json] [--trace run.jsonl]
+    repro-harness stats [--json] [--prom] [--trace run.jsonl]
+    repro-harness stats --merge worker-a.jsonl worker-b.jsonl
     repro-harness trace run.jsonl [--json]
 """
 
@@ -44,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -67,8 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Subcommands: 'cache {list,verify,clear,stats}' manages the "
             "disk cache; 'serve' runs the batched distance endpoint; "
-            "'service {start,bench,status}' runs the multi-worker query "
-            "service; 'stats' dumps the metrics registry; "
+            "'service {start,bench,status,stats}' runs the multi-worker "
+            "query service; 'stats' dumps the metrics registry; "
             "'trace <run.jsonl>' renders a run trace's phase tree."
         ),
     )
@@ -411,6 +414,12 @@ def build_service_parser() -> argparse.ArgumentParser:
         help="assert service answers are bit-identical to the in-process "
              "batched endpoint",
     )
+    start.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the merged (scheduler + workers) metrics snapshot to "
+             "FILE in Prometheus text format before shutdown; SIGUSR1 "
+             "dumps the same snapshot to FILE at any point while serving",
+    )
     _add_trace_flag(start)
 
     bench = sub.add_parser(
@@ -437,46 +446,237 @@ def build_service_parser() -> argparse.ArgumentParser:
         "--manifest", required=True, metavar="FILE",
         help="manifest written by `service start --manifest FILE`",
     )
+    status.add_argument(
+        "--json", action="store_true",
+        help="emit the status as JSON (schema in docs/SERVING.md)",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="live cross-process metrics of a running service "
+             "(shared-memory planes; no pipe traffic)",
+    )
+    stats.add_argument(
+        "--manifest", required=True, metavar="FILE",
+        help="manifest written by `service start --manifest FILE`",
+    )
+    stats.add_argument(
+        "--watch", action="store_true",
+        help="redraw the merged snapshot every --interval seconds "
+             "(terminal dashboard; Ctrl-C to stop)",
+    )
+    stats.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECS",
+        help="refresh period for --watch (default: 1.0)",
+    )
+    stats.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="with --watch: stop after N redraws (default: run until "
+             "interrupted)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit the merged snapshot as JSON"
+    )
+    stats.add_argument(
+        "--prom", action="store_true",
+        help="emit the merged snapshot in Prometheus text format",
+    )
     return parser
+
+
+def _attach_metric_planes(manifest: dict) -> tuple[list, list[str]]:
+    """Attach every metrics plane a manifest advertises (read-only).
+
+    Returns ``(planes, errors)``: a list of ``(label, MetricsPlane)``
+    pairs for the scheduler and each worker slot, plus one message per
+    entry that could not be attached (service gone, stale manifest).
+    Callers must ``close()`` every attached plane.
+    """
+    from repro.obs.shm import MetricsPlane
+
+    metrics = manifest.get("metrics") or {}
+    entries = [("scheduler", metrics.get("scheduler"))]
+    entries += [
+        (f"worker {i}", e) for i, e in enumerate(metrics.get("workers") or [])
+    ]
+    planes: list = []
+    errors: list[str] = []
+    for label, entry in entries:
+        if not entry:
+            continue
+        try:
+            planes.append((label, MetricsPlane.attach(entry, foreign=True)))
+        except (OSError, ValueError) as exc:
+            errors.append(f"{label}: {exc}")
+    return planes, errors
+
+
+def _worker_rows(planes: list) -> list[dict]:
+    """Per-worker liveness rows read straight from the plane headers."""
+    now_us = int(time.monotonic() * 1e6)
+    rows = []
+    for label, plane in planes:
+        if not label.startswith("worker"):
+            continue
+        h = plane.header()
+        age = (
+            round(max(now_us - h["last_batch_us"], 0) / 1e6, 3)
+            if h["last_batch_us"] else None
+        )
+        rows.append(
+            {
+                "worker": int(label.split()[1]),
+                "pid": h["pid"],
+                "batches": h["batches"],
+                "last_commit_age_s": age,
+            }
+        )
+    return rows
+
+
+def _merged_plane_snapshot(planes: list) -> dict:
+    """One snapshot aggregating every attached plane (scheduler+workers)."""
+    merged = obs.MetricsRegistry()
+    for _, plane in planes:
+        merged.merge_snapshot(plane.snapshot())
+    return merged.snapshot()
+
+
+def _service_status(args, manifest: dict) -> int:
+    from repro.serve import SegmentError, attach_segments
+
+    fp = manifest.get("fingerprint", {})
+    planes, plane_errors = _attach_metric_planes(manifest)
+    try:
+        info = {
+            "service": manifest.get("service"),
+            "dataset": manifest.get("dataset"),
+            "tier": manifest.get("tier"),
+            "publisher_pid": manifest.get("publisher_pid"),
+            "fingerprint": fp,
+            "techniques": {},
+            "workers": _worker_rows(planes),
+            "segments_ok": True,
+        }
+        seg_error = None
+        try:
+            with attach_segments(manifest, foreign=True) as segs:
+                for tech in segs.techniques:
+                    entry = manifest["techniques"][tech]
+                    info["techniques"][tech] = {
+                        "segment": entry["segment"],
+                        "nbytes": entry["nbytes"],
+                        "arrays": len(segs.arrays(tech)),
+                    }
+        except SegmentError as exc:
+            info["segments_ok"] = False
+            seg_error = str(exc)
+
+        if args.json:
+            print(json.dumps(info, indent=1, sort_keys=True))
+            return 0 if info["segments_ok"] else 1
+
+        print(
+            f"service {info['service']} — "
+            f"{info['dataset']}/{info['tier']} "
+            f"(n={fp.get('n')}, m={fp.get('m')}), "
+            f"publisher pid {info['publisher_pid']}"
+        )
+        if not info["segments_ok"]:
+            print(f"  segments unreachable: {seg_error}")
+            return 1
+        for tech, t in info["techniques"].items():
+            print(
+                f"  {tech:<9} {t['segment']:<22} "
+                f"{t['nbytes']:>10} bytes  "
+                f"{t['arrays']} arrays attached"
+            )
+        print("all segments attached and released (zero-copy, no unlink)")
+        for row in info["workers"]:
+            age = row["last_commit_age_s"]
+            print(
+                f"  worker {row['worker']}: pid {row['pid']}, "
+                f"{row['batches']} batch(es), last commit "
+                + (f"{age}s ago" if age is not None else "never")
+            )
+        for err in plane_errors:
+            print(f"  metrics plane unreachable: {err}")
+        if planes:
+            snap = _merged_plane_snapshot(planes)
+            if any(snap[k] for k in ("counters", "gauges", "histograms")):
+                print()
+                print(obs.render_snapshot(snap))
+        return 0
+    finally:
+        for _, plane in planes:
+            plane.close()
+
+
+def _service_stats(args, manifest: dict) -> int:
+    """The live dashboard: merged shared-memory metrics, zero pipe traffic."""
+    planes, errors = _attach_metric_planes(manifest)
+    if not planes:
+        detail = "; ".join(errors) or "manifest lists no metrics planes"
+        print(f"error: cannot attach metrics planes: {detail}", file=sys.stderr)
+        return 1
+    try:
+        drawn = 0
+        while True:
+            snap = _merged_plane_snapshot(planes)
+            if args.json:
+                body = json.dumps(snap, indent=1, sort_keys=True)
+            elif args.prom:
+                body = obs.to_prometheus(snap).rstrip("\n")
+            else:
+                lines = [
+                    f"service {manifest.get('service')} — "
+                    f"{manifest.get('dataset')}/{manifest.get('tier')}, "
+                    f"publisher pid {manifest.get('publisher_pid')}"
+                ]
+                for row in _worker_rows(planes):
+                    age = row["last_commit_age_s"]
+                    lines.append(
+                        f"  worker {row['worker']}: pid {row['pid']}, "
+                        f"{row['batches']} batch(es), last commit "
+                        + (f"{age}s ago" if age is not None else "never")
+                    )
+                lines.extend(f"  metrics plane unreachable: {e}" for e in errors)
+                lines.append("")
+                lines.append(obs.render_snapshot(snap))
+                body = "\n".join(lines)
+            if args.watch:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            print(body)
+            sys.stdout.flush()
+            drawn += 1
+            if not args.watch or (args.iterations and drawn >= args.iterations):
+                return 0
+            time.sleep(max(args.interval, 0.05))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print()
+        return 0
+    finally:
+        for _, plane in planes:
+            plane.close()
 
 
 def _service_main(argv: list[str]) -> int:
     args = build_service_parser().parse_args(argv)
     from repro.serve import (
         SegmentError,
-        attach_segments,
         load_manifest,
         save_manifest,
     )
 
-    if args.action == "status":
+    if args.action in ("status", "stats"):
         try:
             manifest = load_manifest(args.manifest)
         except (OSError, ValueError, SegmentError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        fp = manifest.get("fingerprint", {})
-        print(
-            f"service {manifest.get('service')} — "
-            f"{manifest.get('dataset')}/{manifest.get('tier')} "
-            f"(n={fp.get('n')}, m={fp.get('m')}), "
-            f"publisher pid {manifest.get('publisher_pid')}"
-        )
-        try:
-            with attach_segments(manifest, foreign=True) as segs:
-                for tech in segs.techniques:
-                    entry = manifest["techniques"][tech]
-                    arrays = segs.arrays(tech)
-                    print(
-                        f"  {tech:<9} {entry['segment']:<22} "
-                        f"{entry['nbytes']:>10} bytes  "
-                        f"{len(arrays)} arrays attached"
-                    )
-        except SegmentError as exc:
-            print(f"  segments unreachable: {exc}")
-            return 1
-        print("all segments attached and released (zero-copy, no unlink)")
-        return 0
+        if args.action == "stats":
+            return _service_stats(args, manifest)
+        return _service_status(args, manifest)
 
     from repro.harness.experiments import (
         batched_distances,
@@ -560,6 +760,9 @@ def _service_main(argv: list[str]) -> int:
             f"pids {service.pool.worker_pids}, "
             f"transport {service.transport}"
         )
+        service.install_usr1_snapshot(
+            args.metrics_out or f"serve-metrics-{os.getpid()}.prom"
+        )
         if args.manifest:
             save_manifest(args.manifest, service.manifest)
             print(f"[manifest] {args.manifest}")
@@ -587,6 +790,15 @@ def _service_main(argv: list[str]) -> int:
             f"retries {status['retries']}, "
             f"worker restarts {status['worker_restarts']}"
         )
+        for row in status["workers"]:
+            age = row["last_commit_age_s"]
+            print(
+                f"  worker {row['worker']}: pid {row['pid']}, "
+                f"{row['batches']} batch(es), last commit "
+                + (f"{age}s ago" if age is not None else "never")
+            )
+        if args.metrics_out:
+            print(f"[metrics] {service.write_metrics(args.metrics_out)}")
     print("service shut down cleanly")
     if trace:
         print(f"[trace] {obs.stop_trace()}")
@@ -608,9 +820,19 @@ def build_stats_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the raw snapshot as JSON"
     )
     parser.add_argument(
+        "--prom", action="store_true",
+        help="emit the snapshot in Prometheus text exposition format",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="read the metrics snapshot embedded in a trace file instead "
              "of the (empty, in a fresh process) live registry",
+    )
+    parser.add_argument(
+        "--merge", nargs="+", default=None, metavar="FILE",
+        help="merge the metrics snapshots of several trace files (e.g. "
+             "the per-pid worker traces of one service run) into one "
+             "rendered snapshot; mutually exclusive with --trace",
     )
     parser.add_argument(
         "--cache", default=None,
@@ -620,21 +842,47 @@ def build_stats_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trace_snapshot(path: str) -> dict:
+    """The metrics snapshot embedded in a trace file, or ValueError."""
+    try:
+        events = obs.read_trace(path)
+    except OSError as exc:
+        raise ValueError(f"{path}: {exc.strerror or exc}") from None
+    snapshot = obs.trace_metrics(events)
+    if snapshot is None:
+        raise ValueError(
+            f"{path}: no metrics snapshot "
+            "(trace from a crashed or still-running process?)"
+        )
+    return snapshot
+
+
 def _stats_main(argv: list[str]) -> int:
     args = build_stats_parser().parse_args(argv)
-    if args.trace:
+    if args.merge and args.trace:
+        print("error: --merge and --trace are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.merge:
+        merged = obs.MetricsRegistry()
+        for path in args.merge:
+            try:
+                snap = _trace_snapshot(path)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            try:
+                merged.merge_snapshot(snap)
+            except ValueError as exc:
+                # e.g. a schema-1 trace whose histograms carry no buckets
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                return 1
+        snapshot = merged.snapshot()
+    elif args.trace:
         try:
-            events = obs.read_trace(args.trace)
-        except (OSError, ValueError) as exc:
+            snapshot = _trace_snapshot(args.trace)
+        except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
-        snapshot = obs.trace_metrics(events)
-        if snapshot is None:
-            print(
-                f"error: {args.trace}: no metrics snapshot "
-                "(trace from a crashed or still-running process?)",
-                file=sys.stderr,
-            )
             return 1
     else:
         snapshot = obs.registry().snapshot()
@@ -647,6 +895,8 @@ def _stats_main(argv: list[str]) -> int:
                 snapshot["counters"][f"cache.lifetime.{name}"] = int(lifetime[name])
     if args.json:
         print(json.dumps(snapshot, indent=1, sort_keys=True))
+    elif args.prom:
+        print(obs.to_prometheus(snapshot), end="")
     else:
         print(obs.render_snapshot(snapshot))
     return 0

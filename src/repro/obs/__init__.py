@@ -52,6 +52,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     render_snapshot,
+    to_prometheus,
 )
 from repro.obs.trace import (
     TRACE_SCHEMA,
@@ -85,6 +86,7 @@ __all__ = [
     "span",
     "start_trace",
     "stop_trace",
+    "to_prometheus",
     "trace_metrics",
     "tree_summary",
     "unique_trace_path",

@@ -1,0 +1,404 @@
+"""Shared-memory metrics planes: cross-process instrument mirroring.
+
+Forked serving workers (:mod:`repro.serve.pool`) observe counters and
+histograms into their own process-local :class:`MetricsRegistry`, which
+dies with the worker. A :class:`MetricsPlane` is a small named
+shared-memory segment the parent creates per worker slot; the worker
+installs a :class:`PlaneMirror` on its registry so every instrument
+write also lands in the plane as an *absolute* value (one int64/float64
+store, no locks, no pipe traffic), and the parent reconstructs a
+schema-versioned snapshot at any time with :meth:`MetricsPlane.snapshot`
+and folds it into an aggregate via
+:meth:`MetricsRegistry.merge_snapshot`.
+
+Layout (all offsets 8-byte aligned)::
+
+    header      16 int64 words: schema, pid, n_counters, n_gauges,
+                n_hists, batches, last_batch_us, dropped, spares
+    counter     name table (NAME_BYTES per row) + int64 value per row
+    gauge       name table + float64 value per row
+    histogram   name table + count row (len(BUCKET_BOUNDS)+1 bucket
+                words + 1 total-count word, int64) + stats triple
+                (sum, min, max as float64) per row
+
+Single-writer discipline: only the owning worker writes instrument rows;
+the parent only reads. Rows become visible by bumping the header count
+*last*, so a reader never sees a half-initialised row. Concurrent reads
+may be torn across words (count vs. buckets) — fine for live dashboards;
+reads of a quiescent (dead or idle) worker are exact, which is what the
+harvest-on-reap path relies on.
+
+Stdlib-only, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.obs.registry import BUCKET_BOUNDS, METRICS_SCHEMA, Histogram
+
+#: Layout version of the plane segment itself.
+PLANE_SCHEMA = 1
+
+#: Bytes reserved per instrument name (NUL-padded UTF-8; longer names
+#: are truncated at an encoding boundary).
+NAME_BYTES = 80
+
+_N_COUNTS = len(BUCKET_BOUNDS) + 1
+#: int64 words per histogram count row: every bucket plus a trailing
+#: total-count word.
+HIST_COUNT_WORDS = _N_COUNTS + 1
+#: float64 words per histogram stats row: (sum, min, max).
+HIST_STAT_WORDS = 3
+
+_HEADER_WORDS = 16
+# Header word indices.
+_H_SCHEMA = 0
+_H_PID = 1
+_H_N_COUNTERS = 2
+_H_N_GAUGES = 3
+_H_N_HISTS = 4
+_H_BATCHES = 5
+_H_LAST_US = 6
+_H_DROPPED = 7
+
+
+def _now_us() -> int:
+    return time.monotonic_ns() // 1000
+
+
+def _attach_shm(name: str, foreign: bool) -> shared_memory.SharedMemory:
+    """Attach an existing plane without double-registering it.
+
+    Same contract as the segment attach in :mod:`repro.serve.segments`
+    (duplicated here to keep ``repro.obs`` stdlib-only): ``foreign``
+    attachments must not let this process's resource tracker unlink the
+    plane at exit — the owner unlinks explicitly.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        shm = shared_memory.SharedMemory(name=name, create=False)
+        if foreign:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return shm
+
+
+class MetricsPlane:
+    """One worker's shared-memory metrics segment.
+
+    The parent creates it (``MetricsPlane(name)``) and records
+    :attr:`entry` in the service manifest; the worker — and any foreign
+    observer such as ``repro-harness service stats`` — attaches with
+    :meth:`attach`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        max_counters: int = 256,
+        max_gauges: int = 64,
+        max_hists: int = 128,
+    ) -> None:
+        self.name = name
+        self.max_counters = max_counters
+        self.max_gauges = max_gauges
+        self.max_hists = max_hists
+        self._owner = True
+        self._views: list[memoryview] = []
+        nbytes = self._layout()
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=True, size=nbytes
+        )
+        self._shm.buf[: self.nbytes] = bytes(self.nbytes)
+        self._map_views()
+        self._header[_H_SCHEMA] = PLANE_SCHEMA
+
+    def _layout(self) -> int:
+        off = _HEADER_WORDS * 8
+        self._off_cnames = off
+        off += self.max_counters * NAME_BYTES
+        self._off_cvals = off
+        off += self.max_counters * 8
+        self._off_gnames = off
+        off += self.max_gauges * NAME_BYTES
+        self._off_gvals = off
+        off += self.max_gauges * 8
+        self._off_hnames = off
+        off += self.max_hists * NAME_BYTES
+        self._off_hcounts = off
+        off += self.max_hists * HIST_COUNT_WORDS * 8
+        self._off_hstats = off
+        off += self.max_hists * HIST_STAT_WORDS * 8
+        self.nbytes = off
+        return off
+
+    def _view(self, start: int, stop: int, fmt: str | None = None):
+        mv = self._shm.buf[start:stop]
+        self._views.append(mv)
+        if fmt is not None:
+            mv = mv.cast(fmt)
+            self._views.append(mv)
+        return mv
+
+    def _map_views(self) -> None:
+        self._header = self._view(0, _HEADER_WORDS * 8, "q")
+        self._body = self._view(_HEADER_WORDS * 8, self.nbytes)
+        self._cnames = self._view(self._off_cnames, self._off_cvals)
+        self._cvals = self._view(self._off_cvals, self._off_gnames, "q")
+        self._gnames = self._view(self._off_gnames, self._off_gvals)
+        self._gvals = self._view(self._off_gvals, self._off_hnames, "d")
+        self._hnames = self._view(self._off_hnames, self._off_hcounts)
+        self._hcounts = self._view(self._off_hcounts, self._off_hstats, "q")
+        self._hstats = self._view(self._off_hstats, self.nbytes, "d")
+
+    @classmethod
+    def attach(cls, entry: dict, *, foreign: bool = True) -> "MetricsPlane":
+        """Attach an existing plane from its manifest ``entry`` dict.
+
+        ``foreign=False`` is for the owning service's own worker
+        processes; observers from other processes pass the default.
+        """
+        self = cls.__new__(cls)
+        self.name = entry["segment"]
+        self.max_counters = int(entry["max_counters"])
+        self.max_gauges = int(entry["max_gauges"])
+        self.max_hists = int(entry["max_hists"])
+        self._owner = False
+        self._views = []
+        nbytes = self._layout()
+        self._shm = _attach_shm(self.name, foreign)
+        if self._shm.size < nbytes:
+            shm = self._shm
+            self._shm = None
+            shm.close()
+            raise ValueError(
+                f"metrics plane {self.name!r}: segment is {shm.size} bytes, "
+                f"layout needs {nbytes}"
+            )
+        self._map_views()
+        schema = int(self._header[_H_SCHEMA])
+        if schema != PLANE_SCHEMA:
+            self.close()
+            raise ValueError(
+                f"metrics plane {self.name!r}: schema {schema}, "
+                f"expected {PLANE_SCHEMA}"
+            )
+        return self
+
+    @property
+    def entry(self) -> dict:
+        """JSON-able manifest entry from which :meth:`attach` rebuilds."""
+        return {
+            "kind": "metrics",
+            "segment": self.name,
+            "nbytes": self.nbytes,
+            "max_counters": self.max_counters,
+            "max_gauges": self.max_gauges,
+            "max_hists": self.max_hists,
+        }
+
+    # -- header ----------------------------------------------------------
+    def set_pid(self, pid: int) -> None:
+        self._header[_H_PID] = int(pid)
+
+    def note_batch(self) -> None:
+        """Record one served batch (worker liveness heartbeat)."""
+        self._header[_H_BATCHES] += 1
+        self._header[_H_LAST_US] = _now_us()
+
+    def header(self) -> dict:
+        h = self._header
+        return {
+            "schema": int(h[_H_SCHEMA]),
+            "pid": int(h[_H_PID]),
+            "counters": int(h[_H_N_COUNTERS]),
+            "gauges": int(h[_H_N_GAUGES]),
+            "hists": int(h[_H_N_HISTS]),
+            "batches": int(h[_H_BATCHES]),
+            "last_batch_us": int(h[_H_LAST_US]),
+            "dropped": int(h[_H_DROPPED]),
+        }
+
+    # -- row allocation (worker side, via PlaneMirror) -------------------
+    def _write_name(self, table: memoryview, row: int, name: str) -> None:
+        raw = name.encode("utf-8", "replace")[: NAME_BYTES - 1]
+        start = row * NAME_BYTES
+        table[start : start + len(raw)] = raw
+
+    def _read_name(self, table: memoryview, row: int) -> str:
+        start = row * NAME_BYTES
+        raw = bytes(table[start : start + NAME_BYTES])
+        return raw.split(b"\0", 1)[0].decode("utf-8", "replace")
+
+    def alloc_counter(self, name: str):
+        row = int(self._header[_H_N_COUNTERS])
+        if row >= self.max_counters:
+            self._header[_H_DROPPED] += 1
+            return None
+        self._write_name(self._cnames, row, name)
+        self._cvals[row] = 0
+        self._header[_H_N_COUNTERS] = row + 1
+        view = self._cvals[row : row + 1]
+        self._views.append(view)
+        return view
+
+    def alloc_gauge(self, name: str):
+        row = int(self._header[_H_N_GAUGES])
+        if row >= self.max_gauges:
+            self._header[_H_DROPPED] += 1
+            return None
+        self._write_name(self._gnames, row, name)
+        self._gvals[row] = 0.0
+        self._header[_H_N_GAUGES] = row + 1
+        view = self._gvals[row : row + 1]
+        self._views.append(view)
+        return view
+
+    def alloc_histogram(self, name: str):
+        row = int(self._header[_H_N_HISTS])
+        if row >= self.max_hists:
+            self._header[_H_DROPPED] += 1
+            return None
+        self._write_name(self._hnames, row, name)
+        cstart = row * HIST_COUNT_WORDS
+        counts = self._hcounts[cstart : cstart + HIST_COUNT_WORDS]
+        sstart = row * HIST_STAT_WORDS
+        stats = self._hstats[sstart : sstart + HIST_STAT_WORDS]
+        self._views.extend((counts, stats))
+        for i in range(HIST_COUNT_WORDS):
+            counts[i] = 0
+        stats[0] = 0.0
+        stats[1] = math.inf
+        stats[2] = -math.inf
+        self._header[_H_N_HISTS] = row + 1
+        return counts, stats
+
+    # -- reading (parent / observer side) --------------------------------
+    def snapshot(self) -> dict:
+        """Rebuild a registry-style snapshot dict from the plane.
+
+        Torn reads are possible while the worker is live (monitoring
+        only); a quiescent plane reads back exactly.
+        """
+        snap: dict = {
+            "schema": METRICS_SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for row in range(int(self._header[_H_N_COUNTERS])):
+            snap["counters"][self._read_name(self._cnames, row)] = int(
+                self._cvals[row]
+            )
+        for row in range(int(self._header[_H_N_GAUGES])):
+            snap["gauges"][self._read_name(self._gnames, row)] = float(
+                self._gvals[row]
+            )
+        for row in range(int(self._header[_H_N_HISTS])):
+            h = Histogram()
+            cstart = row * HIST_COUNT_WORDS
+            h.counts = [
+                int(self._hcounts[cstart + i]) for i in range(_N_COUNTS)
+            ]
+            h.count = int(self._hcounts[cstart + _N_COUNTS])
+            sstart = row * HIST_STAT_WORDS
+            h.total = float(self._hstats[sstart])
+            h.vmin = float(self._hstats[sstart + 1])
+            h.vmax = float(self._hstats[sstart + 2])
+            snap["histograms"][self._read_name(self._hnames, row)] = (
+                h.as_dict()
+            )
+        return snap
+
+    # -- lifecycle --------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument row and header stat (schema word stays).
+
+        The parent calls this after harvesting a dead worker's plane so
+        the respawned worker starts from zero on the same fixed name.
+        """
+        h = self._header
+        for word in (_H_PID, _H_N_COUNTERS, _H_N_GAUGES, _H_N_HISTS,
+                     _H_BATCHES, _H_LAST_US, _H_DROPPED):
+            h[word] = 0
+        self._body[:] = bytes(len(self._body))
+
+    def close(self) -> None:
+        """Release every exported view, unmap, and (if owner) unlink."""
+        views, self._views = self._views, []
+        for mv in reversed(views):
+            try:
+                mv.release()
+            except Exception:
+                pass
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            pass
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "MetricsPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PlaneMirror:
+    """Adapter wiring a :class:`MetricsPlane` into a registry.
+
+    Implements the mirror duck-type consumed by
+    :meth:`MetricsRegistry.set_mirror`: attach calls hand out plane
+    buffer slices (seeding them with the instrument's current value so a
+    mid-flight install stays consistent) and ``on_reset`` zeroes the
+    plane alongside the registry.
+    """
+
+    def __init__(self, plane: MetricsPlane) -> None:
+        self.plane = plane
+
+    def attach_counter(self, name: str, value: int):
+        view = self.plane.alloc_counter(name)
+        if view is not None:
+            view[0] = int(value)
+        return view
+
+    def attach_gauge(self, name: str, value: float):
+        view = self.plane.alloc_gauge(name)
+        if view is not None:
+            view[0] = float(value)
+        return view
+
+    def attach_histogram(self, name: str, hist: Histogram):
+        pair = self.plane.alloc_histogram(name)
+        if pair is None:
+            return None, None
+        counts, stats = pair
+        for i, c in enumerate(hist.counts):
+            if c:
+                counts[i] = c
+        counts[_N_COUNTS] = hist.count
+        stats[0] = hist.total
+        stats[1] = hist.vmin
+        stats[2] = hist.vmax
+        return counts, stats
+
+    def on_reset(self) -> None:
+        pid = int(self.plane._header[_H_PID])
+        self.plane.reset()
+        if pid:
+            self.plane.set_pid(pid)

@@ -56,7 +56,9 @@ from __future__ import annotations
 
 import math
 import os
+import secrets
 import struct
+import time
 from multiprocessing.connection import wait as _conn_wait
 from typing import Sequence
 
@@ -64,6 +66,8 @@ import numpy as np
 
 from repro import obs
 from repro.graph.csr import CSRGraph, DirectedCSR
+from repro.obs.registry import MetricsRegistry
+from repro.obs.shm import MetricsPlane, PlaneMirror
 from repro.parallel import serve_context
 from repro.persistence import GraphFingerprint
 from repro.serve.segments import (
@@ -72,8 +76,14 @@ from repro.serve.segments import (
     SLOT_COMMIT,
     SLOT_NPAIRS,
     SLOT_OFF,
+    SLOT_REQ,
     SLOT_SEQ,
     SLOT_STATUS,
+    SLOT_T_ENQ,
+    SLOT_T_FORM,
+    SLOT_T_PUB,
+    SLOT_T_WCOMMIT,
+    SLOT_T_WSTART,
     SLOT_TECH,
     STATUS_ERR,
     STATUS_OK,
@@ -85,6 +95,13 @@ from repro.serve.segments import (
 )
 
 INF = float("inf")
+
+
+def _now_us() -> int:
+    """Microseconds on CLOCK_MONOTONIC — comparable across forked
+    processes on the same host, which is what the per-stage latency
+    stamps rely on."""
+    return time.monotonic_ns() // 1000
 
 #: Ring wakeup-channel control tokens (regular messages are slot >= 0).
 _STOP = -1
@@ -484,14 +501,46 @@ def build_techniques(segs: AttachedSegments) -> dict:
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _worker_main(manifest: dict, conn, trace_base: str | None) -> None:
+def _attach_plane(plane_entry: dict | None) -> MetricsPlane | None:
+    """Worker-side metrics-plane attach + registry mirror install.
+
+    The plane is parent-created and parent-owned; the worker only maps
+    it (``foreign=False``: same service) and mirrors its registry into
+    it. A broken plane must never take the worker down — telemetry is
+    strictly best-effort.
+    """
+    if plane_entry is None:
+        return None
+    try:
+        plane = MetricsPlane.attach(plane_entry, foreign=False)
+        plane.set_pid(os.getpid())
+        obs.registry().set_mirror(PlaneMirror(plane))
+        return plane
+    except Exception:  # pragma: no cover - best-effort telemetry
+        return None
+
+
+def _detach_plane(plane: MetricsPlane | None) -> None:
+    if plane is None:
+        return
+    try:
+        obs.registry().set_mirror(None)
+        plane.close()
+    except Exception:  # pragma: no cover
+        pass
+
+
+def _worker_main(
+    manifest: dict, conn, trace_base: str | None, plane_entry: dict | None = None
+) -> None:
     """Worker loop: attach, build views, answer batches until ``stop``.
 
     Protocol (parent -> worker): ``("batch", id, technique, pairs)`` or
     ``("stop",)``. Worker -> parent: ``("ready", pid)`` once, then
-    ``("ok", id, distances)`` / ``("err", id, message)`` per batch.
-    Only the pairs and the result row cross the pipe — never index
-    arrays (the zero-copy contract the tests assert).
+    ``("ok", id, distances, wstart_us, wcommit_us)`` /
+    ``("err", id, message)`` per batch. Only the pairs and the result
+    row cross the pipe — never index arrays (the zero-copy contract the
+    tests assert).
     """
     from repro.harness.experiments import batched_distances
 
@@ -501,7 +550,17 @@ def _worker_main(manifest: dict, conn, trace_base: str | None) -> None:
         base = trace_base or obs.trace_path()
         obs.detach_trace()
         obs.start_trace(obs.unique_trace_path(base))
+    # Fork also copies the parent's accumulated counters *and* its
+    # registry mirror (which maps the scheduler's plane — resetting
+    # through it would zero the parent's telemetry). Detach the
+    # inherited mirror, then drop the counters: the worker's trace tail
+    # and its own metrics plane must report only worker-side activity,
+    # or the parent's build-time totals would be counted once per
+    # worker when planes are merged.
+    obs.registry().set_mirror(None)
+    obs.reset()
     segs = None
+    plane = _attach_plane(plane_entry)
     try:
         segs = attach_segments(manifest, foreign=False)
         techniques = build_techniques(segs)
@@ -511,19 +570,23 @@ def _worker_main(manifest: dict, conn, trace_base: str | None) -> None:
             if msg[0] == "stop":
                 break
             _, batch_id, technique, pairs = msg
+            t_start = _now_us()
             try:
                 with obs.span("serve.worker_batch"):
                     out = batched_distances(
                         techniques[technique], pairs, batch_size=max(len(pairs), 1)
                     )
-                conn.send(("ok", batch_id, out))
+                conn.send(("ok", batch_id, out, t_start, _now_us()))
             except Exception as exc:  # surface, don't die
                 conn.send(("err", batch_id, f"{type(exc).__name__}: {exc}"))
+            if plane is not None:
+                plane.note_batch()
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         pass
     finally:
         if obs.trace_path() is not None:
             obs.stop_trace()
+        _detach_plane(plane)
         if segs is not None:
             segs.close()
         try:
@@ -532,7 +595,9 @@ def _worker_main(manifest: dict, conn, trace_base: str | None) -> None:
             pass
 
 
-def _ring_worker_main(manifest: dict, conn, trace_base: str | None) -> None:
+def _ring_worker_main(
+    manifest: dict, conn, trace_base: str | None, plane_entry: dict | None = None
+) -> None:
     """Ring-transport worker loop: read descriptors, write the arena.
 
     Protocol: the parent sends one 8-byte slot index per published slot
@@ -552,7 +617,11 @@ def _ring_worker_main(manifest: dict, conn, trace_base: str | None) -> None:
         base = trace_base or obs.trace_path()
         obs.detach_trace()
         obs.start_trace(obs.unique_trace_path(base))
+    # Inherited mirror + counters: see _worker_main for why both go.
+    obs.registry().set_mirror(None)
+    obs.reset()
     segs = ring = None
+    plane = _attach_plane(plane_entry)
     try:
         segs = attach_segments(manifest, foreign=False)
         ring = AttachedRing(manifest["transport"], foreign=False)
@@ -567,6 +636,7 @@ def _ring_worker_main(manifest: dict, conn, trace_base: str | None) -> None:
             slot = _TOKEN.unpack(conn.recv_bytes())[0]
             if slot == _STOP:
                 break
+            rbuf[slot, SLOT_T_WSTART] = _now_us()
             off = int(rbuf[slot, SLOT_OFF])
             n = int(rbuf[slot, SLOT_NPAIRS])
             try:
@@ -582,13 +652,17 @@ def _ring_worker_main(manifest: dict, conn, trace_base: str | None) -> None:
                 errors[slot] = 0
                 errors[slot, : len(text)] = np.frombuffer(text, dtype=np.uint8)
                 rbuf[slot, SLOT_STATUS] = STATUS_ERR
+            rbuf[slot, SLOT_T_WCOMMIT] = _now_us()
             rbuf[slot, SLOT_COMMIT] = rbuf[slot, SLOT_SEQ]
+            if plane is not None:
+                plane.note_batch()
             conn.send_bytes(_TOKEN.pack(slot))
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         pass
     finally:
         if obs.trace_path() is not None:
             obs.stop_trace()
+        _detach_plane(plane)
         if ring is not None:
             ring.close()
         if segs is not None:
@@ -603,13 +677,17 @@ def _ring_worker_main(manifest: dict, conn, trace_base: str | None) -> None:
 # The pools
 # ----------------------------------------------------------------------
 class _Worker:
-    __slots__ = ("process", "conn", "inflight", "ready")
+    __slots__ = ("process", "conn", "inflight", "ready", "plane")
 
-    def __init__(self, process, conn) -> None:
+    def __init__(self, process, conn, plane=None) -> None:
         self.process = process
         self.conn = conn
         self.inflight: dict[int, tuple[str, Sequence]] = {}
         self.ready = False
+        #: This worker slot's MetricsPlane (parent-owned; the worker
+        #: mirrors its registry into it). Survives restarts: the pool
+        #: harvests + resets it and hands it to the replacement.
+        self.plane = plane
 
 
 class WorkerPool:
@@ -617,7 +695,10 @@ class WorkerPool:
 
     Events from :meth:`poll`:
 
-    - ``("done", batch_id, distances)`` — a batch completed;
+    - ``("done", batch_id, distances, stamps)`` — a batch completed;
+      ``stamps`` maps stage names (``enq``/``form``/``pub``/``wstart``/
+      ``wcommit``) to CLOCK_MONOTONIC microseconds for the latency
+      breakdown (zero where unknown);
     - ``("error", batch_id, message)`` — the batch raised in the worker
       (bad technique name, out-of-range vertex — the worker survives);
     - ``("died", batch_ids)`` — a worker died (crash or kill) with
@@ -646,23 +727,46 @@ class WorkerPool:
         #: broken pipe discovered during submit); surfaced as one
         #: ``died`` event at the next poll so no future ever hangs.
         self._orphaned: list[int] = []
+        #: Metrics harvested from dead workers' planes (merged in at
+        #: reap time, folded into the service's aggregate snapshot).
+        self.retired = MetricsRegistry()
+        #: Per-stage timestamp records for pipe-transport batches,
+        #: keyed by batch id (the ring transport carries these in the
+        #: slot descriptor words instead).
+        self._meta: dict[int, dict] = {}
+        #: One fixed-name metrics plane per worker *slot* (not per
+        #: process): registered in the manifest before any fork so a
+        #: foreign `service stats` dashboard can attach them, and kept
+        #: across restarts so the names stay stable.
+        token = manifest.get("service") or secrets.token_hex(4)
+        self._planes = [
+            MetricsPlane(f"rsv-{token}-mw{i}") for i in range(n_workers)
+        ]
+        manifest.setdefault("metrics", {})["workers"] = [
+            p.entry for p in self._planes
+        ]
 
     # ------------------------------------------------------------------
     def start(self) -> "WorkerPool":
-        for _ in range(self.n_workers):
-            self._workers.append(self._spawn())
+        for i in range(self.n_workers):
+            self._workers.append(self._spawn(self._planes[i]))
         return self
 
-    def _spawn(self) -> _Worker:
+    def _spawn(self, plane: MetricsPlane | None = None) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=self._worker_target,
-            args=(self.manifest, child_conn, self._trace_base),
+            args=(
+                self.manifest,
+                child_conn,
+                self._trace_base,
+                plane.entry if plane is not None else None,
+            ),
             daemon=True,
         )
         process.start()
         child_conn.close()
-        return _Worker(process, parent_conn)
+        return _Worker(process, parent_conn, plane)
 
     @property
     def worker_pids(self) -> list[int]:
@@ -672,9 +776,58 @@ class WorkerPool:
     def inflight(self) -> int:
         return sum(len(w.inflight) for w in self._workers)
 
+    def worker_status(self) -> list[dict]:
+        """Per-worker liveness/progress rows (``service status`` section).
+
+        ``batches`` and ``last_commit_age_s`` come from the worker's
+        metrics-plane header (written by the worker itself, read here
+        without any pipe traffic); ``pid`` prefers the plane's own
+        claim, falling back to the process handle during startup.
+        """
+        now_us = _now_us()
+        rows: list[dict] = []
+        for i, w in enumerate(self._workers):
+            row = {
+                "worker": i,
+                "pid": w.process.pid,
+                "alive": w.process.is_alive(),
+                "ready": w.ready,
+                "inflight": len(w.inflight),
+                "batches": 0,
+                "last_commit_age_s": None,
+            }
+            if w.plane is not None:
+                h = w.plane.header()
+                if h["pid"]:
+                    row["pid"] = h["pid"]
+                row["batches"] = h["batches"]
+                if h["last_batch_us"]:
+                    row["last_commit_age_s"] = round(
+                        max(now_us - h["last_batch_us"], 0) / 1e6, 3
+                    )
+            rows.append(row)
+        return rows
+
+    def worker_snapshots(self) -> list[dict]:
+        """Live workers' plane snapshots (see :meth:`MetricsPlane.snapshot`)."""
+        return [
+            w.plane.snapshot() for w in self._workers if w.plane is not None
+        ]
+
     # ------------------------------------------------------------------
-    def submit(self, batch_id: int, technique: str, pairs: Sequence) -> None:
+    def submit(
+        self,
+        batch_id: int,
+        technique: str,
+        pairs: Sequence,
+        meta: dict | None = None,
+    ) -> None:
         """Send a batch to the least-loaded live worker.
+
+        ``meta`` optionally carries the scheduler's telemetry stamps
+        (``request_id``/``t_enq_us``/``t_form_us``); the transport adds
+        its own publish/worker stamps and hands the full set back on
+        the ``done`` event.
 
         A worker whose pipe is already broken is reaped (and restarted)
         on the spot and the next candidate tried; with every worker
@@ -689,6 +842,11 @@ class WorkerPool:
                 self._reap(w)  # events for its in-flight batches surface in poll
                 continue
             w.inflight[batch_id] = (technique, pairs)
+            self._meta[batch_id] = {
+                "enq": int(meta.get("t_enq_us") or 0) if meta else 0,
+                "form": int(meta.get("t_form_us") or 0) if meta else 0,
+                "pub": _now_us(),
+            }
             return
         raise RuntimeError("no live worker accepted the batch") from last_exc
 
@@ -726,16 +884,20 @@ class WorkerPool:
         if msg[0] == "ready":
             w.ready = True
         elif msg[0] == "ok":
-            _, batch_id, distances = msg
+            _, batch_id, distances, wstart, wcommit = msg
             w.inflight.pop(batch_id, None)
             self.batches_done += 1
             if obs.ENABLED:
                 nbytes = getattr(distances, "nbytes", 8 * len(distances))
                 obs.registry().counter("serve.reply_bytes").inc(int(nbytes))
-            events.append(("done", batch_id, distances))
+            stamps = self._meta.pop(batch_id, None) or {}
+            stamps["wstart"] = int(wstart)
+            stamps["wcommit"] = int(wcommit)
+            events.append(("done", batch_id, distances, stamps))
         elif msg[0] == "err":
             _, batch_id, message = msg
             w.inflight.pop(batch_id, None)
+            self._meta.pop(batch_id, None)
             events.append(("error", batch_id, message))
 
     def _reap_events(self, w: _Worker) -> list[tuple]:
@@ -750,8 +912,16 @@ class WorkerPool:
         Anything still in the worker's in-flight map (a reap outside
         poll's event path) is queued as orphaned so the next poll
         reports it ``died`` instead of leaving its futures pending.
+
+        The dead worker's metrics plane is harvested into
+        :attr:`retired` *after* the join (the plane is quiescent, so
+        the read is exact) and reset before the replacement inherits
+        the same fixed-name segment — counters never double-count and
+        never silently vanish across a restart.
         """
         self._orphaned.extend(w.inflight)
+        for batch_id in w.inflight:
+            self._meta.pop(batch_id, None)
         w.inflight.clear()
         try:
             w.conn.close()
@@ -760,8 +930,14 @@ class WorkerPool:
         if w.process.is_alive():  # broken pipe but still running: kill
             w.process.terminate()
         w.process.join(timeout=5)
+        if w.plane is not None:
+            try:
+                self.retired.merge_snapshot(w.plane.snapshot())
+            except ValueError:  # pragma: no cover - torn mid-death write
+                pass
+            w.plane.reset()
         self._workers.remove(w)
-        self._workers.append(self._spawn())
+        self._workers.append(self._spawn(w.plane))
         self.restarts += 1
         if obs.ENABLED:
             obs.registry().counter("serve.worker_restarts").inc()
@@ -787,6 +963,12 @@ class WorkerPool:
             except OSError:  # pragma: no cover
                 pass
         self._workers.clear()
+        planes, self._planes = self._planes, []
+        for p in planes:
+            try:
+                p.close()
+            except Exception:  # pragma: no cover
+                pass
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -881,7 +1063,13 @@ class RingPool(WorkerPool):
             self._free.extend(self._pending_free)
             self._pending_free.clear()
 
-    def submit(self, batch_id: int, technique: str, pairs: Sequence) -> None:
+    def submit(
+        self,
+        batch_id: int,
+        technique: str,
+        pairs: Sequence,
+        meta: dict | None = None,
+    ) -> None:
         """Publish a batch into ring slots on the least-loaded worker.
 
         Raises :class:`RingFull` when the ring cannot hold the batch
@@ -912,7 +1100,7 @@ class RingPool(WorkerPool):
             w.inflight[batch_id] = slots
             try:
                 for k, slot in enumerate(slots):
-                    self._publish(w, slot, batch_id, tech_id, arr, k * sp)
+                    self._publish(w, slot, batch_id, tech_id, arr, k * sp, meta)
                 return
             except (BrokenPipeError, OSError) as exc:
                 # Nothing committed on a worker that never read a byte:
@@ -935,7 +1123,7 @@ class RingPool(WorkerPool):
 
     def _publish(
         self, w: _Worker, slot: int, batch_id: int, tech_id: int,
-        arr: np.ndarray, start: int,
+        arr: np.ndarray, start: int, meta: dict | None = None,
     ) -> None:
         sp = self.ring.slot_pairs
         span = arr[start : start + sp]
@@ -947,6 +1135,12 @@ class RingPool(WorkerPool):
         ring[slot, SLOT_OFF] = base
         ring[slot, SLOT_NPAIRS] = len(span)
         ring[slot, SLOT_STATUS] = STATUS_OK
+        ring[slot, SLOT_REQ] = int(meta.get("request_id") or 0) if meta else 0
+        ring[slot, SLOT_T_ENQ] = int(meta.get("t_enq_us") or 0) if meta else 0
+        ring[slot, SLOT_T_FORM] = int(meta.get("t_form_us") or 0) if meta else 0
+        ring[slot, SLOT_T_WSTART] = 0
+        ring[slot, SLOT_T_WCOMMIT] = 0
+        ring[slot, SLOT_T_PUB] = _now_us()
         # The sequence bump is the publish: everything above must be in
         # place before it, and the wakeup byte (a syscall, hence a
         # barrier) follows it.
@@ -995,7 +1189,18 @@ class RingPool(WorkerPool):
                 ]
                 for s in rec.slots
             ])
-        return ("done", rec.batch_id, distances)
+        first = rec.slots[0]
+        wstarts = [int(ring[s, SLOT_T_WSTART]) for s in rec.slots]
+        stamps = {
+            "enq": int(ring[first, SLOT_T_ENQ]),
+            "form": int(ring[first, SLOT_T_FORM]),
+            "pub": int(ring[first, SLOT_T_PUB]),
+            "wstart": min((t for t in wstarts if t), default=0),
+            "wcommit": max(
+                (int(ring[s, SLOT_T_WCOMMIT]) for s in rec.slots), default=0
+            ),
+        }
+        return ("done", rec.batch_id, distances, stamps)
 
     def _reap_events(self, w: _Worker) -> list[tuple]:
         """Classify a dead worker's slots by their commit words."""

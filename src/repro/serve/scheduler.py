@@ -47,6 +47,15 @@ Admission control is load-shedding, not queueing-forever:
 
 A batch whose worker died is retried exactly once on the restarted
 pool (counter ``serve.retries``); a second death fails its futures.
+
+Telemetry: every request gets a monotonically increasing ``request_id``
+and every batch carries stage timestamps (enqueue → batch-form →
+slot-publish → worker-start → commit → scatter) through the transport
+(ring slot words / extended pipe replies), feeding the
+``serve.e2e_us`` and ``serve.stage_us.<stage>`` histograms. A bounded
+:class:`FlightRecorder` keeps the last N terminal request records
+(done/failed/shed, with latency and retry/degrade flags) for
+post-mortem inspection regardless of whether obs is enabled.
 """
 
 from __future__ import annotations
@@ -86,7 +95,7 @@ class QueryFuture:
     """
 
     __slots__ = ("technique", "pairs", "deadline", "submitted_at", "status",
-                 "distances", "error", "degraded")
+                 "distances", "error", "degraded", "request_id")
 
     def __init__(
         self,
@@ -103,6 +112,8 @@ class QueryFuture:
         self.distances: list[float] | None = None
         self.error: str | None = None
         self.degraded = degraded
+        #: Assigned by the scheduler at admission (0 = unassigned).
+        self.request_id = 0
 
     @property
     def done(self) -> bool:
@@ -120,11 +131,38 @@ class QueryFuture:
         raise RuntimeError("request still pending — drain() the scheduler")
 
 
+class FlightRecorder:
+    """Bounded ring of the last N terminal request records.
+
+    Always on (a deque append per terminal request is noise next to a
+    dispatch): after an incident — sheds, retries, a worker death — the
+    recorder holds what happened to the most recent requests without
+    requiring obs to have been enabled in advance.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._records: deque[dict] = deque(maxlen=capacity)
+        #: Total records ever taken (so overflow is detectable).
+        self.recorded = 0
+
+    def record(self, entry: dict) -> None:
+        self._records.append(entry)
+        self.recorded += 1
+
+    def records(self) -> list[dict]:
+        """Oldest-to-newest copy of the retained records."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
 class _Batch:
     """One dispatched unit: whole requests for a single technique."""
 
     __slots__ = ("batch_id", "technique", "requests", "pairs", "retries",
-                 "blocked_since")
+                 "blocked_since", "request_id", "t_enq_us", "t_form_us")
 
     def __init__(self, batch_id: int, technique: str,
                  requests: list[QueryFuture]) -> None:
@@ -135,6 +173,10 @@ class _Batch:
         self.retries = 0
         #: When the ring first refused this batch (None = never held).
         self.blocked_since: float | None = None
+        #: Telemetry: head request id + stage stamps (monotonic µs).
+        self.request_id = requests[0].request_id
+        self.t_enq_us = min(int(r.submitted_at * 1e6) for r in requests)
+        self.t_form_us = int(time.monotonic() * 1e6)
 
     def scatter(self, distances) -> None:
         # One ndarray.tolist() per request instead of a per-pair float()
@@ -193,6 +235,9 @@ class BatchingScheduler:
         #: Batches held back by ring backpressure, FIFO.
         self._blocked: deque[_Batch] = deque()
         self._next_batch_id = 0
+        self._next_request_id = 1
+        #: Last-N terminal request records (always on).
+        self.flight = FlightRecorder()
         # Stats (mirrored into obs counters when enabled).
         self.dispatched_batches = 0
         self.dispatched_pairs = 0
@@ -250,10 +295,22 @@ class BatchingScheduler:
             degraded = True
         if not pairs:
             raise ValueError("empty request")
+        rid = self._next_request_id
+        self._next_request_id += 1
         if self.queued >= self.max_queue:
             self.shed += 1
             self._count("serve.shed")
             self._count("serve.shed_queue")
+            self.flight.record({
+                "id": rid,
+                "technique": technique,
+                "pairs": len(pairs),
+                "status": "shed",
+                "degraded": degraded,
+                "e2e_us": 0,
+                "retries": 0,
+                "error": "queue full",
+            })
             raise Overloaded(
                 f"queue full ({self.queued} requests waiting, "
                 f"limit {self.max_queue})"
@@ -262,6 +319,7 @@ class BatchingScheduler:
             time.monotonic() + deadline_s if deadline_s is not None else None
         )
         fut = QueryFuture(technique, pairs, deadline, degraded)
+        fut.request_id = rid
         if degraded:
             self.degraded += 1
             self._count("serve.degraded")
@@ -277,16 +335,41 @@ class BatchingScheduler:
         self._next_batch_id += 1
         self._send(batch)
 
+    def _record_terminal(self, batch: _Batch) -> None:
+        """Flight-record every request of a terminally resolved batch."""
+        now = time.monotonic()
+        for r in batch.requests:
+            self.flight.record({
+                "id": r.request_id,
+                "technique": r.technique,
+                "pairs": len(r.pairs),
+                "status": r.status,
+                "degraded": r.degraded,
+                "e2e_us": int((now - r.submitted_at) * 1e6),
+                "retries": batch.retries,
+                "error": r.error,
+            })
+
     def _try_submit(self, batch: _Batch) -> bool:
         """Hand a batch to the pool; False means the ring refused it."""
         try:
-            self.pool.submit(batch.batch_id, batch.technique, batch.pairs)
+            self.pool.submit(
+                batch.batch_id,
+                batch.technique,
+                batch.pairs,
+                meta={
+                    "request_id": batch.request_id,
+                    "t_enq_us": batch.t_enq_us,
+                    "t_form_us": batch.t_form_us,
+                },
+            )
         except RingFull:
             return False
         except ValueError as exc:
             # A batch the transport can never carry (e.g. one request
             # larger than the whole ring): fail its futures typed, now.
             batch.fail(str(exc))
+            self._record_terminal(batch)
             return True
         self._inflight[batch.batch_id] = batch
         self.dispatched_batches += 1
@@ -334,6 +417,16 @@ class BatchingScheduler:
                 self.shed += 1
                 self._count("serve.shed")
                 self._count("serve.shed_deadline")
+                self.flight.record({
+                    "id": fut.request_id,
+                    "technique": fut.technique,
+                    "pairs": len(fut.pairs),
+                    "status": "shed",
+                    "degraded": fut.degraded,
+                    "e2e_us": int((now - fut.submitted_at) * 1e6),
+                    "retries": 0,
+                    "error": fut.error,
+                })
                 continue
             if obs.ENABLED:
                 obs.registry().histogram("serve.queue_us").observe(
@@ -375,17 +468,22 @@ class BatchingScheduler:
         for event in self.pool.poll(block_s if self._inflight else 0.0):
             kind = event[0]
             if kind == "done":
-                _, batch_id, distances = event
+                batch_id, distances = event[1], event[2]
                 batch = self._inflight.pop(batch_id, None)
                 if batch is not None:
                     batch.scatter(distances)
                     resolved += len(batch.requests)
+                    self._observe_latency(
+                        batch, event[3] if len(event) > 3 else None
+                    )
+                    self._record_terminal(batch)
             elif kind == "error":
                 _, batch_id, message = event
                 batch = self._inflight.pop(batch_id, None)
                 if batch is not None:
                     batch.fail(message)
                     resolved += len(batch.requests)
+                    self._record_terminal(batch)
             elif kind == "died":
                 (_, batch_ids) = event
                 for batch_id in batch_ids:
@@ -400,8 +498,49 @@ class BatchingScheduler:
                     else:
                         batch.fail("worker died twice on this batch")
                         resolved += len(batch.requests)
+                        self._record_terminal(batch)
         self._flush_blocked()
         return resolved
+
+    #: Stage boundaries of the latency breakdown, in pipeline order:
+    #: (histogram suffix, start stamp, end stamp). ``scatter`` closes
+    #: against "now" at observation time.
+    _STAGES = (
+        ("queue", "enq", "form"),
+        ("publish", "form", "pub"),
+        ("dispatch", "pub", "wstart"),
+        ("worker", "wstart", "wcommit"),
+    )
+
+    def _observe_latency(self, batch: _Batch, stamps: dict | None) -> None:
+        """Feed ``serve.e2e_us`` + ``serve.stage_us.*`` from one batch.
+
+        Stages with a missing/zero boundary (a fake pool in tests, a
+        transport that lost a stamp) are skipped rather than observed
+        as garbage; per-request end-to-end latency needs no stamps.
+        """
+        if not obs.ENABLED:
+            return
+        reg = obs.registry()
+        now = time.monotonic()
+        for r in batch.requests:
+            reg.histogram("serve.e2e_us").observe(
+                max((now - r.submitted_at) * 1e6, 0.0)
+            )
+        if not stamps:
+            return
+        now_us = int(now * 1e6)
+        for stage, start, end in self._STAGES:
+            a, b = stamps.get(start), stamps.get(end)
+            if a and b:
+                reg.histogram(f"serve.stage_us.{stage}").observe(
+                    max(b - a, 0)
+                )
+        wcommit = stamps.get("wcommit")
+        if wcommit:
+            reg.histogram("serve.stage_us.scatter").observe(
+                max(now_us - wcommit, 0)
+            )
 
     # ------------------------------------------------------------------
     def drain(self, timeout_s: float = 60.0) -> None:
@@ -429,4 +568,5 @@ class BatchingScheduler:
             "ring_full": self.ring_full,
             "queued": self.queued,
             "inflight": self.inflight,
+            "flight_recorded": self.flight.recorded,
         }

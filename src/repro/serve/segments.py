@@ -72,7 +72,16 @@ SLOT_TECH = 3     #: technique id (index into the sorted manifest techniques)
 SLOT_OFF = 4      #: first pair row of this slot's span in the arenas
 SLOT_NPAIRS = 5   #: pair count of this slot's span
 SLOT_STATUS = 6   #: STATUS_OK or STATUS_ERR (error text in the error block)
-SLOT_WORDS = 8    #: descriptor width (one cache line of int64 words)
+SLOT_REQ = 7      #: request id of the head request in the batch (telemetry)
+# Per-stage timestamps (CLOCK_MONOTONIC microseconds, comparable across
+# forked processes on the same host) feeding the serve.stage_us.*
+# latency breakdown — see docs/OBSERVABILITY.md.
+SLOT_T_ENQ = 8      #: earliest request enqueue time in the batch
+SLOT_T_FORM = 9     #: batch formation (scheduler closed the batch)
+SLOT_T_PUB = 10     #: slot publish (written just before the SEQ bump)
+SLOT_T_WSTART = 11  #: worker picked the slot up
+SLOT_T_WCOMMIT = 12 #: worker finished, about to commit
+SLOT_WORDS = 16   #: descriptor width (two cache lines of int64 words)
 
 STATUS_OK = 0
 STATUS_ERR = 1
@@ -428,7 +437,9 @@ def _ring_arrays(n_slots: int, slot_pairs: int) -> dict[str, np.ndarray]:
     """Zeroed prototype arrays for a ring of ``n_slots`` slots.
 
     - ``ring``    — one :data:`SLOT_WORDS`-word int64 descriptor per slot
-      (a full cache line, so two workers never false-share a descriptor);
+      (whole cache lines, so two workers never false-share a descriptor;
+      words 7..12 carry the request id and stage timestamps for the
+      telemetry plane);
     - ``pairs``   — the int32 request arena: slot ``i`` owns rows
       ``[i*slot_pairs, (i+1)*slot_pairs)``;
     - ``results`` — the float64 reply arena, same row ownership;

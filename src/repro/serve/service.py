@@ -24,12 +24,15 @@ every segment.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
 from repro.harness.registry import Registry
+from repro.obs.registry import MetricsRegistry, to_prometheus
+from repro.obs.shm import MetricsPlane, PlaneMirror
 from repro.persistence import GraphFingerprint
 from repro.serve.pool import RingPool, WorkerPool
 from repro.serve.scheduler import BatchingScheduler, QueryFuture
@@ -174,6 +177,19 @@ class QueryService:
                 batch_window_s=config.batch_window_s,
                 max_queue=config.max_queue,
             )
+            # Scheduler-side metrics plane: mirrors *this* process's
+            # registry (serve.e2e_us, shed counters, ...) into shared
+            # memory so a foreign `service stats --watch` dashboard sees
+            # the scheduler's half of the story too. Registered in the
+            # manifest next to the worker planes.
+            token = self.manifest.get("service") or f"{os.getpid():x}"
+            self._plane = MetricsPlane(f"rsv-{token}-mwsched")
+            self._plane.set_pid(os.getpid())
+            self.manifest.setdefault("metrics", {})["scheduler"] = (
+                self._plane.entry
+            )
+            self._mirror = PlaneMirror(self._plane)
+            obs.registry().set_mirror(self._mirror)
         except BaseException:
             pool = getattr(self, "pool", None)
             if pool is not None:
@@ -181,8 +197,12 @@ class QueryService:
                     pool.stop()
                 except Exception:
                     pass
+            plane = getattr(self, "_plane", None)
+            if plane is not None:
+                plane.close()
             self.segments.close()
             raise
+        self._prev_usr1 = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -204,12 +224,20 @@ class QueryService:
         self.scheduler.drain(timeout_s)
 
     def status(self) -> dict:
-        """A JSON-able snapshot for ``service status`` and tests."""
+        """A JSON-able snapshot for ``service status`` and tests.
+
+        ``workers`` is the per-worker telemetry section sourced from the
+        shm metrics planes (pid as claimed by the worker itself, batches
+        served, seconds since its last commit); ``n_workers`` is the
+        configured pool size. The schema is documented in
+        docs/SERVING.md.
+        """
         return {
             "dataset": self.config.dataset,
             "tier": self.config.tier,
             "transport": self.transport,
-            "workers": self.pool.n_workers,
+            "n_workers": self.pool.n_workers,
+            "workers": self.pool.worker_status(),
             "worker_pids": self.pool.worker_pids,
             "published": self.published,
             "segment_bytes": {
@@ -221,14 +249,72 @@ class QueryService:
             **self.scheduler.stats(),
         }
 
+    def merged_snapshot(self) -> dict:
+        """One schema-versioned snapshot of the whole service.
+
+        Aggregates, via :meth:`MetricsRegistry.merge_snapshot`:
+
+        - this process's registry (scheduler counters, e2e/stage
+          histograms) — read directly, *not* through the scheduler
+          plane, so nothing double-counts;
+        - every live worker's metrics plane;
+        - :attr:`WorkerPool.retired` — instruments harvested from
+          workers that died and were restarted;
+        - per-worker ``serve.worker.<i>.{pid,batches}`` gauges from the
+          plane headers.
+        """
+        merged = MetricsRegistry()
+        merged.merge_snapshot(obs.registry().snapshot())
+        merged.merge_snapshot(self.pool.retired.snapshot())
+        for snap in self.pool.worker_snapshots():
+            merged.merge_snapshot(snap)
+        for row in self.pool.worker_status():
+            i = row["worker"]
+            merged.gauge(f"serve.worker.{i}.pid").set(row["pid"] or 0)
+            merged.gauge(f"serve.worker.{i}.batches").set(row["batches"])
+        return merged.snapshot()
+
+    def write_metrics(self, path: str | os.PathLike) -> str:
+        """Dump :meth:`merged_snapshot` as Prometheus text to ``path``."""
+        text = to_prometheus(self.merged_snapshot())
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return path
+
+    def install_usr1_snapshot(self, path: str | os.PathLike) -> None:
+        """SIGUSR1 → :meth:`write_metrics` to ``path`` (live dumps).
+
+        ``kill -USR1 <service pid>`` snapshots a running service
+        without stopping it; the previous handler is restored at
+        :meth:`close`. Main thread only (a signal.signal constraint).
+        """
+        def _handler(signum, frame):
+            try:
+                self.write_metrics(path)
+            except Exception:  # pragma: no cover - never die on a dump
+                pass
+
+        self._prev_usr1 = signal.signal(signal.SIGUSR1, _handler)
+
     def close(self) -> None:
         """Stop workers, then unlink segments (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        if self._prev_usr1 is not None:
+            try:
+                signal.signal(signal.SIGUSR1, self._prev_usr1)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+            self._prev_usr1 = None
+        reg = obs.registry()
+        if getattr(reg, "_mirror", None) is self._mirror:
+            reg.set_mirror(None)
         try:
             self.pool.stop()
         finally:
+            self._plane.close()
             self.segments.close()
 
     def __enter__(self) -> "QueryService":
@@ -241,6 +327,53 @@ class QueryService:
 # ----------------------------------------------------------------------
 # Benchmark driver (scripts/serve_bench.py and `service bench`)
 # ----------------------------------------------------------------------
+def _latency_percentiles(
+    registry: Registry,
+    dataset: str,
+    tech: str,
+    requests: Sequence,
+    max_batch: int,
+    transport: str,
+) -> dict:
+    """True request-latency percentiles from the merged metrics plane.
+
+    Runs one instrumented 2-worker pass (obs enabled on a clean
+    registry, restored after) and reads ``serve.e2e_us`` /
+    ``serve.stage_us.worker`` out of :meth:`QueryService.merged_snapshot`
+    — end-to-end numbers measured across the parent *and* the workers,
+    not parent-side approximations. Kept separate from the throughput
+    sweep so instrumentation overhead never taints the QPS columns.
+    """
+    was = obs.ENABLED
+    obs.reset()
+    obs.set_enabled(True)
+    try:
+        config = ServiceConfig(
+            dataset=dataset,
+            tier=registry.tier,
+            workers=2,
+            techniques=(tech,),
+            max_batch=max_batch,
+            transport=transport,
+        )
+        with QueryService(config, registry=registry) as svc:
+            serve_workload(svc, tech, requests)
+            snap = svc.merged_snapshot()
+    finally:
+        obs.set_enabled(was)
+        obs.reset()
+    out: dict = {}
+    hists = snap.get("histograms", {})
+    for key, name in (
+        ("latency_e2e_us", "serve.e2e_us"),
+        ("latency_worker_us", "serve.stage_us.worker"),
+    ):
+        h = hists.get(name)
+        if h and h.get("count"):
+            out[key] = {q: round(h[q], 1) for q in ("p50", "p90", "p99")}
+    return out
+
+
 def serve_workload(
     service: QueryService,
     technique: str,
@@ -385,5 +518,10 @@ def bench_serving(
             entry["speedup_2w"] = round(
                 entry["qps_service_2w"] / entry["qps_single"], 2
             )
+        entry.update(
+            _latency_percentiles(
+                registry, dataset, tech, requests, max_batch, transport
+            )
+        )
         report["techniques"][tech] = entry
     return report

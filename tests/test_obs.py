@@ -17,7 +17,14 @@ import pytest
 from repro import obs
 from repro.core.dijkstra import dijkstra_distance
 from repro.harness.cli import main as cli_main
-from repro.obs.registry import BUCKET_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.registry import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    render_snapshot,
+    to_prometheus,
+)
+from repro.obs.shm import MetricsPlane, PlaneMirror
 from repro.obs.trace import read_trace, rollup, render_tree, tree_summary
 
 from tests.conftest import random_pairs
@@ -91,8 +98,11 @@ class TestRegistry:
         reg.counter("c").inc(3)
         reg.histogram("h").observe(5.0)
         snap = reg.snapshot()
-        assert snap["schema"] == 1
+        assert snap["schema"] == 2
         assert snap["counters"] == {"c": 3}
+        # Schema 2: histograms carry their sparse buckets, so snapshots
+        # from different processes can be merged loss-free.
+        assert snap["histograms"]["h"]["buckets"]
         json.dumps(snap)  # snapshot must be JSON-able as-is
         rendered = reg.render()
         assert "c" in rendered and "histogram" in rendered
@@ -421,3 +431,243 @@ class TestServeErrorPaths:
                          "--pair-file", str(pairs), "--check"]) == 0
         out = capsys.readouterr().out
         assert "served 3 pairs" in out and "answers identical" in out
+
+
+class TestHistogramMerge:
+    """Histogram.merge / merge_snapshot: exact bucket-wise aggregation."""
+
+    def _filled(self, values):
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_merge_equals_concatenation(self, rng):
+        a_vals = [rng.uniform(0.5, 1e5) for _ in range(500)]
+        b_vals = [rng.uniform(10.0, 1e7) for _ in range(300)]
+        a = self._filled(a_vals)
+        a.merge(self._filled(b_vals))
+        whole = self._filled(a_vals + b_vals)
+        assert a.counts == whole.counts
+        assert a.count == whole.count
+        assert a.total == pytest.approx(whole.total)
+        assert a.vmin == whole.vmin and a.vmax == whole.vmax
+        # Merged quantiles are *identical* to the single histogram of
+        # the concatenated stream at every q...
+        for q in (0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert a.quantile(q) == whole.quantile(q)
+        # ...and within one bucket ratio (8 buckets/decade => 10^(1/8)
+        # ~ 1.334) of the true sample quantile.
+        ratio = 10 ** (1 / 8) * 1.001
+        ordered = sorted(a_vals + b_vals)
+        for q in (0.25, 0.5, 0.9, 0.99):
+            true = ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+            assert true / ratio <= a.quantile(q) <= true * ratio
+
+    def test_merge_empty_cases(self):
+        empty = Histogram()
+        empty.merge(Histogram())
+        assert empty.count == 0 and math.isnan(empty.p50)
+        empty.merge(self._filled([3.0, 4.0]))  # empty += filled
+        assert empty.count == 2 and empty.vmin == 3.0 and empty.vmax == 4.0
+        filled = self._filled([5.0])
+        filled.merge(Histogram())  # filled += empty is a no-op
+        assert filled.count == 1 and filled.p50 == 5.0
+
+    def test_nan_observation_lands_in_overflow_bucket(self):
+        # bisect_right(bounds, nan) returns len(bounds): NaN falls into
+        # the overflow bucket; min/max are untouched (NaN comparisons
+        # are all false). Pinned so a refactor can't silently change it.
+        h = Histogram()
+        h.observe(math.nan)
+        assert h.count == 1
+        assert h.counts[-1] == 1
+        assert h.vmin == math.inf and h.vmax == -math.inf
+
+    def test_from_dict_roundtrip_and_schema1_rejection(self):
+        h = self._filled([1.0, 10.0, 100.0])
+        clone = Histogram.from_dict(h.as_dict())
+        assert clone.counts == h.counts
+        assert clone.total == h.total
+        assert clone.vmin == h.vmin and clone.vmax == h.vmax
+        assert Histogram.from_dict({"count": 0}).count == 0  # empty is fine
+        with pytest.raises(ValueError, match="bucket"):
+            Histogram.from_dict({"count": 5, "sum": 10.0})  # schema-1 dict
+
+    def test_registry_merge_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.counter("only_b").inc()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(7.0)
+        a.histogram("h").observe(5.0)
+        b.histogram("h").observe(50.0)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"c": 5, "only_b": 1}
+        assert snap["gauges"]["g"] == 7.0  # last write wins
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["min"] == 5.0
+        assert snap["histograms"]["h"]["max"] == 50.0
+
+    def test_merge_snapshot_rejects_schema1_histograms(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="'h'"):
+            reg.merge_snapshot(
+                {"histograms": {"h": {"count": 3, "sum": 1.0}}}
+            )
+
+
+class TestRenderAndProm:
+    def test_histogram_row_includes_min(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(2.0)
+        reg.histogram("h").observe(8.0)
+        assert "min=2 " in reg.render()
+
+    def test_engineering_notation_for_large_values(self):
+        reg = MetricsRegistry()
+        reg.counter("big").inc(12345678)
+        reg.histogram("h").observe(2.5e9)
+        rendered = reg.render()
+        assert "12.35e6" in rendered   # exponent is a multiple of 3
+        assert "2.5e9" in rendered
+        # Infinities (an empty histogram's min/max never render, but a
+        # merged gauge could carry one) must not hit log10.
+        assert "inf" in render_snapshot({"gauges": {"g": math.inf}})
+
+    def test_to_prometheus(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.pairs").inc(4)
+        reg.gauge("serve.worker.0.pid").set(123)
+        h = reg.histogram("serve.e2e_us")
+        h.observe(5.0)
+        h.observe(50.0)
+        text = to_prometheus(reg.snapshot())
+        assert "# TYPE repro_serve_pairs counter\nrepro_serve_pairs 4" in text
+        assert "repro_serve_worker_0_pid 123" in text
+        assert "# TYPE repro_serve_e2e_us histogram" in text
+        assert 'repro_serve_e2e_us_bucket{le="+Inf"} 2' in text
+        assert "repro_serve_e2e_us_sum 55" in text
+        assert "repro_serve_e2e_us_count 2" in text
+        # Cumulative buckets: the le-bound covering 50 counts both.
+        assert text.endswith("\n")
+
+    def test_to_prometheus_schema1_degrades(self):
+        text = to_prometheus(
+            {"histograms": {"h": {"count": 3, "sum": 6.0}}}
+        )
+        assert "repro_h_sum 6" in text and "repro_h_count 3" in text
+        assert "_bucket" not in text
+
+
+class TestMetricsPlane:
+    """The shared-memory worker metrics plane (repro.obs.shm)."""
+
+    def test_roundtrip_through_foreign_attach(self):
+        reg = MetricsRegistry()
+        with MetricsPlane(f"rsv-test-{id(self):x}") as plane:
+            plane.set_pid(4242)
+            reg.set_mirror(PlaneMirror(plane))
+            reg.counter("c").inc(7)
+            reg.gauge("g").set(2.5)
+            reg.histogram("h").observe(5.0)
+            reg.histogram("h").observe(500.0)
+            plane.note_batch()
+
+            reader = MetricsPlane.attach(plane.entry, foreign=True)
+            try:
+                head = reader.header()
+                assert head["pid"] == 4242
+                assert head["batches"] == 1
+                snap = reader.snapshot()
+            finally:
+                reader.close()
+            assert snap["counters"] == {"c": 7}
+            assert snap["gauges"] == {"g": 2.5}
+            want = reg.histogram("h").as_dict()
+            assert snap["histograms"]["h"] == want
+            reg.set_mirror(None)
+
+    def test_attach_before_and_after_instrument_creation(self):
+        reg = MetricsRegistry()
+        reg.counter("early").inc(3)  # exists before the mirror
+        with MetricsPlane(f"rsv-test2-{id(self):x}") as plane:
+            reg.set_mirror(PlaneMirror(plane))
+            reg.counter("late").inc(4)  # created after the mirror
+            snap = plane.snapshot()
+            assert snap["counters"] == {"early": 3, "late": 4}
+            reg.set_mirror(None)
+
+    def test_full_table_drops_not_crashes(self):
+        reg = MetricsRegistry()
+        with MetricsPlane(
+            f"rsv-test3-{id(self):x}", max_counters=2
+        ) as plane:
+            reg.set_mirror(PlaneMirror(plane))
+            for i in range(4):
+                reg.counter(f"c{i}").inc()
+            head = plane.header()
+            assert head["counters"] == 2
+            assert head["dropped"] == 2  # overflow counted, not fatal
+            assert len(plane.snapshot()["counters"]) == 2
+            reg.set_mirror(None)
+
+    def test_registry_reset_zeroes_the_plane(self):
+        reg = MetricsRegistry()
+        with MetricsPlane(f"rsv-test4-{id(self):x}") as plane:
+            plane.set_pid(99)
+            reg.set_mirror(PlaneMirror(plane))
+            reg.counter("c").inc(5)
+            reg.histogram("h").observe(1.0)
+            reg.reset()
+            snap = plane.snapshot()
+            assert snap["counters"] == {} and snap["histograms"] == {}
+            assert plane.header()["pid"] == 99  # identity survives reset
+            reg.set_mirror(None)
+
+    def test_attach_rejects_mismatched_entry(self):
+        with MetricsPlane(f"rsv-test5-{id(self):x}") as plane:
+            bad = dict(plane.entry, max_counters=9999)
+            with pytest.raises(ValueError):
+                MetricsPlane.attach(bad, foreign=True)
+
+
+class TestStatsMergeCLI:
+    def _worker_trace(self, tmp_path, name, pairs, latencies):
+        path = tmp_path / name
+        obs.start_trace(path)
+        obs.registry().counter("labels.query.pairs").inc(pairs)
+        for v in latencies:
+            obs.registry().histogram("serve.e2e_us").observe(v)
+        obs.stop_trace()
+        obs.reset()
+        return path
+
+    def test_merge_two_worker_traces(self, obs_on, tmp_path, capsys):
+        a = self._worker_trace(tmp_path, "w-1.jsonl", 30, [10.0, 20.0])
+        b = self._worker_trace(tmp_path, "w-2.jsonl", 12, [30.0])
+        assert cli_main(["stats", "--merge", str(a), str(b), "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["labels.query.pairs"] == 42
+        assert snap["histograms"]["serve.e2e_us"]["count"] == 3
+        assert snap["histograms"]["serve.e2e_us"]["min"] == 10.0
+        assert snap["histograms"]["serve.e2e_us"]["max"] == 30.0
+
+    def test_merge_prom_output(self, obs_on, tmp_path, capsys):
+        a = self._worker_trace(tmp_path, "w-1.jsonl", 5, [])
+        assert cli_main(["stats", "--merge", str(a), "--prom"]) == 0
+        assert "repro_labels_query_pairs 5" in capsys.readouterr().out
+
+    def test_merge_and_trace_are_exclusive(self, tmp_path, capsys):
+        assert cli_main(
+            ["stats", "--merge", "a.jsonl", "--trace", "b.jsonl"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_merge_missing_file_errors_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "gone.jsonl"
+        assert cli_main(["stats", "--merge", str(missing)]) == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:") and len(err.splitlines()) == 1

@@ -40,6 +40,7 @@ from repro.serve.segments import (
     SLOT_NPAIRS,
     SLOT_OFF,
     SLOT_SEQ,
+    SLOT_WORDS,
     pack_ch,
     pack_graph,
 )
@@ -94,7 +95,7 @@ def _drain_pool(pool, want_events, timeout_s=30.0):
 class TestRingBuffers:
     def test_layout_and_shared_visibility(self):
         with RingBuffers(4, 8, token="t-ring") as ring:
-            assert ring.ring.shape == (4, 8)
+            assert ring.ring.shape == (4, SLOT_WORDS)
             assert ring.pairs.shape == (32, 2)
             assert ring.results.shape == (32,)
             entry = ring.manifest_entry
@@ -136,7 +137,7 @@ class TestRingPool:
                 chunk = workload[cursor:cursor + size]
                 pool.submit(batch_id, "ch", chunk)
                 (event,) = _drain_pool(pool, 1)
-                kind, got_id, distances = event
+                kind, got_id, distances = event[:3]
                 assert (kind, got_id) == ("done", batch_id)
                 assert np.array_equal(
                     np.asarray(distances),
@@ -205,7 +206,7 @@ class TestRingPool:
                 ring[slot, SLOT_COMMIT] = ring[slot, SLOT_SEQ]
             os.kill(pid, signal.SIGKILL)
             events = _drain_pool(pool, 1)
-            kind, batch_id, distances = events[0]
+            kind, batch_id, distances = events[0][:3]
             assert (kind, batch_id) == ("done", 3)
             assert np.all(np.asarray(distances) == 123.0)
             assert pool.restarts == 1
@@ -284,7 +285,7 @@ class _CapturePool:
         self._pending: list[tuple[int, int]] = []
         self.restarts = 0
 
-    def submit(self, batch_id, technique, pairs):
+    def submit(self, batch_id, technique, pairs, meta=None):
         self.batches.append((technique, len(pairs)))
         self._pending.append((batch_id, len(pairs)))
 

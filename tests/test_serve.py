@@ -10,6 +10,7 @@ pool so no timing can flake it.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import subprocess
@@ -294,7 +295,7 @@ class TestServiceAgreement:
 
     def test_status_snapshot(self, service):
         status = service.status()
-        assert status["workers"] == 2
+        assert status["n_workers"] == 2
         assert len(status["worker_pids"]) == 2
         assert status["transport"] in ("ring", "pipe")
         assert status["transport"] == service.transport
@@ -302,6 +303,14 @@ class TestServiceAgreement:
             "ch", "dijkstra", "silc", "tnr", "labels"
         }
         assert all(v > 0 for v in status["segment_bytes"].values())
+        # The per-worker telemetry section, sourced from the shm planes.
+        rows = status["workers"]
+        assert [r["worker"] for r in rows] == [0, 1]
+        for row in rows:
+            assert row["alive"] and row["ready"]
+            assert {"pid", "batches", "inflight",
+                    "last_commit_age_s"} <= set(row)
+        assert "flight_recorded" in status
 
 
 # ----------------------------------------------------------------------
@@ -316,7 +325,7 @@ class _FakePool:
         self._pending: list[tuple[int, int]] = []  # (batch_id, n_pairs)
         self.restarts = 0
 
-    def submit(self, batch_id, technique, pairs):
+    def submit(self, batch_id, technique, pairs, meta=None):
         self.batches.append((batch_id, technique, list(pairs)))
         self._pending.append((batch_id, len(pairs)))
 
@@ -410,6 +419,39 @@ class TestScheduler:
         with pytest.raises(ValueError, match="empty"):
             _scheduler().submit("ch", [])
 
+    def test_flight_recorder_records_done_and_sheds(self):
+        sched = _scheduler(max_queue=2)
+        fut = sched.submit("ch", [(0, 1), (0, 2)])
+        sched.drain()
+        done = sched.flight.records()[-1]
+        assert done["status"] == "done"
+        assert done["pairs"] == 2 and done["retries"] == 0
+        assert done["e2e_us"] >= 0
+        assert done["id"] == fut.request_id > 0
+
+        shed = sched.submit("ch", [(0, 3)], deadline_s=0.0)
+        time.sleep(0.002)
+        sched.drain()
+        assert shed.status == "shed"
+        assert sched.flight.records()[-1]["status"] == "shed"
+
+        for i in range(2):
+            sched.submit("ch", [(0, i)])
+        with pytest.raises(Overloaded):
+            sched.submit("ch", [(0, 99)])  # queue full -> recorded too
+        assert sched.flight.records()[-1]["error"] == "queue full"
+        sched.drain()
+        assert sched.stats()["flight_recorded"] == len(sched.flight.records())
+
+    def test_flight_recorder_records_worker_death(self):
+        sched = _scheduler()
+        sched.pool.die_next = 2  # death, retry, death again -> failed
+        fut = sched.submit("ch", [(0, 2)])
+        sched.drain()
+        assert fut.status == "failed"
+        rec = sched.flight.records()[-1]
+        assert rec["status"] == "failed" and rec["retries"] == 1
+
 
 # ----------------------------------------------------------------------
 # Worker death, recovery, cleanup
@@ -451,6 +493,205 @@ class TestRecovery:
         for name in names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Cross-process telemetry plane (shm worker metrics + latency breakdown)
+# ----------------------------------------------------------------------
+class TestTelemetryPlane:
+    """The shared-memory metrics plane, end to end over real workers."""
+
+    @pytest.fixture()
+    def obs_enabled(self):
+        """Enable obs BEFORE service creation so forked workers inherit
+        the flag; restore and clear after."""
+        was = obs.ENABLED
+        obs.reset()
+        obs.set_enabled(True)
+        yield
+        obs.set_enabled(was)
+        obs.reset()
+
+    def test_worker_counters_bit_identical_to_control(
+        self, registry, workload, obs_enabled
+    ):
+        """The acceptance criterion: worker-side counters harvested over
+        shared memory equal an in-process control run of the same pairs
+        bit for bit, and equal the sum of the per-worker planes.
+
+        Partitioning is pinned (one request per drain cycle => one
+        batch per request; control uses the same batch size) because
+        ``labels.query.pairs`` counts table cells, which depend on the
+        batch split."""
+        pairs = workload[:64]
+        control_obj = _inprocess(registry, "labels")
+        obs.reset()
+        batched_distances(control_obj, pairs, batch_size=8)
+        control = obs.registry().counter_values("labels.query")
+        assert control["labels.query.pairs"] > 0
+
+        obs.reset()
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=2,
+            techniques=("labels",), max_batch=8, transport="ring",
+        )
+        with QueryService(config, registry=registry) as svc:
+            obs.reset()  # drop publish-time counters: serving only
+            for req in request_stream(pairs, 8):
+                svc.submit("labels", req)
+                svc.drain()
+            snap = svc.merged_snapshot()
+            per_worker = [
+                s["counters"].get("labels.query.pairs", 0)
+                for s in svc.pool.worker_snapshots()
+            ]
+        for name, want in control.items():
+            assert snap["counters"][name] == want, name
+        assert sum(per_worker) == control["labels.query.pairs"]
+
+    def test_latency_breakdown_histograms(
+        self, registry, workload, obs_enabled
+    ):
+        """serve.e2e_us / serve.stage_us.* land in the merged snapshot
+        and obey the invariant e2e >= worker-compute stage."""
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=2,
+            techniques=("ch",), max_batch=64, transport="ring",
+        )
+        with QueryService(config, registry=registry) as svc:
+            obs.reset()
+            serve_workload(svc, "ch", request_stream(workload[:64], 8))
+            snap = svc.merged_snapshot()
+        hists = snap["histograms"]
+        e2e = hists["serve.e2e_us"]
+        worker = hists["serve.stage_us.worker"]
+        assert e2e["count"] == 8  # one observation per request
+        assert worker["count"] >= 1  # one per batch
+        # The request wrapping the slowest batch waited at least that
+        # batch's worker time, so the maxima are ordered.
+        assert e2e["max"] >= worker["max"]
+        assert e2e["min"] >= 0 and worker["min"] >= 0
+        for stage in ("queue", "scatter"):
+            assert f"serve.stage_us.{stage}" in hists
+
+    def test_status_workers_section_tracks_serving(
+        self, registry, workload
+    ):
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=2,
+            techniques=("ch",), max_batch=64, transport="ring",
+        )
+        with QueryService(config, registry=registry) as svc:
+            serve_workload(svc, "ch", request_stream(workload[:64], 8))
+            rows = svc.status()["workers"]
+            assert [r["worker"] for r in rows] == [0, 1]
+            assert sum(r["batches"] for r in rows) >= 1
+            for row in rows:
+                assert row["alive"] and row["ready"]
+                if row["batches"]:
+                    # pid claimed by the worker itself, over shared memory
+                    assert row["pid"] in svc.pool.worker_pids
+                    assert row["last_commit_age_s"] is not None
+                else:
+                    assert row["last_commit_age_s"] is None
+
+    def test_service_status_json_schema(self, service, tmp_path, capsys):
+        """`service status --json`: the documented schema, asserted."""
+        from repro.harness.cli import main as cli_main
+
+        path = tmp_path / "manifest.json"
+        save_manifest(path, service.manifest)
+        assert cli_main(
+            ["service", "status", "--manifest", str(path), "--json"]
+        ) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert set(info) == {
+            "service", "dataset", "tier", "publisher_pid", "fingerprint",
+            "techniques", "workers", "segments_ok",
+        }
+        assert info["segments_ok"] is True
+        assert info["dataset"] == DATASET
+        assert {r["worker"] for r in info["workers"]} == {0, 1}
+        for row in info["workers"]:
+            assert set(row) == {
+                "worker", "pid", "batches", "last_commit_age_s"
+            }
+        for tech in info["techniques"].values():
+            assert tech["nbytes"] > 0 and tech["arrays"] > 0
+
+    def test_service_stats_cli_merged_view(
+        self, registry, workload, obs_enabled, tmp_path, capsys
+    ):
+        """`service stats` renders the merged plane of a live service.
+
+        Needs its own obs-enabled service (the module fixture forks its
+        workers with obs off, so those planes stay empty)."""
+        from repro.harness.cli import main as cli_main
+
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=2,
+            techniques=("ch",), transport="ring",
+        )
+        with QueryService(config, registry=registry) as svc:
+            for req in request_stream(workload[:32], 8):
+                svc.submit("ch", req)
+            svc.drain()
+            path = tmp_path / "manifest.json"
+            save_manifest(path, svc.manifest)
+            assert cli_main(
+                ["service", "stats", "--manifest", str(path), "--prom"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "repro_serve_e2e_us" in out
+            assert "repro_labels" not in out  # only the served technique
+            assert cli_main(
+                ["service", "stats", "--manifest", str(path), "--watch",
+                 "--interval", "0.05", "--iterations", "2"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert out.count("\x1b[2J") == 2  # two clear-screen redraws
+            assert "worker 0" in out and "worker 1" in out
+
+    def test_sigusr1_metrics_snapshot(self, registry, tmp_path):
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=1,
+            techniques=("ch",), transport="ring",
+        )
+        dump = tmp_path / "metrics.prom"
+        prev = signal.getsignal(signal.SIGUSR1)
+        with QueryService(config, registry=registry) as svc:
+            svc.install_usr1_snapshot(dump)
+            os.kill(os.getpid(), signal.SIGUSR1)
+            time.sleep(0.05)
+            assert dump.exists()
+            assert "repro_serve_worker_0_pid" in dump.read_text()
+        # close() restored the previous disposition
+        assert signal.getsignal(signal.SIGUSR1) is prev
+
+    def test_worker_restart_preserves_harvested_counters(
+        self, registry, workload, obs_enabled
+    ):
+        """Counters of a killed worker survive into pool.retired and
+        stay in the merged snapshot after its plane is reused."""
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=1,
+            techniques=("labels",), max_batch=8, transport="ring",
+        )
+        with QueryService(config, registry=registry) as svc:
+            obs.reset()
+            for req in request_stream(workload[:16], 8):
+                svc.submit("labels", req)
+                svc.drain()
+            before = svc.merged_snapshot()["counters"]["labels.query.pairs"]
+            os.kill(svc.pool.worker_pids[0], signal.SIGKILL)
+            for req in request_stream(workload[16:32], 8):
+                svc.submit("labels", req)
+                svc.drain()
+            after = svc.merged_snapshot()
+            assert svc.pool.restarts >= 1
+            assert after["counters"]["labels.query.pairs"] > before
+            retired = svc.pool.retired.snapshot()["counters"]
+            assert retired.get("labels.query.pairs", 0) >= before
 
 
 # ----------------------------------------------------------------------
