@@ -49,7 +49,13 @@ Gates (``evaluate_gates``):
   enforces the full monotone ladder);
 - labels must beat CH on per-request service QPS at 2 workers — the
   point of shipping a label oracle is that it serves faster;
-- every technique's answers must stay bit-identical.
+- every technique's answers must stay bit-identical;
+- with ``--check``, the mean hub-label size (``label_size_mean``,
+  read deterministically off the built index) may exceed the
+  committed baseline by at most 10% — label size is both the space
+  and the per-query merge cost of hub labelling, so a size
+  regression is a serving regression even when small-tier QPS
+  hides it.
 
 Usage::
 
@@ -91,6 +97,13 @@ EXPECTED_BELOW_FLOOR: frozenset[str] = frozenset()
 
 #: Techniques whose service QPS must rise monotonically with workers.
 MONOTONIC_TECHNIQUES = ("ch", "labels")
+
+#: The mean hub-label size may grow at most 10% over the committed
+#: baseline. Label size is the space *and* time story of hub labelling
+#: (query cost is the merge over two labels), so a silent size
+#: regression — e.g. from an ordering change upstream — is a real
+#: serving regression even when QPS on a small tier hides it.
+LABEL_SIZE_SLACK = 1.10
 
 
 def _sweep(entry: dict) -> list[tuple[int, float]]:
@@ -182,6 +195,17 @@ def evaluate_gates(report: dict, baseline: dict | None = None) -> list[str]:
                     f"ch speedup_2w {ch['speedup_2w']} fell below half the "
                     f"committed baseline ({base_ch['speedup_2w']})"
                 )
+        base_labels = baseline.get("techniques", {}).get("labels")
+        if labels is not None and base_labels is not None:
+            mean = labels.get("label_size_mean")
+            base_mean = base_labels.get("label_size_mean")
+            if mean is not None and base_mean is not None:
+                if mean > LABEL_SIZE_SLACK * base_mean:
+                    failures.append(
+                        f"labels label_size_mean {mean} exceeds the committed "
+                        f"baseline ({base_mean}) by more than "
+                        f"{round((LABEL_SIZE_SLACK - 1) * 100)}%"
+                    )
     return failures
 
 
@@ -237,6 +261,14 @@ def main(argv: list[str] | None = None) -> int:
         transport=args.transport,
         repeats=args.repeats,
     )
+    if "labels" in report.get("techniques", {}):
+        # Deterministic index property, not a timing — read it straight
+        # off the built index so the gate is immune to machine noise.
+        sizes = registry.hub_labels_index(args.dataset).label_sizes()
+        report["techniques"]["labels"]["label_size_mean"] = round(
+            float(sizes.mean()), 2
+        )
+        report["techniques"]["labels"]["label_size_max"] = int(sizes.max())
     report["measured_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     print(f"transport: {report['transport']}")
     for tech, entry in report["techniques"].items():

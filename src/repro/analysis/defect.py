@@ -108,7 +108,6 @@ def demonstrate() -> DefectReport:
     ch = ContractionHierarchy.build(graph)
     flawed = build_tnr(graph, ch, grid_g, flawed=True)
     corrected = build_tnr(graph, ch, grid_g, flawed=False)
-    cell = flawed.grid.cell_of_vertex[s]
     return DefectReport(
         true_distance=dijkstra_distance(graph, s, t),
         flawed_distance=TransitNodeRouting(graph, flawed, ch).distance(s, t),

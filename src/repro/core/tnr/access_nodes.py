@@ -145,6 +145,13 @@ def correct_cell_access(graph: Graph, grid: TNRGrid, cell: int) -> CellAccess:
 
 
 def _correct_cell_access_csr(graph: Graph, csr, grid: TNRGrid, cell: int) -> CellAccess:
+    """Vectorised exact access nodes (see :func:`_cell_access_csr_with_radius`)."""
+    return _cell_access_csr_with_radius(csr, grid, cell)[0]
+
+
+def _cell_access_csr_with_radius(
+    csr, grid: TNRGrid, cell: int
+) -> tuple[CellAccess, float]:
     """Vectorised exact access nodes: block-restricted APSP + one
     radius-limited batched one-to-many pass.
 
@@ -154,6 +161,14 @@ def _correct_cell_access_csr(graph: Graph, csr, grid: TNRGrid, cell: int) -> Cel
     ``dist(i, p) + w == dist(i, u)`` and ``p`` pure. The full search is
     limited to ``max(block dist) + max(exit weight)``, which bounds
     every distance the two tests and the output table consult.
+
+    Also returns that limit — the cell's *consultation radius*: a weight
+    change on an arc whose tail stays farther than the radius from every
+    member (under the old and the new metric alike) cannot change this
+    cell's output. The dynamics subsystem (:mod:`repro.dynamic`) keys
+    its dirty-cell test on it: ``-inf`` when the block has no exit arcs
+    (the output is weight-independent), ``inf`` when the search ran
+    unbounded.
     """
     from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
 
@@ -175,7 +190,7 @@ def _correct_cell_access_csr(graph: Graph, csr, grid: TNRGrid, cell: int) -> Cel
     we = csr.weights[exit_arcs]
     if len(pe) == 0:
         # Nothing ever leaves the block: no access nodes needed.
-        return CellAccess(cell, [], {v: [] for v in members})
+        return CellAccess(cell, [], {v: [] for v in members}), -INF
 
     # Block-restricted search on the full-shape masked template: arcs
     # leaving the block are set to inf (scipy never relaxes them), which
@@ -201,7 +216,9 @@ def _correct_cell_access_csr(graph: Graph, csr, grid: TNRGrid, cell: int) -> Cel
     vertex_distances = {
         int(v): dist[i, cols].tolist() for i, v in enumerate(members)
     }
-    return CellAccess(cell, access_nodes, vertex_distances)
+    return CellAccess(cell, access_nodes, vertex_distances), (
+        limit if limit is not None else INF
+    )
 
 
 def _correct_cell_access_py(graph: Graph, grid: TNRGrid, cell: int) -> CellAccess:

@@ -1,0 +1,341 @@
+"""Customisable contraction hierarchy: one scaffold, per-epoch metrics.
+
+Why the witness CH cannot be repaired directly
+----------------------------------------------
+:func:`repro.core.ch.contraction.build_ch` decides which shortcuts to
+*insert* with witness searches — a decision that depends on the metric.
+Change one weight and the set of shortcuts itself may change, so there
+is no well-defined "patch" of a witness CH that is bit-identical to a
+from-scratch rebuild. The standard answer (customizable contraction
+hierarchies; also the repair style of arXiv:1907.03535's edge
+hierarchies) splits the build:
+
+- a **scaffold** (:class:`CCHScaffold`) built once per topology by the
+  *elimination game* in a fixed contraction order: contracting ``v``
+  inserts an arc between every pair of its not-yet-contracted
+  neighbours, no witness searches, so the arc set is metric-independent;
+- a **customization** that assigns each scaffold arc ``(x, y)`` the
+  weight ``min(base(x, y), min over lower apexes m of w(m,x) + w(m,y))``
+  — the *lower-triangle rule* — processed in increasing tail-rank
+  order so every input is final when consulted.
+
+The customised scaffold is an exact contraction hierarchy for the
+epoch's metric (the classic CCH theorem: every customised arc weight is
+a real walk length, and the apex of any shortest up-down path keeps its
+exact distance), so the existing query stack — point queries, the
+many-to-many engine, hub-label derivation, TNR tables, the serving
+``pack_ch`` layout — runs on it unchanged.
+
+Why incremental == full, bit for bit
+------------------------------------
+Each arc's customised weight is an order-independent ``min`` over exact
+float64 sums (integer travel times add exactly in float64), and the
+recorded *middle* apex is deterministic: the first apex in rank order
+that strictly beats the base weight and every earlier candidate — i.e.
+``argmin`` (first occurrence) when the triangle minimum strictly beats
+the base. :meth:`CCHScaffold.recustomize` recomputes exactly that
+formula for every arc it pops, popping in increasing tail-rank order
+seeded by the arcs whose base weight changed and propagating along
+upper triangles only when a value actually moved. An arc it never pops
+has bit-identical inputs, hence a bit-identical value; an arc it pops
+is recomputed by the same formula over final inputs as a full
+customization would. Past a damage threshold it simply falls back to
+:meth:`CCHScaffold.customize` — the two paths are interchangeable by
+construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.ch.contraction import ORIGINAL_EDGE, CHIndex
+from repro.core.ch.query import ContractionHierarchy
+from repro.graph.csr import CSRGraph, DirectedCSR
+from repro.graph.graph import Graph
+
+INF = math.inf
+
+
+class CCHScaffold:
+    """Metric-independent elimination-game scaffold in a fixed order.
+
+    Flat layout (``A`` = number of scaffold arcs, each tail-to-head with
+    ``rank[tail] < rank[head]``, rows sorted by head id):
+
+    - ``uindptr``/``uheads`` — CSR of the up-graph topology;
+    - ``tails`` — per-arc tail vertex (the CSR row, flattened);
+    - ``base_arc`` — the underlying directed base-CSR arc id, or ``-1``
+      for a pure shortcut;
+    - lower triangles, grouped per target arc in increasing apex rank
+      (``t_indptr``/``t_apex``/``t_lo1``/``t_lo2``): target
+      ``(x, y)``, apex ``m`` with ``rank[m] < rank[x] < rank[y]``, and
+      the two lower arcs ``(m, x)``/``(m, y)``;
+    - the transpose, grouped per *lower* arc
+      (``in_indptr``/``in_target``): which targets consult an arc — the
+      propagation fan-out of :meth:`recustomize`.
+
+    The per-epoch state is just ``w`` (customised float64 weights) and
+    ``mid`` (the middle apex per arc, :data:`ORIGINAL_EDGE` when the
+    base edge wins).
+    """
+
+    def __init__(self, csr: CSRGraph, rank: list[int]) -> None:
+        if len(rank) != csr.n:
+            raise ValueError("rank must order every vertex of the graph")
+        self.n = csr.n
+        self.rank = np.asarray(rank, dtype=np.int64)
+        self._csr = csr
+        self._build_topology(csr)
+        self._build_triangles()
+        self.w = np.empty(self.n_arcs, dtype=np.float64)
+        self.mid = np.empty(self.n_arcs, dtype=np.int64)
+        self.customize(csr.weights)
+
+    # ------------------------------------------------------------------
+    # Topology (metric-independent, built once)
+    # ------------------------------------------------------------------
+    def _build_topology(self, csr: CSRGraph) -> None:
+        n, rank = self.n, self.rank
+        order = np.argsort(rank)  # order[r] = vertex contracted r-th
+        up: list[set[int]] = [set() for _ in range(n)]
+        esrc = csr.edge_sources()
+        heads = csr.indices
+        fwd = rank[esrc] < rank[heads]
+        for t, h in zip(esrc[fwd].tolist(), heads[fwd].tolist()):
+            up[t].add(h)
+        # The elimination game: contracting v (in rank order) inserts an
+        # arc between every pair of its higher-ranked neighbours. up[v]
+        # is final when v is processed — arcs into a vertex's row are
+        # only ever added by strictly lower-ranked apexes.
+        rk = rank.tolist()
+        for v in order.tolist():
+            nb = sorted(up[v], key=rk.__getitem__)
+            for i, x in enumerate(nb):
+                row = up[x]
+                for y in nb[i + 1 :]:
+                    row.add(y)
+
+        counts = np.fromiter((len(s) for s in up), dtype=np.int64, count=n)
+        self.uindptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.uindptr[1:])
+        self.n_arcs = int(self.uindptr[-1])
+        self.uheads = np.empty(self.n_arcs, dtype=np.int32)
+        for v in range(n):
+            lo = int(self.uindptr[v])
+            for k, h in enumerate(sorted(up[v])):
+                self.uheads[lo + k] = h
+        self.tails = np.repeat(
+            np.arange(n, dtype=np.int32), counts
+        )
+        # Base-arc id per scaffold arc (-1 for pure shortcuts): the base
+        # CSR rows are head-sorted, so one searchsorted per arc finds it.
+        self.base_arc = np.full(self.n_arcs, -1, dtype=np.int64)
+        indptr, indices = csr.indptr, csr.indices
+        for a in range(self.n_arcs):
+            t, h = int(self.tails[a]), int(self.uheads[a])
+            lo, hi = int(indptr[t]), int(indptr[t + 1])
+            k = lo + int(np.searchsorted(indices[lo:hi], h))
+            if k < hi and int(indices[k]) == h:
+                self.base_arc[a] = k
+        self.tail_rank = self.rank[self.tails]
+
+    def _arc_id(self, t: int, h: int) -> int:
+        lo, hi = int(self.uindptr[t]), int(self.uindptr[t + 1])
+        k = lo + int(np.searchsorted(self.uheads[lo:hi], h))
+        if k >= hi or int(self.uheads[k]) != h:  # pragma: no cover
+            raise KeyError(f"scaffold arc ({t}, {h}) missing")
+        return k
+
+    def _build_triangles(self) -> None:
+        """Enumerate every lower triangle, grouped both ways.
+
+        The elimination game guarantees the target arc of each apex's
+        neighbour pair exists — that is exactly the clique it inserted.
+        """
+        rk = self.rank.tolist()
+        apexes: list[int] = []
+        targets: list[int] = []
+        lo1s: list[int] = []
+        lo2s: list[int] = []
+        for m in range(self.n):
+            lo, hi = int(self.uindptr[m]), int(self.uindptr[m + 1])
+            nb = sorted(range(lo, hi), key=lambda a: rk[self.uheads[a]])
+            for i, a1 in enumerate(nb):
+                x = int(self.uheads[a1])
+                for a2 in nb[i + 1 :]:
+                    y = int(self.uheads[a2])
+                    apexes.append(m)
+                    targets.append(self._arc_id(x, y))
+                    lo1s.append(a1)
+                    lo2s.append(a2)
+        apex = np.asarray(apexes, dtype=np.int64)
+        target = np.asarray(targets, dtype=np.int64)
+        lo1 = np.asarray(lo1s, dtype=np.int64)
+        lo2 = np.asarray(lo2s, dtype=np.int64)
+        # Group per target arc, apexes in increasing rank within a group
+        # (stable sort keeps the deterministic first-wins scan order).
+        grp = np.lexsort((self.rank[apex], target))
+        self.t_apex = apex[grp]
+        self.t_lo1 = lo1[grp]
+        self.t_lo2 = lo2[grp]
+        counts = np.bincount(target, minlength=self.n_arcs)
+        self.t_indptr = np.zeros(self.n_arcs + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.t_indptr[1:])
+        # Transpose: per lower arc, the (deduplicated) targets it feeds.
+        in_arc = np.concatenate([lo1, lo2])
+        in_tgt = np.concatenate([target, target])
+        grp2 = np.lexsort((in_tgt, in_arc))
+        in_arc, in_tgt = in_arc[grp2], in_tgt[grp2]
+        counts2 = np.bincount(in_arc, minlength=self.n_arcs)
+        self.in_indptr = np.zeros(self.n_arcs + 1, dtype=np.int64)
+        np.cumsum(counts2, out=self.in_indptr[1:])
+        self.in_target = in_tgt
+        self.n_triangles = len(self.t_apex)
+        # Arc processing order for full customization: increasing tail
+        # rank, so every lower arc is final when its targets compute.
+        self.arc_order = np.argsort(self.tail_rank, kind="stable")
+
+    # ------------------------------------------------------------------
+    # Customization
+    # ------------------------------------------------------------------
+    def _recompute_arc(self, a: int, base_weights: np.ndarray) -> None:
+        """The customization formula for one arc, inputs assumed final."""
+        b = int(self.base_arc[a])
+        if b >= 0:
+            val, mid = float(base_weights[b]), ORIGINAL_EDGE
+        else:
+            val, mid = INF, ORIGINAL_EDGE
+        lo, hi = int(self.t_indptr[a]), int(self.t_indptr[a + 1])
+        if hi > lo:
+            cand = self.w[self.t_lo1[lo:hi]] + self.w[self.t_lo2[lo:hi]]
+            k = int(np.argmin(cand))  # first occurrence = lowest apex rank
+            if cand[k] < val:
+                val, mid = float(cand[k]), int(self.t_apex[lo + k])
+        self.w[a] = val
+        self.mid[a] = mid
+
+    def customize(self, base_weights: np.ndarray) -> None:
+        """Full bottom-up customization for one epoch's base weights."""
+        for a in self.arc_order.tolist():
+            self._recompute_arc(a, base_weights)
+
+    def recustomize(
+        self,
+        base_weights: np.ndarray,
+        changed_base_arcs: np.ndarray,
+        damage_threshold: float = 0.25,
+    ) -> bool:
+        """Incremental customization; returns False on damage fallback.
+
+        Seeds the work heap with the scaffold arcs whose base weight
+        changed, pops in increasing tail-rank order (an arc's lower
+        triangles all have strictly lower-ranked tails, so its inputs
+        are final at pop), recomputes by the full formula, and pushes an
+        arc's upper triangles only when its value moved. When the seed
+        set already exceeds ``damage_threshold`` of all arcs, repair
+        would touch most of the hierarchy anyway — fall back to
+        :meth:`customize` (same result bit for bit, by construction).
+        """
+        from heapq import heappop, heappush
+
+        seeds = np.nonzero(np.isin(self.base_arc, changed_base_arcs))[0].tolist()
+        if len(seeds) > damage_threshold * max(self.n_arcs, 1):
+            self.customize(base_weights)
+            return False
+        heap: list[tuple[int, int]] = []
+        queued = set()
+        for a in seeds:
+            heappush(heap, (int(self.tail_rank[a]), a))
+            queued.add(a)
+        while heap:
+            _, a = heappop(heap)
+            old = self.w[a]
+            self._recompute_arc(a, base_weights)
+            if self.w[a] != old:
+                lo, hi = int(self.in_indptr[a]), int(self.in_indptr[a + 1])
+                for t in self.in_target[lo:hi].tolist():
+                    if t not in queued:
+                        queued.add(t)
+                        heappush(heap, (int(self.tail_rank[t]), t))
+        return True
+
+    # ------------------------------------------------------------------
+    # Export to the existing CH query stack
+    # ------------------------------------------------------------------
+    def export_index(
+        self,
+        prev: CHIndex | None = None,
+        changed_arcs: np.ndarray | None = None,
+    ) -> CHIndex:
+        """A genuine :class:`CHIndex` over the current customised state.
+
+        ``up`` rows come out head-sorted (the scaffold's own row order),
+        and the cached upward :class:`DirectedCSR` is installed directly
+        from the flat arrays — ``pack_ch``, the many-to-many engine and
+        the hub-label build all read that view zero-copy.
+
+        With ``prev`` (the previous epoch's export of *this* scaffold)
+        and ``changed_arcs`` (arc ids whose value or middle moved since
+        then), the export is copy-on-write: unchanged ``up`` rows and
+        ``middle`` entries are shared with ``prev``, only the touched
+        tails' rows are rebuilt. Shared rows are bit-equal by
+        definition (the flat arrays did not move at those positions),
+        so the result compares equal to a full export.
+        """
+        if prev is not None and changed_arcs is not None:
+            up = list(prev.up)
+            for v in np.unique(self.tails[changed_arcs]).tolist():
+                lo, hi = int(self.uindptr[v]), int(self.uindptr[v + 1])
+                up[v] = list(
+                    zip(
+                        self.uheads[lo:hi].tolist(),
+                        self.w[lo:hi].tolist(),
+                        self.mid[lo:hi].tolist(),
+                    )
+                )
+            middle = dict(prev.middle)
+            for a in changed_arcs.tolist():
+                t, h = int(self.tails[a]), int(self.uheads[a])
+                middle[(t, h) if t < h else (h, t)] = int(self.mid[a])
+            index = CHIndex(n=self.n, rank=prev.rank, up=up, middle=middle)
+        else:
+            heads = self.uheads.tolist()
+            ws = self.w.tolist()
+            mids = self.mid.tolist()
+            indptr = self.uindptr.tolist()
+            up = [
+                list(zip(heads[indptr[v] : indptr[v + 1]], ws[indptr[v] : indptr[v + 1]],
+                         mids[indptr[v] : indptr[v + 1]]))
+                for v in range(self.n)
+            ]
+            middle = {
+                (t, h) if t < h else (h, t): mid
+                for t, h, mid in zip(self.tails.tolist(), heads, mids)
+            }
+            index = CHIndex(
+                n=self.n, rank=self.rank.tolist(), up=up, middle=middle
+            )
+        index._upward = DirectedCSR(
+            self.uindptr.astype(np.int32), self.uheads, self.w.copy()
+        )
+        return index
+
+    def upward_csr(self) -> DirectedCSR:
+        """The current up-graph view alone (no Python tuple lists)."""
+        return DirectedCSR(
+            self.uindptr.astype(np.int32), self.uheads, self.w.copy()
+        )
+
+
+class DynamicCH:
+    """Per-epoch :class:`ContractionHierarchy` views over one scaffold."""
+
+    def __init__(self, graph: Graph, scaffold: CCHScaffold) -> None:
+        self.graph = graph
+        self.scaffold = scaffold
+
+    def hierarchy(self) -> ContractionHierarchy:
+        """Export the current epoch's metric as a query-ready CH."""
+        return ContractionHierarchy(self.graph, self.scaffold.export_index())

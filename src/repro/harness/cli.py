@@ -481,6 +481,20 @@ def build_service_parser() -> argparse.ArgumentParser:
         "--prom", action="store_true",
         help="emit the merged snapshot in Prometheus text format",
     )
+
+    clean = sub.add_parser(
+        "clean",
+        help="unlink shared-memory segments orphaned by a SIGKILLed "
+             "publisher (lists, confirms, then removes)",
+    )
+    clean.add_argument(
+        "--manifest", required=True, metavar="FILE",
+        help="manifest written by `service start --manifest FILE`",
+    )
+    clean.add_argument(
+        "--force", action="store_true",
+        help="skip the interactive confirmation (for CI and scripts)",
+    )
     return parser
 
 
@@ -660,6 +674,48 @@ def _service_stats(args, manifest: dict) -> int:
             plane.close()
 
 
+def _service_clean(args, manifest: dict) -> int:
+    """Detect and unlink segments a dead publisher left behind.
+
+    A publisher killed with SIGKILL never runs ``close()``, so its
+    technique segments, ring and metrics planes stay in ``/dev/shm``
+    until reboot. This lists what the manifest (plus a token scan)
+    still finds, refuses to touch a *live* service, asks before
+    unlinking (``--force`` skips the prompt), and removes the rest.
+    """
+    from repro.serve.segments import (
+        find_orphans,
+        publisher_alive,
+        unlink_orphans,
+    )
+
+    pid = manifest.get("publisher_pid")
+    if publisher_alive(manifest):
+        print(
+            f"error: publisher pid {pid} is still alive — refusing to "
+            f"unlink a live service's segments (stop it first)",
+            file=sys.stderr,
+        )
+        return 1
+    orphans = find_orphans(manifest)
+    print(
+        f"service {manifest.get('service')} — publisher pid {pid} is gone"
+    )
+    if not orphans:
+        print("no orphaned segments found; nothing to clean")
+        return 0
+    for name in orphans:
+        print(f"  orphaned: {name}")
+    if not args.force:
+        reply = input(f"unlink {len(orphans)} segment(s)? [y/N] ")
+        if reply.strip().lower() not in ("y", "yes"):
+            print("aborted; nothing unlinked")
+            return 1
+    removed = unlink_orphans(orphans)
+    print(f"unlinked {len(removed)} segment(s)")
+    return 0
+
+
 def _service_main(argv: list[str]) -> int:
     args = build_service_parser().parse_args(argv)
     from repro.serve import (
@@ -667,6 +723,15 @@ def _service_main(argv: list[str]) -> int:
         load_manifest,
         save_manifest,
     )
+
+    if args.action == "clean":
+        try:
+            with open(args.manifest, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return _service_clean(args, manifest)
 
     if args.action in ("status", "stats"):
         try:

@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro import datasets
-from repro.harness.cache import CACHE_VERSION, MISSING, CacheStats, DiskCache
+from repro.harness.cache import MISSING, CacheStats, DiskCache
 from repro.core.bidirectional import BidirectionalDijkstra
 from repro.core.ch import ContractionHierarchy
 from repro.core.ch.contraction import CHIndex, build_ch

@@ -36,8 +36,9 @@ from repro.graph.graph import Graph
 from repro.harness.cache import atomic_write_bytes, sha256_hex
 
 MAGIC = b"RRNQIDX1"  # repro road-network query index
-FORMAT_VERSION = 3   # 3: frozen Graphs pickle as CSR arrays
-                     # (2: header + sha256-checksummed payload)
+FORMAT_VERSION = 4   # 4: GraphFingerprint gained the weight-epoch field
+                     # (3: frozen Graphs pickle as CSR arrays;
+                     #  2: header + sha256-checksummed payload)
 
 
 class PersistenceError(RuntimeError):
@@ -46,22 +47,30 @@ class PersistenceError(RuntimeError):
 
 @dataclass(frozen=True)
 class GraphFingerprint:
-    """Cheap identity of the graph an index was built against."""
+    """Cheap identity of the graph an index was built against.
+
+    ``epoch`` versions the *weights*: epoch 0 is the dataset's frozen
+    metric, and every :meth:`repro.dynamic.DynamicState.apply_updates`
+    bumps it. Two fingerprints with the same topology but different
+    epochs are different graphs as far as index validity is concerned.
+    """
 
     n: int
     m: int
     total_weight: float
+    epoch: int = 0
 
     @staticmethod
-    def of(graph: Graph) -> "GraphFingerprint":
+    def of(graph: Graph, epoch: int = 0) -> "GraphFingerprint":
         return GraphFingerprint(
             n=graph.n,
             m=graph.m,
             total_weight=float(sum(e.weight for e in graph.edges())),
+            epoch=epoch,
         )
 
     @staticmethod
-    def of_csr(csr) -> "GraphFingerprint":
+    def of_csr(csr, epoch: int = 0) -> "GraphFingerprint":
         """Fingerprint from a :class:`~repro.graph.csr.CSRGraph` alone.
 
         Equal to :meth:`of` on the graph the CSR was frozen from: each
@@ -75,6 +84,7 @@ class GraphFingerprint:
             n=csr.n,
             m=csr.m,
             total_weight=float(csr.weights.sum()) / 2.0,
+            epoch=epoch,
         )
 
 

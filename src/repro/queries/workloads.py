@@ -204,6 +204,87 @@ def distance_query_sets(
     ]
 
 
+@dataclass(frozen=True)
+class ChurnPhase:
+    """One phase of a churn workload: apply ``updates``, then query.
+
+    ``updates`` holds ``((u, v), new_weight)`` reweightings of existing
+    edges; ``queries`` the vertex pairs answered *after* the batch is
+    applied (i.e. on the new epoch).
+    """
+
+    updates: tuple[tuple[tuple[int, int], float], ...]
+    queries: tuple[tuple[int, int], ...]
+
+
+def rush_hour_churn(
+    graph: Graph,
+    bursts: int = 4,
+    edges_per_burst: int = 12,
+    queries_per_phase: int = 25,
+    seed: int = 0,
+    factor_range: tuple[float, float] = (1.3, 3.0),
+) -> list[ChurnPhase]:
+    """A rush-hour weight-churn workload: congestion bursts with queries.
+
+    Each burst picks a random hotspot vertex and slows down a connected
+    cluster of edges around it (breadth-first, ``edges_per_burst`` of
+    them) by an integer-preserving factor — ``max(w + 1, round(w * f))``
+    keeps integer travel times integral, and strictly increases so every
+    update is a real change. Two phases later the same cluster relaxes
+    back to its original weights (traffic clears), so a long replay
+    exercises both directions of change and returns edges to exact
+    previous values. Deterministic in ``seed`` alone.
+    """
+    if bursts < 1:
+        raise ValueError("need at least one burst")
+    lo_f, hi_f = factor_range
+    rng = np.random.default_rng(seed)
+    original = {
+        (min(e.u, e.v), max(e.u, e.v)): float(e.weight) for e in graph.edges()
+    }
+    current = dict(original)
+    congested: list[list[tuple[int, int]]] = []
+
+    def cluster(hot: int) -> list[tuple[int, int]]:
+        seen: set[tuple[int, int]] = set()
+        picked: list[tuple[int, int]] = []
+        frontier = [hot]
+        while frontier and len(picked) < edges_per_burst:
+            v = frontier.pop(0)
+            for u, _w in graph.neighbors(v):
+                key = (min(u, v), max(u, v))
+                if key not in seen:
+                    seen.add(key)
+                    picked.append(key)
+                    frontier.append(u)
+        return picked[:edges_per_burst]
+
+    phases: list[ChurnPhase] = []
+    for b in range(bursts):
+        updates: list[tuple[tuple[int, int], float]] = []
+        hot = int(rng.integers(graph.n))
+        burst_edges = cluster(hot)
+        for key in burst_edges:
+            f = lo_f + (hi_f - lo_f) * float(rng.random())
+            w = current[key]
+            new_w = max(w + 1.0, float(round(w * f)))
+            current[key] = new_w
+            updates.append((key, new_w))
+        congested.append(burst_edges)
+        if b >= 2:
+            for key in congested[b - 2]:
+                if current[key] != original[key]:
+                    current[key] = original[key]
+                    updates.append((key, original[key]))
+        queries = tuple(
+            (int(rng.integers(graph.n)), int(rng.integers(graph.n)))
+            for _ in range(queries_per_phase)
+        )
+        phases.append(ChurnPhase(updates=tuple(updates), queries=queries))
+    return phases
+
+
 def _sssp_distances(graph: Graph, source: int) -> np.ndarray:
     """Distance-only SSSP as a float64 array.
 

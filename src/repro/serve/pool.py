@@ -74,6 +74,7 @@ from repro.serve.segments import (
     ERR_BYTES,
     SLOT_BATCH,
     SLOT_COMMIT,
+    SLOT_EPOCH,
     SLOT_NPAIRS,
     SLOT_OFF,
     SLOT_REQ,
@@ -106,7 +107,13 @@ def _now_us() -> int:
 #: Ring wakeup-channel control tokens (regular messages are slot >= 0).
 _STOP = -1
 _READY = -2
+_EPOCH = -3  #: epoch flip: a re-published manifest follows on the pipe
 _TOKEN = struct.Struct("<q")
+
+
+def _manifest_epoch(manifest: dict) -> int:
+    """The weight epoch a manifest serves (0 for pre-dynamics manifests)."""
+    return int(manifest.get("fingerprint", {}).get("epoch", 0))
 
 
 class RingFull(RuntimeError):
@@ -115,8 +122,8 @@ class RingFull(RuntimeError):
 #: Matches repro.core.tnr.grid.OUTER_RADIUS (imported lazily to keep
 #: the worker's import graph small would be false economy — assert at
 #: build time instead).
-from repro.core.tnr.grid import OUTER_RADIUS
-from repro.core.silc.quadtree import MIXED_LEAF
+from repro.core.tnr.grid import OUTER_RADIUS  # noqa: E402
+from repro.core.silc.quadtree import MIXED_LEAF  # noqa: E402
 
 
 # ----------------------------------------------------------------------
@@ -535,9 +542,11 @@ def _worker_main(
 ) -> None:
     """Worker loop: attach, build views, answer batches until ``stop``.
 
-    Protocol (parent -> worker): ``("batch", id, technique, pairs)`` or
+    Protocol (parent -> worker): ``("batch", id, technique, pairs)``,
+    ``("epoch", manifest)`` (detach the old segments, attach the
+    re-published ones, acknowledge with ``("epoch_ok", epoch)``) or
     ``("stop",)``. Worker -> parent: ``("ready", pid)`` once, then
-    ``("ok", id, distances, wstart_us, wcommit_us)`` /
+    ``("ok", id, distances, wstart_us, wcommit_us, epoch)`` /
     ``("err", id, message)`` per batch. Only the pairs and the result
     row cross the pipe — never index arrays (the zero-copy contract the
     tests assert).
@@ -564,11 +573,26 @@ def _worker_main(
     try:
         segs = attach_segments(manifest, foreign=False)
         techniques = build_techniques(segs)
+        epoch = _manifest_epoch(manifest)
         conn.send(("ready", os.getpid()))
         while True:
             msg = conn.recv()
             if msg[0] == "stop":
                 break
+            if msg[0] == "epoch":
+                # Atomic view flip: drop every reference into the old
+                # mapping first (so the unmap actually releases it),
+                # then attach the re-published segments. The parent
+                # sends this only after the scheduler drained, so no
+                # batch ever straddles the flip.
+                manifest = msg[1]
+                techniques = None
+                segs.close()
+                segs = attach_segments(manifest, foreign=False)
+                techniques = build_techniques(segs)
+                epoch = _manifest_epoch(manifest)
+                conn.send(("epoch_ok", epoch))
+                continue
             _, batch_id, technique, pairs = msg
             t_start = _now_us()
             try:
@@ -576,7 +600,7 @@ def _worker_main(
                     out = batched_distances(
                         techniques[technique], pairs, batch_size=max(len(pairs), 1)
                     )
-                conn.send(("ok", batch_id, out, t_start, _now_us()))
+                conn.send(("ok", batch_id, out, t_start, _now_us(), epoch))
             except Exception as exc:  # surface, don't die
                 conn.send(("err", batch_id, f"{type(exc).__name__}: {exc}"))
             if plane is not None:
@@ -626,6 +650,7 @@ def _ring_worker_main(
         segs = attach_segments(manifest, foreign=False)
         ring = AttachedRing(manifest["transport"], foreign=False)
         techniques = build_techniques(segs)
+        epoch = _manifest_epoch(manifest)
         #: Technique ids are indexes into the sorted manifest names —
         #: the same order the parent's RingPool uses.
         by_id = [techniques.get(name) for name in sorted(manifest["techniques"])]
@@ -636,6 +661,23 @@ def _ring_worker_main(
             slot = _TOKEN.unpack(conn.recv_bytes())[0]
             if slot == _STOP:
                 break
+            if slot == _EPOCH:
+                # The re-published manifest follows the token on the
+                # same pipe (length-framed, so the byte protocols mix
+                # safely). The ring itself survives the flip — only the
+                # index segments swap underneath it.
+                manifest = conn.recv()
+                techniques = by_id = None
+                segs.close()
+                segs = attach_segments(manifest, foreign=False)
+                techniques = build_techniques(segs)
+                by_id = [
+                    techniques.get(name)
+                    for name in sorted(manifest["techniques"])
+                ]
+                epoch = _manifest_epoch(manifest)
+                conn.send_bytes(_TOKEN.pack(_EPOCH))
+                continue
             rbuf[slot, SLOT_T_WSTART] = _now_us()
             off = int(rbuf[slot, SLOT_OFF])
             n = int(rbuf[slot, SLOT_NPAIRS])
@@ -652,6 +694,7 @@ def _ring_worker_main(
                 errors[slot] = 0
                 errors[slot, : len(text)] = np.frombuffer(text, dtype=np.uint8)
                 rbuf[slot, SLOT_STATUS] = STATUS_ERR
+            rbuf[slot, SLOT_EPOCH] = epoch
             rbuf[slot, SLOT_T_WCOMMIT] = _now_us()
             rbuf[slot, SLOT_COMMIT] = rbuf[slot, SLOT_SEQ]
             if plane is not None:
@@ -815,6 +858,48 @@ class WorkerPool:
         ]
 
     # ------------------------------------------------------------------
+    def flip_epoch(self) -> int:
+        """Barrier: every worker reattaches the (re-published) manifest.
+
+        Call only with zero batches in flight (the scheduler drains
+        first): each worker flips its zero-copy views to the manifest's
+        current segments and acknowledges; a worker that dies mid-flip
+        is reaped as usual — its replacement forks with the already-new
+        manifest, so it *is* on the new epoch. Returns the epoch now
+        being served.
+        """
+        pending: list[_Worker] = []
+        for w in list(self._workers):
+            try:
+                self._send_epoch(w)
+                pending.append(w)
+            except (BrokenPipeError, OSError):
+                self._reap(w)
+        for w in pending:
+            if w not in self._workers:  # reaped while flipping others
+                continue
+            try:
+                self._ack_epoch(w)
+            except (EOFError, OSError):
+                self._reap(w)
+        return _manifest_epoch(self.manifest)
+
+    def _send_epoch(self, w: _Worker) -> None:
+        w.conn.send(("epoch", self.manifest))
+
+    def _ack_epoch(self, w: _Worker) -> None:
+        while True:
+            if not w.conn.poll(10):
+                raise RuntimeError(
+                    f"worker pid {w.process.pid} did not acknowledge the "
+                    f"epoch flip"
+                )
+            msg = w.conn.recv()
+            if msg[0] == "epoch_ok":
+                return
+            if msg[0] == "ready":  # a fresh respawn racing the flip
+                w.ready = True
+
     def submit(
         self,
         batch_id: int,
@@ -884,7 +969,7 @@ class WorkerPool:
         if msg[0] == "ready":
             w.ready = True
         elif msg[0] == "ok":
-            _, batch_id, distances, wstart, wcommit = msg
+            _, batch_id, distances, wstart, wcommit, epoch = msg
             w.inflight.pop(batch_id, None)
             self.batches_done += 1
             if obs.ENABLED:
@@ -893,6 +978,7 @@ class WorkerPool:
             stamps = self._meta.pop(batch_id, None) or {}
             stamps["wstart"] = int(wstart)
             stamps["wcommit"] = int(wcommit)
+            stamps["epoch"] = int(epoch)
             events.append(("done", batch_id, distances, stamps))
         elif msg[0] == "err":
             _, batch_id, message = msg
@@ -1199,6 +1285,9 @@ class RingPool(WorkerPool):
             "wcommit": max(
                 (int(ring[s, SLOT_T_WCOMMIT]) for s in rec.slots), default=0
             ),
+            # All of a batch's slots run on one worker between two
+            # drains, so every slot carries the same epoch word.
+            "epoch": int(ring[first, SLOT_EPOCH]),
         }
         return ("done", rec.batch_id, distances, stamps)
 
@@ -1229,6 +1318,27 @@ class RingPool(WorkerPool):
         return events
 
     # ------------------------------------------------------------------
+    def _send_epoch(self, w: _Worker) -> None:
+        # The token warns the worker that the next frame is a pickled
+        # manifest, not another slot index (framing keeps them apart).
+        w.conn.send_bytes(_TOKEN.pack(_EPOCH))
+        w.conn.send(self.manifest)
+
+    def _ack_epoch(self, w: _Worker) -> None:
+        while True:
+            if not w.conn.poll(10):
+                raise RuntimeError(
+                    f"worker pid {w.process.pid} did not acknowledge the "
+                    f"epoch flip"
+                )
+            token = _TOKEN.unpack(w.conn.recv_bytes())[0]
+            if token == _EPOCH:
+                return
+            if token == _READY:
+                w.ready = True
+            elif token >= 0:  # pragma: no cover - stale slot post-drain
+                self._pending_free.append(token)
+
     def _send_stop(self, w: _Worker) -> None:
         w.conn.send_bytes(_TOKEN.pack(_STOP))
 

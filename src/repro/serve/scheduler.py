@@ -95,7 +95,8 @@ class QueryFuture:
     """
 
     __slots__ = ("technique", "pairs", "deadline", "submitted_at", "status",
-                 "distances", "error", "degraded", "request_id")
+                 "distances", "error", "degraded", "request_id", "epoch",
+                 "served_epoch")
 
     def __init__(
         self,
@@ -114,6 +115,12 @@ class QueryFuture:
         self.degraded = degraded
         #: Assigned by the scheduler at admission (0 = unassigned).
         self.request_id = 0
+        #: Weight epoch the request was admitted under; the scheduler
+        #: guarantees the answer was computed at exactly this epoch.
+        self.epoch = 0
+        #: Epoch the worker reports having answered under (set on done;
+        #: ``None`` until then, or when the transport carries no tag).
+        self.served_epoch: int | None = None
 
     @property
     def done(self) -> bool:
@@ -162,7 +169,8 @@ class _Batch:
     """One dispatched unit: whole requests for a single technique."""
 
     __slots__ = ("batch_id", "technique", "requests", "pairs", "retries",
-                 "blocked_since", "request_id", "t_enq_us", "t_form_us")
+                 "blocked_since", "request_id", "t_enq_us", "t_form_us",
+                 "epoch")
 
     def __init__(self, batch_id: int, technique: str,
                  requests: list[QueryFuture]) -> None:
@@ -171,6 +179,10 @@ class _Batch:
         self.requests = requests
         self.pairs: list[Pair] = [p for r in requests for p in r.pairs]
         self.retries = 0
+        #: Admission epoch of the batch's requests. Batches only form
+        #: from a single epoch's queue: the swap protocol drains the
+        #: scheduler before bumping :attr:`BatchingScheduler.epoch`.
+        self.epoch = requests[0].epoch
         #: When the ring first refused this batch (None = never held).
         self.blocked_since: float | None = None
         #: Telemetry: head request id + stage stamps (monotonic µs).
@@ -238,6 +250,10 @@ class BatchingScheduler:
         self._next_request_id = 1
         #: Last-N terminal request records (always on).
         self.flight = FlightRecorder()
+        #: Current weight epoch; bumped by the service *after* a drain +
+        #: worker flip, so every admitted request is answered at its
+        #: admission epoch (audited per reply below).
+        self.epoch = 0
         # Stats (mirrored into obs counters when enabled).
         self.dispatched_batches = 0
         self.dispatched_pairs = 0
@@ -245,6 +261,7 @@ class BatchingScheduler:
         self.degraded = 0
         self.retries = 0
         self.ring_full = 0
+        self.epoch_mismatches = 0
 
     # ------------------------------------------------------------------
     def max_batch_for(self, technique: str) -> int:
@@ -320,6 +337,7 @@ class BatchingScheduler:
         )
         fut = QueryFuture(technique, pairs, deadline, degraded)
         fut.request_id = rid
+        fut.epoch = self.epoch
         if degraded:
             self.degraded += 1
             self._count("serve.degraded")
@@ -471,11 +489,28 @@ class BatchingScheduler:
                 batch_id, distances = event[1], event[2]
                 batch = self._inflight.pop(batch_id, None)
                 if batch is not None:
+                    stamps = event[3] if len(event) > 3 else None
+                    served = stamps.get("epoch") if stamps else None
+                    if served is not None and served != batch.epoch:
+                        # A reply computed at the wrong weight epoch is
+                        # a wrong answer — fail it loudly rather than
+                        # hand back stale (or too-fresh) distances.
+                        self.epoch_mismatches += 1
+                        self._count("serve.epoch_mismatch")
+                        batch.fail(
+                            f"epoch mismatch: admitted at epoch "
+                            f"{batch.epoch}, answered at {served}"
+                        )
+                        resolved += len(batch.requests)
+                        self._record_terminal(batch)
+                        continue
+                    for r in batch.requests:
+                        r.served_epoch = (
+                            served if served is not None else batch.epoch
+                        )
                     batch.scatter(distances)
                     resolved += len(batch.requests)
-                    self._observe_latency(
-                        batch, event[3] if len(event) > 3 else None
-                    )
+                    self._observe_latency(batch, stamps)
                     self._record_terminal(batch)
             elif kind == "error":
                 _, batch_id, message = event
@@ -569,4 +604,6 @@ class BatchingScheduler:
             "queued": self.queued,
             "inflight": self.inflight,
             "flight_recorded": self.flight.recorded,
+            "epoch": self.epoch,
+            "epoch_mismatches": self.epoch_mismatches,
         }

@@ -49,6 +49,7 @@ import json
 import os
 import secrets
 from multiprocessing import resource_tracker, shared_memory
+from typing import Sequence
 
 import numpy as np
 
@@ -81,6 +82,7 @@ SLOT_T_FORM = 9     #: batch formation (scheduler closed the batch)
 SLOT_T_PUB = 10     #: slot publish (written just before the SEQ bump)
 SLOT_T_WSTART = 11  #: worker picked the slot up
 SLOT_T_WCOMMIT = 12 #: worker finished, about to commit
+SLOT_EPOCH = 13     #: weight epoch the worker answered under (swap audit)
 SLOT_WORDS = 16   #: descriptor width (two cache lines of int64 words)
 
 STATUS_OK = 0
@@ -92,6 +94,127 @@ ERR_BYTES = 256
 
 class SegmentError(RuntimeError):
     """Raised for unattachable, foreign, or mismatched segments."""
+
+
+def _fingerprint_entry(fingerprint: GraphFingerprint) -> dict:
+    """The manifest's JSON form of a fingerprint (epoch included)."""
+    return {
+        "n": fingerprint.n,
+        "m": fingerprint.m,
+        "total_weight": fingerprint.total_weight,
+        "epoch": fingerprint.epoch,
+    }
+
+
+def release_segments(segments: dict[str, shared_memory.SharedMemory]) -> None:
+    """Unmap and unlink a drained epoch's segments (idempotent-ish).
+
+    Tolerates already-unlinked names so crash-recovery paths can call
+    it unconditionally.
+    """
+    for shm in segments.values():
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - double close
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+    segments.clear()
+
+
+def manifest_segment_names(manifest: dict) -> list[str]:
+    """Every shared-memory segment name a manifest references.
+
+    Technique segments, the ring transport, and the metrics planes
+    (scheduler + workers) — the full footprint ``service clean`` must
+    account for after a publisher is SIGKILLed.
+    """
+    names = [
+        e["segment"] for e in manifest.get("techniques", {}).values()
+    ]
+    transport = manifest.get("transport")
+    if isinstance(transport, dict) and transport.get("segment"):
+        names.append(transport["segment"])
+    metrics = manifest.get("metrics", {})
+    sched = metrics.get("scheduler")
+    if isinstance(sched, dict) and sched.get("segment"):
+        names.append(sched["segment"])
+    for entry in metrics.get("workers") or []:
+        if isinstance(entry, dict) and entry.get("segment"):
+            names.append(entry["segment"])
+    return names
+
+
+def publisher_alive(manifest: dict) -> bool:
+    """Whether the manifest's publisher process still exists.
+
+    Signal 0 probes liveness without touching the process; a
+    ``PermissionError`` means the pid exists under another user, which
+    still counts as alive.
+    """
+    pid = manifest.get("publisher_pid")
+    if not pid:
+        return False
+    try:
+        os.kill(int(pid), 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign-uid publisher
+        return True
+    return True
+
+
+def find_orphans(manifest: dict) -> list[str]:
+    """Manifest-referenced segments that still exist.
+
+    Besides the names the manifest carries, scans ``/dev/shm`` (where
+    available) for anything else under the service's token — a
+    publisher killed mid-epoch-swap can leave old-epoch segments the
+    updated manifest no longer mentions.
+    """
+    orphans: list[str] = []
+    for name in manifest_segment_names(manifest):
+        try:
+            shm = _attach_shm(name, foreign=True)
+        except FileNotFoundError:
+            continue
+        shm.close()
+        orphans.append(name)
+    token = manifest.get("service")
+    if token and os.path.isdir("/dev/shm"):
+        prefix = f"rsv-{token}-"
+        for entry in sorted(os.listdir("/dev/shm")):
+            if entry.startswith(prefix) and entry not in orphans:
+                orphans.append(entry)
+    return orphans
+
+
+def unlink_orphans(names: Sequence[str]) -> list[str]:
+    """Unlink each named segment; returns the names actually removed.
+
+    Races with concurrent cleanup are tolerated — a name that vanishes
+    between listing and unlinking is simply skipped.
+    """
+    removed: list[str] = []
+    for name in names:
+        try:
+            # foreign=False on purpose: on pre-3.13 the attach registers
+            # with the resource tracker and unlink() unregisters — a
+            # balanced pair. foreign=True would unregister early and
+            # unlink()'s second unregister would KeyError in the
+            # tracker process (harmless but noisy on a CLI path).
+            shm = _attach_shm(name, foreign=False)
+        except FileNotFoundError:
+            continue
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - concurrent clean
+            continue
+        removed.append(name)
+    return removed
 
 
 def _attach_shm(name: str, foreign: bool) -> shared_memory.SharedMemory:
@@ -284,17 +407,42 @@ class SegmentSet:
         tier: str = "?",
     ) -> None:
         token = secrets.token_hex(4)
-        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._token = token
+        self._segments, techniques = self._build(
+            payloads, lambda tech: f"rsv-{token}-{tech}"
+        )
+        self.manifest: dict = {
+            "schema": SERVE_SCHEMA,
+            "service": token,
+            "dataset": dataset,
+            "tier": tier,
+            "publisher_pid": os.getpid(),
+            "fingerprint": _fingerprint_entry(fingerprint),
+            "techniques": techniques,
+        }
+
+    @staticmethod
+    def _build(
+        payloads: dict[str, tuple[dict[str, np.ndarray], dict]],
+        name_for,
+    ) -> tuple[dict[str, shared_memory.SharedMemory], dict[str, dict]]:
+        """Create and fill one segment per technique.
+
+        On failure, unlinks whatever it already created and re-raises —
+        it never touches segments it did not create, so a failed
+        :meth:`republish` leaves the live epoch serving.
+        """
+        segments: dict[str, shared_memory.SharedMemory] = {}
         techniques: dict[str, dict] = {}
         try:
             for tech, (arrays, meta) in payloads.items():
                 arrays = {k: np.ascontiguousarray(a) for k, a in arrays.items()}
                 specs, nbytes = _layout(arrays)
-                name = f"rsv-{token}-{tech}"
+                name = name_for(tech)
                 shm = shared_memory.SharedMemory(
                     create=True, name=name, size=max(nbytes, 1)
                 )
-                self._segments[tech] = shm
+                segments[tech] = shm
                 for key, arr in arrays.items():
                     dst = np.ndarray(
                         arr.shape,
@@ -310,21 +458,40 @@ class SegmentSet:
                     "arrays": specs,
                 }
         except BaseException:
-            self.close()
+            release_segments(segments)
             raise
-        self.manifest: dict = {
-            "schema": SERVE_SCHEMA,
-            "service": token,
-            "dataset": dataset,
-            "tier": tier,
-            "publisher_pid": os.getpid(),
-            "fingerprint": {
-                "n": fingerprint.n,
-                "m": fingerprint.m,
-                "total_weight": fingerprint.total_weight,
-            },
-            "techniques": techniques,
-        }
+        return segments, techniques
+
+    def republish(
+        self,
+        payloads: dict[str, tuple[dict[str, np.ndarray], dict]],
+        *,
+        fingerprint: GraphFingerprint,
+    ) -> dict[str, shared_memory.SharedMemory]:
+        """Publish a new weight epoch's segments *side by side*.
+
+        The new segments are named ``rsv-<token>-e<epoch>-<tech>`` so
+        they coexist with the epoch still being served; the manifest
+        (the same dict object workers and the pool hold) is updated in
+        place to point at them. Returns the previous epoch's segments —
+        the caller unlinks them via :func:`release_segments` only after
+        every worker has flipped and every in-flight batch on the old
+        epoch has drained.
+        """
+        if set(payloads) != set(self._segments):
+            raise SegmentError(
+                "republish must cover exactly the published techniques "
+                f"({sorted(self._segments)}), got {sorted(payloads)}"
+            )
+        epoch = fingerprint.epoch
+        segments, techniques = self._build(
+            payloads, lambda tech: f"rsv-{self._token}-e{epoch}-{tech}"
+        )
+        old = self._segments
+        self._segments = segments
+        self.manifest["techniques"] = techniques
+        self.manifest["fingerprint"] = _fingerprint_entry(fingerprint)
+        return old
 
     @property
     def techniques(self) -> list[str]:
@@ -333,20 +500,12 @@ class SegmentSet:
     def close(self) -> None:
         """Unmap and unlink every segment (idempotent).
 
-        This is the *only* place segments are unlinked; it runs even
-        after worker crashes, since the publisher's mappings are
-        untouched by a child dying.
+        Segments are unlinked only here and in the epoch-swap drain
+        (:func:`release_segments` on what :meth:`republish` returned);
+        either runs fine after worker crashes, since the publisher's
+        mappings are untouched by a child dying.
         """
-        for shm in self._segments.values():
-            try:
-                shm.close()
-            except Exception:  # pragma: no cover - double close
-                pass
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self._segments.clear()
+        release_segments(self._segments)
 
     def __enter__(self) -> "SegmentSet":
         return self

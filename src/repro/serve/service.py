@@ -204,6 +204,7 @@ class QueryService:
             raise
         self._prev_usr1 = None
         self._closed = False
+        self._dyn = None
 
     # ------------------------------------------------------------------
     @property
@@ -213,6 +214,94 @@ class QueryService:
     @property
     def published(self) -> list[str]:
         return self.segments.techniques
+
+    @property
+    def epoch(self) -> int:
+        """The weight epoch currently being served."""
+        return self.scheduler.epoch
+
+    def _dynamic_state(self):
+        """Build (once) the repairable index state behind this service.
+
+        Constructed lazily on the first :meth:`apply_updates` — a
+        static service never pays for the CCH scaffold. The witness CH
+        and TNR grid side come from the same registry builds the
+        publisher packed, so epoch 0's repaired indexes answer
+        identically to what is already in the segments.
+        """
+        if self._dyn is None:
+            from repro.dynamic import DynamicState
+
+            dataset = self.config.dataset
+            graph = self.registry.graph(dataset)
+            tnr_g = None
+            if "tnr" in self.published:
+                tnr_g = int(self.manifest["techniques"]["tnr"]["meta"]["g"])
+            self._dyn = DynamicState(
+                graph,
+                self.registry.ch(dataset),
+                with_labels="labels" in self.published,
+                tnr_grid=tnr_g,
+            )
+        return self._dyn
+
+    def apply_updates(self, edges, new_weights):
+        """Advance the served graph one weight epoch without stopping.
+
+        The swap protocol (docs/SERVING.md):
+
+        1. **Repair** every published index incrementally
+           (:meth:`repro.dynamic.DynamicState.apply_updates`) while the
+           old epoch keeps serving.
+        2. **Drain** the scheduler — batches in flight complete on the
+           epoch they were admitted under; nothing straddles the flip.
+        3. **Republish**: the new epoch's segments come up side by side
+           with the old ones, and the manifest flips to them in place.
+        4. **Barrier**: every worker drops its old-epoch views,
+           reattaches, and acks; replies are stamped with the epoch
+           they were answered under (the scheduler fails any mismatch).
+        5. **Unlink** the old epoch's segments — no mapping references
+           them once the barrier has passed.
+
+        Returns the :class:`~repro.dynamic.RepairReport`. Raises
+        ``ValueError`` if a published technique has no repair path
+        (``silc``'s interval tree is rebuild-only).
+        """
+        from types import SimpleNamespace
+
+        from repro.dynamic import REPAIRABLE
+        from repro.serve.segments import release_segments
+
+        unsupported = set(self.published) - set(REPAIRABLE)
+        if unsupported:
+            raise ValueError(
+                f"technique(s) {sorted(unsupported)} cannot be repaired "
+                f"incrementally (repairable: {list(REPAIRABLE)})"
+            )
+        st = self._dynamic_state()
+        with obs.span("serve.repair"):
+            report = st.apply_updates(edges, new_weights)
+        t_swap = time.perf_counter()
+        self.scheduler.drain()
+        payloads: dict = {"dijkstra": pack_graph(st.csr)}
+        if "ch" in self.published:
+            payloads["ch"] = pack_ch(st.ch)
+        if "tnr" in self.published:
+            payloads["tnr"] = pack_tnr(SimpleNamespace(index=st.tnr))
+        if "labels" in self.published:
+            payloads["labels"] = pack_labels(st.labels)
+        old = self.segments.republish(
+            payloads, fingerprint=st.current.fingerprint
+        )
+        self.pool.flip_epoch()
+        release_segments(old)
+        self.scheduler.epoch = st.epoch
+        swap_us = (time.perf_counter() - t_swap) * 1e6
+        if obs.ENABLED:
+            reg = obs.registry()
+            reg.gauge("serve.epoch").set(st.epoch)
+            reg.histogram("serve.swap_us").observe(swap_us)
+        return report
 
     def submit(self, technique, pairs, deadline_s=None) -> QueryFuture:
         return self.scheduler.submit(technique, pairs, deadline_s=deadline_s)

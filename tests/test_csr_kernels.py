@@ -20,7 +20,7 @@ from hypothesis import strategies as st
 
 from repro.core import dijkstra as dj
 from repro.core.bidirectional import BidirectionalDijkstra
-from repro.graph.csr import HAVE_SCIPY, CSRGraph, kernel_for
+from repro.graph.csr import HAVE_SCIPY, kernel_for
 from repro.graph.generators import grid_graph
 from repro.graph.graph import Graph
 

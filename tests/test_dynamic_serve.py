@@ -1,0 +1,197 @@
+"""Live epoch-swap tests: the serving side of the dynamics subsystem.
+
+The contract under test (docs/SERVING.md): a weight-update batch
+repairs the indexes, drains the scheduler, republishes segments side by
+side, flips every worker at a barrier, and unlinks the old epoch — with
+**zero mixed-epoch answers**: every reply is stamped with the epoch it
+was answered under and audited against the epoch it was admitted under.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra_distance
+from repro.graph.csr import HAVE_SCIPY
+from repro.queries.workloads import rush_hour_churn
+from repro.serve import BatchingScheduler, QueryService, ServiceConfig
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SCIPY, reason="the dynamics subsystem needs scipy"
+)
+
+DATASET = "DE"
+
+
+@pytest.fixture(scope="module")
+def registry():
+    from repro.harness.registry import Registry
+
+    return Registry(tier="small", verbose=False)
+
+
+@pytest.fixture(scope="module")
+def phases(registry):
+    return rush_hour_churn(
+        registry.graph(DATASET),
+        bursts=2,
+        edges_per_burst=5,
+        queries_per_phase=8,
+        seed=13,
+    )
+
+
+def _reference_distances(registry, state, queries):
+    from repro.dynamic import reweight_graph
+
+    g2 = reweight_graph(registry.graph(DATASET), state.csr)
+    return np.array([dijkstra_distance(g2, u, v) for u, v in queries])
+
+
+@pytest.mark.parametrize("transport", ["ring", "pipe"])
+class TestLiveSwap:
+    def test_churn_swaps_clean_on_both_transports(
+        self, registry, phases, transport
+    ):
+        from repro.dynamic import DynamicState
+
+        config = ServiceConfig(
+            dataset=DATASET,
+            tier="small",
+            workers=2,
+            techniques=("ch", "tnr", "labels"),
+            transport=transport,
+        )
+        ref = DynamicState(
+            registry.graph(DATASET),
+            registry.ch(DATASET),
+            with_labels=False,
+        )
+        with QueryService(config, registry=registry) as svc:
+            assert svc.epoch == 0
+            fut = svc.submit("ch", [(0, 5)])
+            svc.drain()
+            fut.result()
+            assert fut.epoch == 0 and fut.served_epoch == 0
+
+            old_names = [
+                e["segment"]
+                for e in svc.manifest["techniques"].values()
+            ]
+            for i, ph in enumerate(phases, start=1):
+                edges = [e for e, _ in ph.updates]
+                ws = [w for _, w in ph.updates]
+                report = svc.apply_updates(edges, ws)
+                ref.apply_updates(edges, ws)
+                assert report.epoch == i == svc.epoch
+                assert svc.manifest["fingerprint"]["epoch"] == i
+                want = _reference_distances(registry, ref, ph.queries)
+                for tech in ("ch", "tnr", "labels", "dijkstra"):
+                    fut = svc.submit(tech, list(ph.queries))
+                    svc.drain()
+                    got = np.asarray(fut.result())
+                    # Admitted and answered on the new epoch...
+                    assert fut.epoch == i and fut.served_epoch == i
+                    # ...with exact post-update distances.
+                    np.testing.assert_array_equal(got, want)
+
+            status = svc.status()
+            assert status["epoch"] == len(phases)
+            assert status["epoch_mismatches"] == 0
+            # The old epoch's segments are provably unlinked: attaching
+            # by their manifest names must fail.
+            for name in old_names:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+            # The live manifest points at the new epoch's names.
+            for e in svc.manifest["techniques"].values():
+                assert f"-e{len(phases)}-" in e["segment"]
+                shm = shared_memory.SharedMemory(name=e["segment"])
+                shm.close()
+
+    def test_swap_survives_worker_respawn(self, registry, phases, transport):
+        """A worker killed right before the flip is respawned onto the
+        current manifest; the barrier still completes and answers stay
+        exact."""
+        import os
+        import signal
+
+        config = ServiceConfig(
+            dataset=DATASET,
+            tier="small",
+            workers=2,
+            techniques=("ch",),
+            transport=transport,
+        )
+        ph = phases[0]
+        edges = [e for e, _ in ph.updates]
+        ws = [w for _, w in ph.updates]
+        with QueryService(config, registry=registry) as svc:
+            os.kill(svc.pool.worker_pids[0], signal.SIGKILL)
+            svc.apply_updates(edges, ws)
+            from repro.dynamic import DynamicState
+
+            ref = DynamicState(
+                registry.graph(DATASET),
+                registry.ch(DATASET),
+                with_labels=False,
+            )
+            ref.apply_updates(edges, ws)
+            want = _reference_distances(registry, ref, ph.queries)
+            fut = svc.submit("ch", list(ph.queries))
+            svc.drain()
+            np.testing.assert_array_equal(np.asarray(fut.result()), want)
+            assert fut.served_epoch == 1
+            assert svc.scheduler.epoch_mismatches == 0
+
+
+class TestSwapGuards:
+    def test_unrepairable_technique_rejected(self, registry):
+        config = ServiceConfig(
+            dataset=DATASET, tier="small", workers=1, techniques=("silc",)
+        )
+        with QueryService(config, registry=registry) as svc:
+            with pytest.raises(ValueError, match="silc"):
+                svc.apply_updates([(0, 1)], [2.0])
+
+    def test_epoch_mismatch_fails_the_batch(self):
+        """A reply stamped with a foreign epoch must never reach the
+        caller — the scheduler fails the batch and counts it."""
+
+        class _StaleEpochPool:
+            restarts = 0
+
+            def __init__(self):
+                self._pending = []
+
+            def submit(self, batch_id, technique, pairs, meta=None):
+                self._pending.append((batch_id, len(pairs)))
+
+            def poll(self, timeout=0.0):
+                events = [
+                    ("done", bid, np.ones(n), {"epoch": 99})
+                    for bid, n in self._pending
+                ]
+                self._pending.clear()
+                return events
+
+        sched = BatchingScheduler(
+            _StaleEpochPool(),
+            published=("ch", "dijkstra"),
+            max_batch=8,
+            batch_window_s=0.0,
+            max_queue=8,
+        )
+        fut = sched.submit("ch", [(0, 1)])
+        deadline = 50
+        while not fut.done and deadline:
+            sched.pump(0.01)
+            deadline -= 1
+        assert fut.done
+        with pytest.raises(RuntimeError, match="epoch mismatch"):
+            fut.result()
+        assert sched.epoch_mismatches == 1
+        assert sched.stats()["epoch_mismatches"] == 1

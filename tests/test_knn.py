@@ -68,7 +68,6 @@ class TestFinder:
 
     def test_pruning_saves_queries(self, co_tiny, ch_co, candidates, rng):
         finder = KNNFinder(co_tiny, ch_co, candidates)
-        queries = 0
         rounds = 20
         for _ in range(rounds):
             finder.query(rng.randrange(co_tiny.n), k=1)

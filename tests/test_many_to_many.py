@@ -25,10 +25,10 @@ import importlib
 m2m = importlib.import_module("repro.core.ch.many_to_many")
 
 from repro.core.ch.contraction import build_ch  # noqa: E402
-from repro.core.ch.query import ContractionHierarchy
-from repro.core.dijkstra import dijkstra_distance
-from repro.graph.csr import HAVE_SCIPY
-from repro.graph.graph import Graph
+from repro.core.ch.query import ContractionHierarchy  # noqa: E402
+from repro.core.dijkstra import dijkstra_distance  # noqa: E402
+from repro.graph.csr import HAVE_SCIPY  # noqa: E402
+from repro.graph.graph import Graph  # noqa: E402
 
 pytestmark = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy unavailable")
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 
 import pytest
 
@@ -671,3 +672,190 @@ class TestStatsMergeCLI:
         assert cli_main(["stats", "--merge", str(missing)]) == 1
         err = capsys.readouterr().err.strip()
         assert err.startswith("error:") and len(err.splitlines()) == 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition-format grammar
+# ----------------------------------------------------------------------
+# A scraper parses `stats --prom` with the exposition grammar, not with
+# substring matches — so the tests here validate the whole output
+# against that grammar (metric/label name charsets, sample line shape,
+# cumulative `le` buckets with a `+Inf` terminal), catching the classes
+# of breakage a "this substring appears" test never would.
+_PROM_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_PROM_TYPE_LINE = re.compile(
+    r"^# TYPE (?P<name>\S+) (?P<kind>counter|gauge|histogram|summary|untyped)$"
+)
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[^{ ]+)(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$"
+)
+_PROM_LABEL_PAIR = re.compile(r'^(?P<key>[^=]+)="(?P<val>[^"\\]*)"$')
+
+
+def _prom_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # accepts "NaN"; raises on garbage
+
+
+def parse_exposition(text: str):
+    """Parse ``text`` strictly; asserts on any grammar violation.
+
+    Returns ``(types, samples)`` — the ``{metric: kind}`` map from the
+    ``# TYPE`` comments and the ``[(name, labels, value)]`` sample list.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        assert line == line.strip(), f"line {lineno}: stray whitespace"
+        if line.startswith("#"):
+            m = _PROM_TYPE_LINE.match(line)
+            assert m, f"line {lineno}: malformed comment: {line!r}"
+            name = m["name"]
+            assert _PROM_METRIC_NAME.match(name), \
+                f"line {lineno}: bad metric name {name!r}"
+            assert name not in types, f"line {lineno}: duplicate TYPE {name}"
+            types[name] = m["kind"]
+            continue
+        m = _PROM_SAMPLE.match(line)
+        assert m, f"line {lineno}: malformed sample: {line!r}"
+        name = m["name"]
+        assert _PROM_METRIC_NAME.match(name), \
+            f"line {lineno}: bad metric name {name!r}"
+        labels: dict[str, str] = {}
+        if m["labels"]:
+            for pair in m["labels"].split(","):
+                pm = _PROM_LABEL_PAIR.match(pair)
+                assert pm, f"line {lineno}: malformed label: {pair!r}"
+                assert _PROM_LABEL_NAME.match(pm["key"]), \
+                    f"line {lineno}: bad label name {pm['key']!r}"
+                assert pm["key"] not in labels, \
+                    f"line {lineno}: duplicate label {pm['key']!r}"
+                labels[pm["key"]] = pm["val"]
+        samples.append((name, labels, _prom_value(m["value"])))
+    return types, samples
+
+
+def check_exposition(text: str):
+    """Full semantic check on top of :func:`parse_exposition`."""
+    types, samples = parse_exposition(text)
+    by_name: dict[str, list] = {}
+    for name, labels, value in samples:
+        by_name.setdefault(name, []).append((labels, value))
+
+    for name, entries in by_name.items():
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stem and types.get(stem) == "histogram":
+                base = stem
+                break
+        assert base in types, f"sample {name} has no # TYPE declaration"
+        kind = types[base]
+        if kind in ("counter", "gauge"):
+            assert name == base
+            assert len(entries) == 1, f"{name}: duplicate series"
+            labels, value = entries[0]
+            assert labels == {}, f"{name}: unexpected labels"
+            if kind == "counter":
+                assert value >= 0, f"{name}: negative counter"
+
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        count_series = by_name.get(f"{name}_count")
+        sum_series = by_name.get(f"{name}_sum")
+        assert count_series and sum_series, f"{name}: missing _sum/_count"
+        count = count_series[0][1]
+        buckets = by_name.get(f"{name}_bucket")
+        if buckets is None:
+            continue  # schema-1 degradation: _sum/_count only
+        les = []
+        for labels, value in buckets:
+            assert set(labels) == {"le"}, f"{name}_bucket: labels {labels}"
+            les.append((_prom_value(labels["le"]), value))
+        bounds = [le for le, _ in les]
+        counts = [v for _, v in les]
+        assert bounds == sorted(bounds) and len(set(bounds)) == len(bounds), \
+            f"{name}: le bounds not strictly increasing: {bounds}"
+        assert counts == sorted(counts), \
+            f"{name}: bucket counts not cumulative: {counts}"
+        assert bounds[-1] == math.inf, f"{name}: no +Inf terminal bucket"
+        assert counts[-1] == count, \
+            f"{name}: +Inf bucket {counts[-1]} != _count {count}"
+    return types, by_name
+
+
+class TestPrometheusGrammar:
+    """`stats --prom` output must survive a real exposition parser."""
+
+    def test_registry_output_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.pairs").inc(41)
+        reg.counter("dijkstra.settled").inc(7)
+        reg.gauge("serve.epoch").set(3)
+        reg.gauge("serve.worker.0.pid").set(1234)
+        h = reg.histogram("serve.e2e_us")
+        for v in (0.5, 3.0, 3.0, 40.0, 41.0, 5e6):
+            h.observe(v)
+        reg.histogram("serve.swap_us").observe(120.0)
+        types, by_name = check_exposition(to_prometheus(reg.snapshot()))
+        assert types["repro_serve_pairs"] == "counter"
+        assert types["repro_serve_epoch"] == "gauge"
+        assert types["repro_serve_e2e_us"] == "histogram"
+        # Six observations land in the +Inf terminal.
+        inf_bucket = [
+            v for labels, v in by_name["repro_serve_e2e_us_bucket"]
+            if labels["le"] == "+Inf"
+        ]
+        assert inf_bucket == [6.0]
+
+    def test_dotted_names_are_sanitised(self):
+        """Dots (and anything outside [a-zA-Z0-9_]) must be mapped into
+        the legal charset, never emitted raw."""
+        reg = MetricsRegistry()
+        reg.counter("a.b-c:d e.pairs").inc()
+        types, _ = check_exposition(to_prometheus(reg.snapshot()))
+        assert list(types) == ["repro_a_b_c_d_e_pairs"]
+
+    def test_special_values_parse(self):
+        """inf/nan gauges render as +Inf/NaN, which the grammar accepts."""
+        text = to_prometheus(
+            {"gauges": {"up": math.inf, "down": -math.inf, "odd": math.nan}}
+        )
+        _, by_name = check_exposition(text)
+        assert by_name["repro_up"][0][1] == math.inf
+        assert by_name["repro_down"][0][1] == -math.inf
+        assert math.isnan(by_name["repro_odd"][0][1])
+
+    def test_empty_histogram_still_terminates(self):
+        """Zero observations: no finite buckets, but the +Inf terminal
+        and _count must still agree (both 0)."""
+        reg = MetricsRegistry()
+        reg.histogram("h")  # never observed
+        types, by_name = check_exposition(to_prometheus(reg.snapshot()))
+        assert types["repro_h"] == "histogram"
+        assert by_name["repro_h_count"][0][1] == 0
+        assert by_name["repro_h_bucket"][-1][1] == 0
+
+    def test_cli_stats_prom_is_grammatical(self, obs_on, tmp_path, capsys):
+        """The end-to-end path: a recorded trace merged and exposed via
+        `repro-harness stats --prom` parses under the full grammar."""
+        path = tmp_path / "w.jsonl"
+        obs.start_trace(path)
+        obs.registry().counter("labels.query.pairs").inc(17)
+        for v in (4.0, 9.0, 1500.0):
+            obs.registry().histogram("serve.e2e_us").observe(v)
+        obs.registry().gauge("serve.epoch").set(2)
+        obs.stop_trace()
+        obs.reset()
+        assert cli_main(["stats", "--merge", str(path), "--prom"]) == 0
+        types, by_name = check_exposition(capsys.readouterr().out)
+        assert types["repro_labels_query_pairs"] == "counter"
+        assert by_name["repro_serve_e2e_us_count"][0][1] == 3.0

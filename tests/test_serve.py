@@ -729,6 +729,124 @@ class TestTraceNames:
 
 
 # ----------------------------------------------------------------------
+# `service clean`: orphaned-segment recovery after a SIGKILLed publisher
+# ----------------------------------------------------------------------
+_PUBLISHER_SCRIPT = """
+import json, sys, time
+# A SIGKILL leaves no chance to unlink, but CPython's resource_tracker
+# daemon outlives the kill and would race `service clean` to the
+# segments (and warn about them). Real deployments lose the tracker
+# too (container teardown, OOM group kills); stub registration so the
+# leak is deterministic.
+from multiprocessing import resource_tracker
+resource_tracker.register = lambda *a, **k: None
+from repro.graph.generators import grid_graph
+from repro.obs.shm import MetricsPlane
+from repro.persistence import GraphFingerprint
+from repro.serve.segments import RingBuffers, SegmentSet, pack_graph
+
+g = grid_graph(4, 4)
+csr = g.csr()
+segs = SegmentSet(
+    {"dijkstra": pack_graph(csr)},
+    fingerprint=GraphFingerprint.of_csr(csr),
+)
+ring = RingBuffers(4, 8, token=segs.manifest["service"])
+segs.manifest["transport"] = ring.manifest_entry
+plane = MetricsPlane("rsv-" + segs.manifest["service"] + "-mwsched")
+segs.manifest.setdefault("metrics", {})["scheduler"] = plane.entry
+with open(sys.argv[1], "w") as fh:
+    json.dump(segs.manifest, fh)
+print("READY", flush=True)
+time.sleep(300)
+"""
+
+
+class TestServiceClean:
+    """A SIGKILLed publisher never unlinks; `service clean` must."""
+
+    def _spawn_publisher(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _PUBLISHER_SCRIPT, str(manifest_path)],
+            stdout=subprocess.PIPE, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.stdout.readline().strip() == "READY"
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        return proc, manifest_path, manifest
+
+    def test_sigkilled_publisher_segments_cleaned(self, tmp_path):
+        from repro.harness.cli import main
+        from repro.serve.segments import manifest_segment_names
+
+        proc, manifest_path, manifest = self._spawn_publisher(tmp_path)
+        names = manifest_segment_names(manifest)
+        try:
+            # Techniques + ring + scheduler plane are all accounted for.
+            assert len(names) == 3
+            # Refuses while the publisher is alive, even with --force.
+            rc = main(
+                ["service", "clean", "--manifest", str(manifest_path),
+                 "--force"]
+            )
+            assert rc == 1
+            from repro.serve.segments import _attach_shm
+
+            for name in names:
+                _attach_shm(name, foreign=True).close()
+
+            proc.kill()
+            proc.wait()
+            # The kill leaked every segment...
+            for name in names:
+                _attach_shm(name, foreign=True).close()
+            # ...and clean unlinks them all.
+            rc = main(
+                ["service", "clean", "--manifest", str(manifest_path),
+                 "--force"]
+            )
+            assert rc == 0
+            for name in names:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+            # Idempotent: a second run finds nothing and succeeds.
+            rc = main(
+                ["service", "clean", "--manifest", str(manifest_path),
+                 "--force"]
+            )
+            assert rc == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            from repro.serve.segments import unlink_orphans
+
+            unlink_orphans(names)
+
+    def test_clean_confirm_aborts_on_no(self, tmp_path, monkeypatch):
+        from repro.harness.cli import main
+
+        proc, manifest_path, _ = self._spawn_publisher(tmp_path)
+        try:
+            proc.kill()
+            proc.wait()
+            monkeypatch.setattr("builtins.input", lambda prompt="": "n")
+            rc = main(["service", "clean", "--manifest", str(manifest_path)])
+            assert rc == 1  # aborted, nothing unlinked
+            monkeypatch.setattr("builtins.input", lambda prompt="": "y")
+            rc = main(["service", "clean", "--manifest", str(manifest_path)])
+            assert rc == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+# ----------------------------------------------------------------------
 # Satellite: fused SILC compression
 # ----------------------------------------------------------------------
 class TestBatchedQuadtree:
@@ -854,6 +972,35 @@ class TestServeBenchGates:
             for f in sb.evaluate_gates(report, baseline)
         )
 
+    def test_label_size_regression_gate(self):
+        """`--check` fails when the mean hub-label size grows more than
+        10% over the committed baseline; growth within slack passes."""
+        sb = _serve_bench_module()
+        baseline = {"techniques": {
+            "labels": self._entry(
+                qps_service_2w=25000.0, label_size_mean=27.4
+            ),
+        }}
+        grown = {"techniques": {
+            "labels": self._entry(
+                qps_service_2w=25000.0, label_size_mean=31.0
+            ),
+        }}
+        failures = sb.evaluate_gates(grown, baseline)
+        assert any("label_size_mean" in f and "exceeds" in f
+                   for f in failures)
+        within = {"techniques": {
+            "labels": self._entry(
+                qps_service_2w=25000.0, label_size_mean=28.9
+            ),
+        }}
+        assert sb.evaluate_gates(within, baseline) == []
+        # Old baselines without the field are tolerated (no gate).
+        legacy = {"techniques": {
+            "labels": self._entry(qps_service_2w=25000.0),
+        }}
+        assert sb.evaluate_gates(grown, legacy) == []
+
     def test_committed_report_passes_gates_and_labels_beat_ch(self):
         """The acceptance criterion, pinned to the committed numbers:
         labels beat CH per-request QPS on DE-small at 2 workers, with
@@ -869,6 +1016,12 @@ class TestServeBenchGates:
         assert techs["labels"]["qps_service_2w"] > techs["ch"]["qps_service_2w"]
         assert techs["labels"]["speedup_2w"] >= sb.FLOOR_2W
         assert techs["labels"]["bit_identical"] is True
+        # The committed report carries the label-size baseline the
+        # regression gate compares against.
+        assert techs["labels"]["label_size_mean"] > 0
+        assert techs["labels"]["label_size_max"] >= techs["labels"]["label_size_mean"]
+        # Self-check: the committed report gates cleanly against itself.
+        assert sb.evaluate_gates(report, report) == []
 
 
 def test_request_stream_chunks():
